@@ -1,0 +1,68 @@
+//! §5.3.5 timing constants: the paper measures `t_classify = 0.4 µs` (tree
+//! traversal + history table) and `t_query = 1 µs`. This bench verifies our
+//! implementation is in the same order of magnitude.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_core::{FeatureExtractor, HistoryTable, N_FEATURES};
+use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+use otae_trace::{generate, ObjectId, TraceConfig};
+
+fn trained_tree() -> DecisionTree {
+    let mut data = Dataset::new(N_FEATURES);
+    let mut state = 1u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f32) / (u32::MAX >> 2) as f32
+    };
+    for _ in 0..20_000 {
+        let mut row = [0.0f32; N_FEATURES];
+        for v in row.iter_mut() {
+            *v = next();
+        }
+        let label = row[0] + 0.3 * row[4] + 0.2 * next() > 0.7;
+        data.push(&row, label);
+    }
+    let mut tree = DecisionTree::new(TreeParams::default());
+    tree.fit(&data);
+    tree
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let tree = trained_tree();
+    let row = [0.4f32; N_FEATURES];
+    // t_classify: one tree prediction (paper: ~0.4 µs including table).
+    c.bench_function("tree_predict (t_classify core)", |b| {
+        b.iter(|| tree.predict(black_box(&row)))
+    });
+
+    let mut history = HistoryTable::new(4096);
+    for i in 0..4096u32 {
+        history.record_one_time(ObjectId(i), i as u64);
+    }
+    let mut i = 0u32;
+    c.bench_function("history_table record+check", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            history.record_one_time(ObjectId(i % 10_000), i as u64);
+            black_box(history.check_and_rectify(ObjectId((i * 7) % 10_000), i as u64, 1000))
+        })
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let trace = generate(&TraceConfig { n_objects: 5_000, seed: 5, ..Default::default() });
+    let mut fx = FeatureExtractor::new(&trace);
+    let mut i = 0usize;
+    c.bench_function("feature_extract+update", |b| {
+        b.iter(|| {
+            let req = &trace.requests[i % trace.len()];
+            let f = fx.extract(black_box(&trace), req);
+            fx.update(&trace, req);
+            i += 1;
+            black_box(f)
+        })
+    });
+}
+
+criterion_group!(benches, bench_classify, bench_feature_extraction);
+criterion_main!(benches);

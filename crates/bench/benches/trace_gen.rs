@@ -1,0 +1,27 @@
+//! Synthetic-workload generation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_trace::{generate, sample_objects, TraceConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("generate_20k_objects", |b| {
+        b.iter(|| {
+            generate(black_box(&TraceConfig {
+                n_objects: 20_000,
+                seed: 42,
+                ..Default::default()
+            }))
+        })
+    });
+    let trace = generate(&TraceConfig { n_objects: 20_000, seed: 42, ..Default::default() });
+    group.bench_function("sample_1_in_100", |b| {
+        b.iter(|| sample_objects(black_box(&trace), 0.01, 9))
+    });
+    group.bench_function("characterize", |b| b.iter(|| black_box(&trace).characterize()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

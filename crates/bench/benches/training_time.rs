@@ -1,0 +1,40 @@
+//! Daily-training cost (§4.4.3: "the entire training procedure takes only a
+//! few minutes" on a day of 144 k sampled records; our CART on the same
+//! volume should be far below that).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_core::daily::{train_tree, Sample};
+use otae_core::N_FEATURES;
+
+fn day_of_samples(n: usize) -> Vec<Sample> {
+    let mut state = 7u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f32) / (u32::MAX >> 2) as f32
+    };
+    (0..n)
+        .map(|i| {
+            let mut features = [0.0f32; N_FEATURES];
+            for v in features.iter_mut() {
+                *v = next();
+            }
+            let one_time = features[0] + 0.4 * features[4] + 0.3 * next() > 0.8;
+            Sample { ts: i as u64, features, one_time }
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daily_training");
+    group.sample_size(10);
+    for n in [14_400usize, 144_000] {
+        let samples = day_of_samples(n);
+        group.bench_function(format!("cart_{n}_records"), |b| {
+            b.iter(|| train_tree(black_box(&samples), 2.0, 30))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

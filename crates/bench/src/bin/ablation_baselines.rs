@@ -1,0 +1,4 @@
+//! Extension: ML classifier vs non-ML admission/replacement baselines.
+fn main() {
+    otae_bench::experiments::baselines::run();
+}

@@ -1,0 +1,4 @@
+//! Table 4 ablation: cost matrix v sweep.
+fn main() {
+    otae_bench::experiments::ablations::cost_matrix();
+}

@@ -1,0 +1,4 @@
+//! §4.3 ablation: reaccess-distance criteria vs naive accessed-once-ever.
+fn main() {
+    otae_bench::experiments::ablations::criteria();
+}

@@ -1,0 +1,4 @@
+//! Extension: concept drift vs retraining cadence (§4.4.3 motivation).
+fn main() {
+    otae_bench::experiments::drift::run();
+}

@@ -1,0 +1,4 @@
+//! §3.1.1 ensemble trade-off: accuracy vs training cost.
+fn main() {
+    otae_bench::experiments::ablations::ensemble_tradeoff();
+}

@@ -1,0 +1,4 @@
+//! §3.2.2: information gain, forward selection, drop-one ablation.
+fn main() {
+    otae_bench::experiments::ablations::features();
+}

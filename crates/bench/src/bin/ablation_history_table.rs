@@ -1,0 +1,4 @@
+//! §4.4.2 ablation: history table on/off.
+fn main() {
+    otae_bench::experiments::ablations::history_table();
+}

@@ -1,0 +1,4 @@
+//! Extension: daily-batch vs online incremental training (§4.4.3).
+fn main() {
+    otae_bench::experiments::online::run();
+}

@@ -1,0 +1,4 @@
+//! Extension: multi-server OC fleet — partitioning, balance, failures.
+fn main() {
+    otae_bench::experiments::cluster::run();
+}

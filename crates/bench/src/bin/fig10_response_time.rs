@@ -1,0 +1,5 @@
+//! Figure 10 of the paper.
+use otae_bench::experiments::figures::{FigureGrid, Metric};
+fn main() {
+    FigureGrid::compute().emit(Metric::ResponseTime, 10, "fig10_response_time");
+}

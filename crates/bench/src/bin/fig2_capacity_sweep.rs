@@ -1,0 +1,4 @@
+//! Figure 2: hit rate vs cache capacity, always-admit.
+fn main() {
+    otae_bench::experiments::fig2::run();
+}

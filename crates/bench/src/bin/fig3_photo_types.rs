@@ -1,0 +1,4 @@
+//! Figure 3: requests per photo type (also emitted by trace_stats).
+fn main() {
+    otae_bench::experiments::trace_stats::run();
+}

@@ -1,0 +1,4 @@
+//! Figure 5: per-day classifier quality (LRU and LIRS criteria).
+fn main() {
+    otae_bench::experiments::fig5::run();
+}

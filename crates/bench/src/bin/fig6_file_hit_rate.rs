@@ -1,0 +1,5 @@
+//! Figure 6 of the paper.
+use otae_bench::experiments::figures::{FigureGrid, Metric};
+fn main() {
+    FigureGrid::compute().emit(Metric::FileHitRate, 6, "fig6_file_hit_rate");
+}

@@ -1,0 +1,5 @@
+//! Figure 7 of the paper.
+use otae_bench::experiments::figures::{FigureGrid, Metric};
+fn main() {
+    FigureGrid::compute().emit(Metric::ByteHitRate, 7, "fig7_byte_hit_rate");
+}

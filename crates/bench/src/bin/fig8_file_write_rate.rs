@@ -1,0 +1,5 @@
+//! Figure 8 of the paper.
+use otae_bench::experiments::figures::{FigureGrid, Metric};
+fn main() {
+    FigureGrid::compute().emit(Metric::FileWriteRate, 8, "fig8_file_write_rate");
+}

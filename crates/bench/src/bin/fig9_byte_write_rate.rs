@@ -1,0 +1,5 @@
+//! Figure 9 of the paper.
+use otae_bench::experiments::figures::{FigureGrid, Metric};
+fn main() {
+    FigureGrid::compute().emit(Metric::ByteWriteRate, 9, "fig9_byte_write_rate");
+}

@@ -1,0 +1,4 @@
+//! Extension: FTL-level write amplification under the cache workload.
+fn main() {
+    otae_bench::experiments::ftl_wear::run();
+}

@@ -1,0 +1,4 @@
+//! Extension: latency tails (p50/p99) and warm-up timeline.
+fn main() {
+    otae_bench::experiments::tails::run();
+}

@@ -1,0 +1,4 @@
+//! SSD lifetime projection from measured write reductions (wear model).
+fn main() {
+    otae_bench::experiments::ablations::ssd_lifetime();
+}

@@ -1,0 +1,4 @@
+//! Table 1: seven-classifier comparison + §3.1.2 tree shape.
+fn main() {
+    otae_bench::experiments::table1::run();
+}

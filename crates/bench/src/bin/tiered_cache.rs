@@ -1,0 +1,4 @@
+//! Extension: OC->DC tiered topology (§2.1) with per-tier admission.
+fn main() {
+    otae_bench::experiments::tiered::run();
+}

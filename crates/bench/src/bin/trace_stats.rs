@@ -1,0 +1,4 @@
+//! §2.2 trace characterisation + Figure 3.
+fn main() {
+    otae_bench::experiments::trace_stats::run();
+}

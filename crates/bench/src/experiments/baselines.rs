@@ -1,0 +1,42 @@
+//! Extension experiment: ML admission vs the classic non-ML alternative.
+//!
+//! CDNs have long filtered "one-hit wonders" with cache-on-second-request:
+//! a miss is admitted only when a bloom-filter doorkeeper has seen the
+//! object before. This quantifies what the paper's classifier buys over
+//! that baseline — the doorkeeper must *waste one miss per object* to learn
+//! and cannot bypass objects whose next access lies beyond eviction.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::pipeline::run_with_index;
+use otae_core::reaccess::ReaccessIndex;
+use otae_core::{Mode, PolicyKind, RunConfig};
+
+/// Compare admission strategies across capacities (LRU replacement).
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    let mut t = Table::new(
+        "Admission baselines: ML classifier vs cache-on-second-request",
+        &["cache (GB)", "admission", "hit rate", "file write rate", "latency (us)"],
+    );
+    for gb in [2.0, 6.0, 12.0, 20.0] {
+        let cap = gb_to_bytes(&trace, gb);
+        for (policy, mode, label) in [
+            (PolicyKind::Lru, Mode::Original, "LRU, always admit"),
+            (PolicyKind::TwoQ, Mode::Original, "2Q replacement (no admission)"),
+            (PolicyKind::Lru, Mode::SecondHit, "LRU + second-hit doorkeeper"),
+            (PolicyKind::Lru, Mode::Proposal, "LRU + ML classifier (paper)"),
+            (PolicyKind::Lru, Mode::Ideal, "LRU + oracle"),
+        ] {
+            let r = run_with_index(&trace, &index, &RunConfig::new(policy, mode, cap));
+            t.push_row(vec![
+                format!("{gb}"),
+                label.into(),
+                f4(r.stats.file_hit_rate()),
+                f4(r.stats.file_write_rate()),
+                format!("{:.1}", r.mean_latency_us),
+            ]);
+        }
+    }
+    t.emit("ablation_baselines");
+}

@@ -1,0 +1,66 @@
+//! Extension experiment: the OC layer as a real fleet (§2.1 "many cache
+//! servers") — partitioning cost, load balance, and failure behaviour.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::cluster::{run_cluster, ClusterConfig};
+use otae_core::pipeline::run_with_index;
+use otae_core::reaccess::ReaccessIndex;
+use otae_core::{Mode, PolicyKind, RunConfig};
+
+/// Run the cluster experiments.
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    let total_cap = gb_to_bytes(&trace, 8.0);
+
+    // Partitioning sweep at fixed total capacity.
+    let mut t = Table::new(
+        "Cache fleet: partitioning cost at fixed total capacity (8GB-equiv)",
+        &["servers", "admission", "hit rate", "write rate", "load max/mean"],
+    );
+    for n in [1u16, 4, 16] {
+        for mode in [Mode::Original, Mode::Proposal] {
+            let (hit, writes, imbalance) = if n == 1 {
+                let r = run_with_index(
+                    &trace,
+                    &index,
+                    &RunConfig::new(PolicyKind::Lru, mode, total_cap),
+                );
+                (r.stats.file_hit_rate(), r.stats.file_write_rate(), 1.0)
+            } else {
+                let r = run_cluster(
+                    &trace,
+                    &index,
+                    &ClusterConfig::new(n, total_cap / n as u64, mode),
+                );
+                (r.total.file_hit_rate(), r.total.file_write_rate(), r.load_imbalance)
+            };
+            t.push_row(vec![
+                n.to_string(),
+                mode.name().into(),
+                f4(hit),
+                f4(writes),
+                format!("{imbalance:.2}"),
+            ]);
+        }
+    }
+    t.emit("cluster_partitioning");
+
+    // Mid-trace server failure: remapped objects arrive cold.
+    let mut f = Table::new(
+        "Cache fleet: one of 8 servers dies at half-trace",
+        &["admission", "hit rate (overall)", "hit rate (after failure)", "SSD writes"],
+    );
+    for mode in [Mode::Original, Mode::Proposal, Mode::Ideal] {
+        let mut cfg = ClusterConfig::new(8, total_cap / 8, mode);
+        cfg.failure = Some((3, (trace.len() / 2) as u64));
+        let r = run_cluster(&trace, &index, &cfg);
+        f.push_row(vec![
+            mode.name().into(),
+            f4(r.total.file_hit_rate()),
+            f4(r.post_failure_hit_rate),
+            r.total.files_written.to_string(),
+        ]);
+    }
+    f.emit("cluster_failure");
+}

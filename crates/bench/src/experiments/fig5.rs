@@ -1,0 +1,91 @@
+//! Figure 5: per-day quality of the deployed classification system for the
+//! LRU and LIRS criteria, plus the daily-retraining-vs-static ablation that
+//! motivates §4.4.3.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::pipeline::run_with_index;
+use otae_core::reaccess::ReaccessIndex;
+use otae_core::{Mode, PolicyKind, RunConfig};
+use otae_trace::Trace;
+
+fn proposal_run(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    policy: PolicyKind,
+    gb: f64,
+    train_once: bool,
+) -> otae_core::RunResult {
+    let mut cfg = RunConfig::new(policy, Mode::Proposal, gb_to_bytes(trace, gb));
+    cfg.training.train_once = train_once;
+    run_with_index(trace, index, &cfg)
+}
+
+/// Run the per-day classifier report.
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    let gb = 6.0;
+
+    for policy in [PolicyKind::Lru, PolicyKind::Lirs] {
+        let result = proposal_run(&trace, &index, policy, gb, false);
+        let report = result.classifier.expect("proposal reports classifier metrics");
+        let mut t = Table::new(
+            &format!(
+                "Figure 5: daily classifier performance under {} criteria (M = {})",
+                policy.name(),
+                result.criteria.m
+            ),
+            &["day", "precision", "recall", "accuracy", "decisions"],
+        );
+        for d in &report.per_day {
+            if d.confusion.total() == 0 {
+                continue;
+            }
+            t.push_row(vec![
+                d.day.to_string(),
+                f4(d.confusion.precision()),
+                f4(d.confusion.recall()),
+                f4(d.confusion.accuracy()),
+                d.confusion.total().to_string(),
+            ]);
+        }
+        t.push_row(vec![
+            "all".into(),
+            f4(report.overall.precision()),
+            f4(report.overall.recall()),
+            f4(report.overall.accuracy()),
+            report.overall.total().to_string(),
+        ]);
+        t.emit(&format!("fig5_classifier_days_{}", policy.name().to_lowercase()));
+        println!(
+            "   trainings: {}, history rectifications: {}\n",
+            report.trainings, report.rectifications
+        );
+    }
+
+    // §4.4.3 ablation: static model decays over days; daily retraining holds.
+    let daily = proposal_run(&trace, &index, PolicyKind::Lru, gb, false);
+    let once = proposal_run(&trace, &index, PolicyKind::Lru, gb, true);
+    let mut ab = Table::new(
+        "Ablation: daily retraining vs train-once (accuracy per day, LRU criteria)",
+        &["day", "daily retrain", "train once"],
+    );
+    let daily_report = daily.classifier.unwrap();
+    let once_report = once.classifier.unwrap();
+    for (d1, d2) in daily_report.per_day.iter().zip(&once_report.per_day) {
+        if d1.confusion.total() == 0 && d2.confusion.total() == 0 {
+            continue;
+        }
+        ab.push_row(vec![
+            d1.day.to_string(),
+            f4(d1.confusion.accuracy()),
+            f4(d2.confusion.accuracy()),
+        ]);
+    }
+    ab.push_row(vec![
+        "all".into(),
+        f4(daily_report.overall.accuracy()),
+        f4(once_report.overall.accuracy()),
+    ]);
+    ab.emit("ablation_daily_retrain");
+}

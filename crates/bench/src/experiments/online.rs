@@ -1,0 +1,78 @@
+//! Extension experiment: the §4.4.3 trade-off the paper decided without
+//! measuring — offline daily batch retraining vs real-time incremental
+//! learning with delayed label feedback.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::online::{run_online_with, OnlineModelKind};
+use otae_core::pipeline::run_with_index;
+use otae_core::reaccess::ReaccessIndex;
+use otae_core::{Mode, PolicyKind, RunConfig};
+
+/// Compare Original / daily-batch Proposal / online Proposal / Ideal.
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+
+    let mut t = Table::new(
+        "Online vs daily-batch training (§4.4.3's unmeasured alternative)",
+        &["cache (GB)", "admission", "hit rate", "write rate", "precision", "recall", "latency (us)"],
+    );
+    for gb in [2.0, 10.0] {
+        let cap = gb_to_bytes(&trace, gb);
+        let orig =
+            run_with_index(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
+        t.push_row(vec![
+            format!("{gb}"),
+            "always admit".into(),
+            f4(orig.stats.file_hit_rate()),
+            f4(orig.stats.file_write_rate()),
+            "-".into(),
+            "-".into(),
+            format!("{:.1}", orig.mean_latency_us),
+        ]);
+
+        let daily =
+            run_with_index(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap));
+        let report = daily.classifier.expect("proposal run");
+        t.push_row(vec![
+            format!("{gb}"),
+            "daily batch CART (paper)".into(),
+            f4(daily.stats.file_hit_rate()),
+            f4(daily.stats.file_write_rate()),
+            f4(report.overall.precision()),
+            f4(report.overall.recall()),
+            format!("{:.1}", daily.mean_latency_us),
+        ]);
+
+        for kind in [OnlineModelKind::Logistic, OnlineModelKind::Hoeffding] {
+            let online = run_online_with(
+                &trace,
+                &index,
+                &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap),
+                kind,
+            );
+            t.push_row(vec![
+                format!("{gb}"),
+                format!("{} (delayed labels)", kind.name()),
+                f4(online.stats.file_hit_rate()),
+                f4(online.stats.file_write_rate()),
+                f4(online.confusion.precision()),
+                f4(online.confusion.recall()),
+                format!("{:.1}", online.mean_latency_us),
+            ]);
+        }
+
+        let ideal =
+            run_with_index(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Ideal, cap));
+        t.push_row(vec![
+            format!("{gb}"),
+            "oracle".into(),
+            f4(ideal.stats.file_hit_rate()),
+            f4(ideal.stats.file_write_rate()),
+            "1.0000".into(),
+            "1.0000".into(),
+            format!("{:.1}", ideal.mean_latency_us),
+        ]);
+    }
+    t.emit("ablation_online");
+}

@@ -1,0 +1,56 @@
+//! Extension experiment: the paper's OC → DC production topology (§2.1)
+//! with per-tier one-time-access-exclusion.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::reaccess::ReaccessIndex;
+use otae_core::tiered::{run_tiered_with_index, TierConfig, TieredConfig};
+use otae_core::{Mode, PolicyKind};
+use otae_device::LatencyModel;
+
+/// Run the tiered comparison: admission off / OC-only / DC-only / both.
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    // OC is an order of magnitude smaller than DC, as in production edge
+    // caches; the WAN hop makes OC hits precious.
+    let oc_cap = gb_to_bytes(&trace, 1.0);
+    let dc_cap = gb_to_bytes(&trace, 10.0);
+
+    let mut t = Table::new(
+        "Tiered OC->DC cache (§2.1 topology): where to deploy the classifier",
+        &[
+            "OC admission",
+            "DC admission",
+            "OC hit",
+            "combined hit",
+            "backend rate",
+            "latency (us)",
+            "SSD GB written",
+        ],
+    );
+    for (oc_mode, dc_mode) in [
+        (Mode::Original, Mode::Original),
+        (Mode::Proposal, Mode::Original),
+        (Mode::Original, Mode::Proposal),
+        (Mode::Proposal, Mode::Proposal),
+        (Mode::Ideal, Mode::Ideal),
+    ] {
+        let cfg = TieredConfig {
+            oc: TierConfig { policy: PolicyKind::Lru, mode: oc_mode, capacity: oc_cap },
+            dc: TierConfig { policy: PolicyKind::Lru, mode: dc_mode, capacity: dc_cap },
+            wan_hop_us: 10_000.0,
+            latency: LatencyModel::default(),
+        };
+        let r = run_tiered_with_index(&trace, &index, &cfg);
+        t.push_row(vec![
+            oc_mode.name().into(),
+            dc_mode.name().into(),
+            f4(r.oc_hit_rate),
+            f4(r.combined_hit_rate),
+            f4(r.backend_fetch_rate),
+            format!("{:.1}", r.mean_latency_us),
+            format!("{:.2}", r.total_bytes_written as f64 / 1e9),
+        ]);
+    }
+    t.emit("tiered_cache");
+}

@@ -1,0 +1,64 @@
+//! §2.2 trace characterisation + Figure 3 (requests per photo type).
+
+use crate::common::{f4, pct, standard_trace, Table};
+
+/// Print the §2.2 statistics and the Figure-3 type distribution.
+pub fn run() {
+    let trace = standard_trace();
+    let stats = trace.characterize();
+
+    let mut t = Table::new("Trace characterisation (paper §2.2)", &["statistic", "value", "paper"]);
+    t.push_row(vec!["requests".into(), stats.accesses.to_string(), "5.86 B".into()]);
+    t.push_row(vec!["distinct objects".into(), stats.objects.to_string(), "1.48 B".into()]);
+    t.push_row(vec![
+        "one-time objects".into(),
+        pct(stats.one_time_object_fraction),
+        "61.5%".into(),
+    ]);
+    t.push_row(vec![
+        "one-time accesses".into(),
+        pct(stats.one_time_access_fraction),
+        "(objects/accesses)".into(),
+    ]);
+    t.push_row(vec!["max hit rate".into(), pct(stats.max_hit_rate), "74.5%".into()]);
+    t.push_row(vec![
+        "mean accesses/object".into(),
+        f4(stats.mean_accesses_per_object),
+        "3.95".into(),
+    ]);
+    t.push_row(vec![
+        "mean object size".into(),
+        format!("{:.1} KB", stats.mean_object_size / 1024.0),
+        "~32 KB".into(),
+    ]);
+    t.emit("trace_stats");
+
+    let mut f3 = Table::new(
+        "Figure 3: request share per photo type (l5 dominates, ~45% in paper)",
+        &["type", "request share"],
+    );
+    for (label, share) in stats.type_share_rows() {
+        f3.push_row(vec![label.to_string(), pct(share)]);
+    }
+    f3.emit("fig3_photo_types");
+
+    let pop = otae_trace::analyze_popularity(&trace);
+    let mut z = Table::new(
+        "Popularity profile (related work [4]: Zipf-like)",
+        &["metric", "value"],
+    );
+    z.push_row(vec!["zipf alpha (head fit)".into(), f4(pop.zipf_alpha)]);
+    z.push_row(vec!["log-log fit r^2".into(), f4(pop.r_squared)]);
+    z.push_row(vec!["top 1% objects' access share".into(), pct(pop.top_1pct_share)]);
+    z.push_row(vec!["top 10% objects' access share".into(), pct(pop.top_10pct_share)]);
+    z.emit("popularity_profile");
+
+    let mut diurnal = Table::new(
+        "Requests per hour of day (peak 20:00, trough 05:00; §4.4.3)",
+        &["hour", "requests"],
+    );
+    for (h, &n) in stats.requests_per_hour.iter().enumerate() {
+        diurnal.push_row(vec![format!("{h:02}"), n.to_string()]);
+    }
+    diurnal.emit("diurnal_profile");
+}

@@ -1,0 +1,324 @@
+//! Arena-backed intrusive doubly-linked list.
+//!
+//! Replacement policies (LRU, FIFO, S3LRU, LIRS, ARC) all need O(1)
+//! move-to-front / pop-back over millions of entries. `std` collections
+//! either lack stable handles (`VecDeque`) or cost an allocation per node
+//! (`LinkedList`). This list stores nodes in a `Vec` arena with a free list,
+//! hands out stable `u32` handles, and never allocates per operation after
+//! warm-up — following the heap-allocation guidance of the Rust Performance
+//! Book.
+
+/// Stable handle to a list node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    prev: u32,
+    next: u32,
+}
+
+/// Doubly-linked list over an internal arena. Front = most recently used by
+/// convention of the callers.
+#[derive(Debug, Clone)]
+pub struct DList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for DList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DList<T> {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no nodes are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node { value, prev: NIL, next: NIL };
+            i
+        } else {
+            self.nodes.push(Node { value, prev: NIL, next: NIL });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Push to the front; returns a stable handle.
+    pub fn push_front(&mut self, value: T) -> NodeId {
+        let i = self.alloc(value);
+        self.nodes[i as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+        self.len += 1;
+        NodeId(i)
+    }
+
+    /// Push to the back; returns a stable handle.
+    pub fn push_back(&mut self, value: T) -> NodeId {
+        let i = self.alloc(value);
+        self.nodes[i as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+        self.len += 1;
+        NodeId(i)
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[i as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[i as usize].prev = NIL;
+        self.nodes[i as usize].next = NIL;
+    }
+
+    /// Remove a node by handle, returning its value.
+    ///
+    /// The handle must be live (obtained from a push and not yet removed);
+    /// using a stale handle is a logic error that may corrupt ordering.
+    pub fn remove(&mut self, id: NodeId) -> T
+    where
+        T: Copy,
+    {
+        self.unlink(id.0);
+        self.free.push(id.0);
+        self.len -= 1;
+        self.nodes[id.0 as usize].value
+    }
+
+    /// Move a node to the front (most-recent position).
+    pub fn move_to_front(&mut self, id: NodeId) {
+        if self.head == id.0 {
+            return;
+        }
+        self.unlink(id.0);
+        self.nodes[id.0 as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = id.0;
+        } else {
+            self.tail = id.0;
+        }
+        self.head = id.0;
+    }
+
+    /// Move a node to the back (least-recent position).
+    pub fn move_to_back(&mut self, id: NodeId) {
+        if self.tail == id.0 {
+            return;
+        }
+        self.unlink(id.0);
+        self.nodes[id.0 as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = id.0;
+        } else {
+            self.head = id.0;
+        }
+        self.tail = id.0;
+    }
+
+    /// Handle of the front node.
+    pub fn front(&self) -> Option<NodeId> {
+        (self.head != NIL).then_some(NodeId(self.head))
+    }
+
+    /// Handle of the back node.
+    pub fn back(&self) -> Option<NodeId> {
+        (self.tail != NIL).then_some(NodeId(self.tail))
+    }
+
+    /// Remove and return the back value.
+    pub fn pop_back(&mut self) -> Option<T>
+    where
+        T: Copy,
+    {
+        self.back().map(|id| self.remove(id))
+    }
+
+    /// Remove and return the front value.
+    pub fn pop_front(&mut self) -> Option<T>
+    where
+        T: Copy,
+    {
+        self.front().map(|id| self.remove(id))
+    }
+
+    /// Value behind a live handle.
+    pub fn get(&self, id: NodeId) -> &T {
+        &self.nodes[id.0 as usize].value
+    }
+
+    /// Mutable value behind a live handle.
+    pub fn get_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.nodes[id.0 as usize].value
+    }
+
+    /// Iterate values front to back (O(n); for tests and debugging).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let n = &self.nodes[cur as usize];
+            cur = n.next;
+            Some(&n.value)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contents(l: &DList<u32>) -> Vec<u32> {
+        l.iter().copied().collect()
+    }
+
+    #[test]
+    fn push_and_order() {
+        let mut l = DList::new();
+        l.push_front(2);
+        l.push_front(1);
+        l.push_back(3);
+        assert_eq!(contents(&l), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn remove_middle_front_back() {
+        let mut l = DList::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        assert_eq!(l.remove(b), 2);
+        assert_eq!(contents(&l), vec![1, 3]);
+        assert_eq!(l.remove(a), 1);
+        assert_eq!(contents(&l), vec![3]);
+        assert_eq!(l.remove(c), 3);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn move_to_front_and_back() {
+        let mut l = DList::new();
+        let a = l.push_back(1);
+        let _b = l.push_back(2);
+        let c = l.push_back(3);
+        l.move_to_front(c);
+        assert_eq!(contents(&l), vec![3, 1, 2]);
+        l.move_to_back(a);
+        assert_eq!(contents(&l), vec![3, 2, 1]);
+        // Moving the node already in place is a no-op.
+        l.move_to_front(c);
+        l.move_to_back(a);
+        assert_eq!(contents(&l), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn pop_back_front() {
+        let mut l = DList::new();
+        l.push_back(1);
+        l.push_back(2);
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_front(), Some(1));
+        assert_eq!(l.pop_back(), None);
+        assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut l = DList::new();
+        let a = l.push_back(1);
+        l.remove(a);
+        l.push_back(2);
+        l.push_back(3);
+        // One slot reused: arena holds exactly 2 nodes.
+        assert_eq!(l.nodes.len(), 2);
+        assert_eq!(contents(&l), vec![2, 3]);
+    }
+
+    #[test]
+    fn stress_against_vecdeque_model() {
+        use std::collections::VecDeque;
+        let mut l: DList<u64> = DList::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut handles: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+        // Deterministic pseudo-random ops.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..5000u64 {
+            match next() % 4 {
+                0 => {
+                    let v = step;
+                    handles.insert(v, l.push_front(v));
+                    model.push_front(v);
+                }
+                1 => {
+                    let v = step;
+                    handles.insert(v, l.push_back(v));
+                    model.push_back(v);
+                }
+                2 => {
+                    if let Some(&v) = model.back() {
+                        l.pop_back();
+                        model.pop_back();
+                        handles.remove(&v);
+                    }
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let idx = (next() as usize) % model.len();
+                        let v = model[idx];
+                        l.move_to_front(handles[&v]);
+                        model.remove(idx);
+                        model.push_front(v);
+                    }
+                }
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,134 @@
+//! Least-Recently-Used replacement — the paper's baseline policy.
+
+use crate::list::{DList, NodeId};
+use crate::{Cache, Evicted, Key};
+use std::collections::HashMap;
+
+/// Byte-capacity LRU cache.
+#[derive(Debug, Clone)]
+pub struct Lru<K> {
+    capacity: u64,
+    used: u64,
+    /// Recency order, front = MRU.
+    order: DList<K>,
+    map: HashMap<K, (NodeId, u64)>,
+}
+
+impl<K: Key> Lru<K> {
+    /// New LRU cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, order: DList::new(), map: HashMap::new() }
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Evicted<K>>) {
+        if let Some(key) = self.order.pop_back() {
+            let (_, size) = self.map.remove(&key).expect("map/list in sync");
+            self.used -= size;
+            evicted.push(Evicted { key, size });
+        }
+    }
+}
+
+impl<K: Key> Cache<K> for Lru<K> {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn on_hit(&mut self, key: &K, _now: u64) {
+        if let Some(&(node, _)) = self.map.get(key) {
+            self.order.move_to_front(node);
+        }
+    }
+
+    fn insert(&mut self, key: K, size: u64, _now: u64, evicted: &mut Vec<Evicted<K>>) {
+        if size > self.capacity || self.map.contains_key(&key) {
+            return;
+        }
+        while self.used + size > self.capacity {
+            self.evict_one(evicted);
+        }
+        let node = self.order.push_front(key);
+        self.map.insert(key, (node, size));
+        self.used += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_capacity_invariant, drive};
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = Lru::new(30);
+        let hits = drive(&mut c, &[(1, 10), (2, 10), (3, 10), (1, 10), (4, 10)]);
+        // Access to 1 refreshed it; inserting 4 evicts 2 (the LRU).
+        assert_eq!(hits, vec![false, false, false, true, false]);
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+        check_capacity_invariant(&c);
+    }
+
+    #[test]
+    fn oversized_object_is_not_cached() {
+        let mut c = Lru::new(10);
+        let mut ev = Vec::new();
+        c.insert(1u64, 100, 0, &mut ev);
+        assert!(!c.contains(&1));
+        assert!(ev.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut c = Lru::new(100);
+        let mut ev = Vec::new();
+        c.insert(1u64, 10, 0, &mut ev);
+        c.insert(1u64, 10, 1, &mut ev);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 10);
+    }
+
+    #[test]
+    fn variable_sizes_evict_multiple() {
+        let mut c = Lru::new(100);
+        let mut ev = Vec::new();
+        c.insert(1u64, 40, 0, &mut ev);
+        c.insert(2u64, 40, 1, &mut ev);
+        c.insert(3u64, 90, 2, &mut ev); // must evict both 1 and 2
+        assert_eq!(ev.len(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&3));
+        check_capacity_invariant(&c);
+    }
+
+    #[test]
+    fn scan_destroys_lru_working_set() {
+        // Classic LRU pathology: a one-time scan evicts the hot set. This is
+        // exactly what the paper's admission policy prevents.
+        let mut c = Lru::new(50);
+        let mut accesses: Vec<(u64, u64)> = (0..5).map(|k| (k, 10)).collect();
+        accesses.extend((100..105).map(|k| (k, 10))); // scan
+        accesses.extend((0..5).map(|k| (k, 10))); // hot set again: all misses
+        let hits = drive(&mut c, &accesses);
+        assert!(hits[10..].iter().all(|h| !h), "scan must have flushed hot set");
+    }
+}

@@ -1,0 +1,140 @@
+//! Cache performance accounting with the paper's rate definitions (§5.3).
+
+/// Counters collected while driving a cache over a request stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses served from cache.
+    pub hits: u64,
+    /// Total bytes requested (object size per access).
+    pub bytes_accessed: u64,
+    /// Bytes served from cache.
+    pub bytes_hit: u64,
+    /// Objects written into the cache (admitted misses). "File writes" (§5.3.3).
+    pub files_written: u64,
+    /// Bytes written into the cache. "Byte writes" (§5.3.4).
+    pub bytes_written: u64,
+    /// Missed accesses that were bypassed by admission control.
+    pub bypasses: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub bytes_evicted: u64,
+}
+
+impl CacheStats {
+    fn ratio(a: u64, b: u64) -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            a as f64 / b as f64
+        }
+    }
+
+    /// File hit rate: hits / accesses (Figure 6).
+    pub fn file_hit_rate(&self) -> f64 {
+        Self::ratio(self.hits, self.accesses)
+    }
+
+    /// Byte hit rate: bytes hit / bytes accessed (Figure 7).
+    pub fn byte_hit_rate(&self) -> f64 {
+        Self::ratio(self.bytes_hit, self.bytes_accessed)
+    }
+
+    /// File write rate: files written to SSD / files accessed (Figure 8).
+    pub fn file_write_rate(&self) -> f64 {
+        Self::ratio(self.files_written, self.accesses)
+    }
+
+    /// Byte write rate: bytes written to SSD / bytes accessed (Figure 9,
+    /// §5.3.3: "(the written data to SSD) / (the total amount of accessed data)").
+    pub fn byte_write_rate(&self) -> f64 {
+        Self::ratio(self.bytes_written, self.bytes_accessed)
+    }
+
+    /// Record a hit of `size` bytes.
+    pub fn record_hit(&mut self, size: u64) {
+        self.accesses += 1;
+        self.hits += 1;
+        self.bytes_accessed += size;
+        self.bytes_hit += size;
+    }
+
+    /// Record an admitted miss (object written to cache).
+    pub fn record_admitted_miss(&mut self, size: u64) {
+        self.accesses += 1;
+        self.bytes_accessed += size;
+        self.files_written += 1;
+        self.bytes_written += size;
+    }
+
+    /// Record a bypassed miss (object served around the cache).
+    pub fn record_bypassed_miss(&mut self, size: u64) {
+        self.accesses += 1;
+        self.bytes_accessed += size;
+        self.bypasses += 1;
+    }
+
+    /// Record an eviction.
+    pub fn record_eviction(&mut self, size: u64) {
+        self.evictions += 1;
+        self.bytes_evicted += size;
+    }
+
+    /// Merge another stats block into this one (for sharded runs).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.bytes_accessed += other.bytes_accessed;
+        self.bytes_hit += other.bytes_hit;
+        self.files_written += other.files_written;
+        self.bytes_written += other.bytes_written;
+        self.bypasses += other.bypasses;
+        self.evictions += other.evictions;
+        self.bytes_evicted += other.bytes_evicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_counters() {
+        let mut s = CacheStats::default();
+        s.record_hit(100);
+        s.record_admitted_miss(300);
+        s.record_bypassed_miss(100);
+        s.record_eviction(300);
+        assert_eq!(s.accesses, 3);
+        assert!((s.file_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.byte_hit_rate() - 100.0 / 500.0).abs() < 1e-12);
+        assert!((s.file_write_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.byte_write_rate() - 300.0 / 500.0).abs() < 1e-12);
+        assert_eq!(s.bypasses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes_evicted, 300);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::default();
+        assert_eq!(s.file_hit_rate(), 0.0);
+        assert_eq!(s.byte_hit_rate(), 0.0);
+        assert_eq!(s.file_write_rate(), 0.0);
+        assert_eq!(s.byte_write_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats::default();
+        a.record_hit(10);
+        let mut b = CacheStats::default();
+        b.record_admitted_miss(20);
+        a.merge(&b);
+        assert_eq!(a.accesses, 2);
+        assert_eq!(a.bytes_accessed, 30);
+        assert_eq!(a.files_written, 1);
+    }
+}

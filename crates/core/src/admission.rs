@@ -1,0 +1,205 @@
+//! Cache admission policies.
+//!
+//! The paper's evaluation compares four configurations per replacement
+//! algorithm (§5.3): *Original* (traditional always-admit), *Proposal*
+//! (the trained classifier plus history table), and *Ideal* (a perfect
+//! classifier), with Belady as the replacement-side upper bound. The first
+//! three are admission policies and live here.
+
+use crate::baseline::SecondHitAdmission;
+use crate::history::HistoryTable;
+use crate::reaccess::ReaccessIndex;
+use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
+use otae_trace::ObjectId;
+
+/// Which admission policy a run uses (configuration-level tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionKind {
+    /// Admit every miss (the paper's "Original").
+    Always,
+    /// Trained classifier + history table (the paper's "Proposal").
+    Classifier,
+    /// Ground-truth one-time-access oracle (the paper's "Ideal").
+    Oracle,
+    /// Cache-on-second-request doorkeeper (non-ML baseline).
+    SecondHit,
+}
+
+/// The classifier-driven admission state (Figure 4's classification system):
+/// the current decision-tree model (swapped daily) plus the history table.
+#[derive(Debug)]
+pub struct ClassifierAdmission {
+    /// Current model; `None` until the first daily training completes, during
+    /// which every miss is admitted (cold-start behaves like Original).
+    pub model: Option<DecisionTree>,
+    /// Rectification table (§4.4.2).
+    pub history: HistoryTable,
+    /// One-time-access threshold `M`.
+    pub m: u64,
+    /// Decisions tallied against ground truth (for Figure 5).
+    pub confusion: ConfusionMatrix,
+    /// When false, the history table never rectifies (ablation).
+    pub use_history: bool,
+}
+
+impl ClassifierAdmission {
+    /// New classifier admission with threshold `m` and the given history
+    /// capacity.
+    pub fn new(m: u64, history_capacity: usize) -> Self {
+        Self {
+            model: None,
+            history: HistoryTable::new(history_capacity),
+            m,
+            confusion: ConfusionMatrix::default(),
+            use_history: true,
+        }
+    }
+
+    /// Decide a miss: returns `true` to admit. `truth` is the offline label
+    /// (used only for metric accounting, never for the decision).
+    pub fn decide(&mut self, obj: ObjectId, features: &[f32], now: u64, truth: bool) -> bool {
+        let Some(model) = &self.model else {
+            return true; // untrained: admit everything
+        };
+        let predicted_one_time = model.predict(features);
+        self.confusion.record(truth, predicted_one_time);
+        if !predicted_one_time {
+            return true;
+        }
+        if !self.use_history {
+            return false;
+        }
+        if self.history.check_and_rectify(obj, now, self.m) {
+            return true; // §4.4.2: fast return rectifies the judgement
+        }
+        self.history.record_one_time(obj, now);
+        false
+    }
+}
+
+/// Runtime admission policy driven by the pipeline.
+#[derive(Debug)]
+pub enum AdmissionPolicy<'a> {
+    /// Admit every miss.
+    Always,
+    /// Perfect knowledge of reaccess distances: admit iff the object
+    /// returns within `m` accesses.
+    Oracle {
+        /// Precomputed reaccess distances.
+        index: &'a ReaccessIndex,
+        /// One-time-access threshold.
+        m: u64,
+    },
+    /// Trained classifier with history table (boxed: it dwarfs the other
+    /// variants).
+    Classifier(Box<ClassifierAdmission>),
+    /// Cache-on-second-request doorkeeper (non-ML baseline).
+    SecondHit(SecondHitAdmission),
+}
+
+impl AdmissionPolicy<'_> {
+    /// Decide whether to admit the miss at position `now`.
+    pub fn decide(&mut self, obj: ObjectId, features: &[f32], now: u64, truth: bool) -> bool {
+        match self {
+            AdmissionPolicy::Always => true,
+            AdmissionPolicy::Oracle { index, m } => !index.is_one_time(now as usize, *m),
+            AdmissionPolicy::Classifier(c) => c.decide(obj, features, now, truth),
+            AdmissionPolicy::SecondHit(s) => s.decide(obj),
+        }
+    }
+
+    /// Kind tag.
+    pub fn kind(&self) -> AdmissionKind {
+        match self {
+            AdmissionPolicy::Always => AdmissionKind::Always,
+            AdmissionPolicy::Oracle { .. } => AdmissionKind::Oracle,
+            AdmissionPolicy::Classifier(_) => AdmissionKind::Classifier,
+            AdmissionPolicy::SecondHit(_) => AdmissionKind::SecondHit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_ml::{Dataset, TreeParams};
+
+    fn trained_tree() -> DecisionTree {
+        // One feature; positive (one-time) iff x > 0.5.
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f32 / 100.0;
+            d.push(&[x], x > 0.5);
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        t
+    }
+
+    #[test]
+    fn untrained_classifier_admits_everything() {
+        let mut c = ClassifierAdmission::new(100, 16);
+        assert!(c.decide(ObjectId(1), &[0.9], 0, true));
+        assert_eq!(c.confusion.total(), 0, "no decisions recorded before training");
+    }
+
+    #[test]
+    fn predicted_one_time_is_bypassed_and_remembered() {
+        let mut c = ClassifierAdmission::new(100, 16);
+        c.model = Some(trained_tree());
+        assert!(!c.decide(ObjectId(1), &[0.9], 0, true), "one-time: bypass");
+        assert_eq!(c.history.len(), 1);
+        assert!(c.decide(ObjectId(2), &[0.1], 1, false), "non-one-time: admit");
+    }
+
+    #[test]
+    fn history_rectifies_second_miss_within_m() {
+        let mut c = ClassifierAdmission::new(100, 16);
+        c.model = Some(trained_tree());
+        assert!(!c.decide(ObjectId(1), &[0.9], 0, false));
+        // Same object misses again soon: admitted despite the model.
+        assert!(c.decide(ObjectId(1), &[0.9], 50, false), "history must rectify");
+        assert_eq!(c.history.rectifications(), 1);
+    }
+
+    #[test]
+    fn slow_second_miss_is_still_bypassed() {
+        let mut c = ClassifierAdmission::new(100, 16);
+        c.model = Some(trained_tree());
+        assert!(!c.decide(ObjectId(1), &[0.9], 0, true));
+        assert!(!c.decide(ObjectId(1), &[0.9], 500, true), "return after M: judgement stood");
+    }
+
+    #[test]
+    fn confusion_tracks_truth() {
+        let mut c = ClassifierAdmission::new(100, 16);
+        c.model = Some(trained_tree());
+        c.decide(ObjectId(1), &[0.9], 0, true); // TP
+        c.decide(ObjectId(2), &[0.9], 1, false); // FP
+        c.decide(ObjectId(3), &[0.1], 2, false); // TN
+        c.decide(ObjectId(4), &[0.1], 3, true); // FN
+        assert_eq!(c.confusion.tp, 1);
+        assert_eq!(c.confusion.fp, 1);
+        assert_eq!(c.confusion.tn, 1);
+        assert_eq!(c.confusion.fn_, 1);
+    }
+
+    #[test]
+    fn oracle_admits_exactly_non_one_time() {
+        use otae_trace::{generate, TraceConfig};
+        let trace = generate(&TraceConfig { n_objects: 500, seed: 3, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let mut oracle = AdmissionPolicy::Oracle { index: &index, m: 50 };
+        for now in 0..trace.len().min(200) {
+            let admit = oracle.decide(ObjectId(0), &[], now as u64, false);
+            assert_eq!(admit, !index.is_one_time(now, 50));
+        }
+    }
+
+    #[test]
+    fn always_admits() {
+        let mut a = AdmissionPolicy::Always;
+        assert!(a.decide(ObjectId(0), &[], 0, true));
+        assert_eq!(a.kind(), AdmissionKind::Always);
+    }
+}

@@ -1,0 +1,198 @@
+//! Non-ML admission baselines.
+//!
+//! The paper's related work (§6.1, [17, 20, 25]) discusses bypass policies
+//! that need no learning. The strongest practical one — what CDNs deploy as
+//! a "one-hit-wonder" filter — is **cache-on-second-request**: a miss is
+//! admitted only if the object has been seen before, tracked approximately
+//! in a bloom-filter doorkeeper that is periodically reset to age out stale
+//! history. Comparing it against the paper's classifier isolates what the
+//! ML actually buys: the doorkeeper needs one wasted miss per object to
+//! learn, and cannot skip objects that recur but only after eviction.
+
+use otae_trace::ObjectId;
+
+/// Seeded double-hashing bloom filter over object ids.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    n_hashes: u32,
+    seed: u64,
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected_items` at roughly 1 % false positives.
+    pub fn new(expected_items: usize, seed: u64) -> Self {
+        // Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2; p = 0.01.
+        let n = expected_items.max(64) as f64;
+        let m = (-n * 0.01f64.ln() / (2f64.ln() * 2f64.ln())).ceil() as u64;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;
+        let words = m.div_ceil(64).max(1);
+        Self { bits: vec![0; words as usize], n_bits: words * 64, n_hashes: k, seed }
+    }
+
+    fn hash2(&self, key: ObjectId) -> (u64, u64) {
+        // splitmix64 on (seed ^ key) gives two independent halves.
+        let mut z = self.seed ^ ((key.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let h1 = z;
+        let h2 = z.rotate_left(32) | 1; // odd stride
+        (h1, h2)
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: ObjectId) {
+        let (h1, h2) = self.hash2(key);
+        for i in 0..self.n_hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Probabilistic membership: false positives possible, negatives exact.
+    pub fn contains(&self, key: ObjectId) -> bool {
+        let (h1, h2) = self.hash2(key);
+        (0..self.n_hashes as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clear all bits (aging reset).
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Fraction of set bits (load factor diagnostics).
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.n_bits as f64
+    }
+}
+
+/// Cache-on-second-request admission with a periodically reset doorkeeper.
+#[derive(Debug, Clone)]
+pub struct SecondHitAdmission {
+    doorkeeper: BloomFilter,
+    /// Accesses between doorkeeper resets (aging window).
+    reset_every: u64,
+    since_reset: u64,
+    admitted: u64,
+    bypassed: u64,
+}
+
+impl SecondHitAdmission {
+    /// Doorkeeper sized for `expected_objects`, reset every `reset_every`
+    /// misses (0 = never reset).
+    pub fn new(expected_objects: usize, reset_every: u64, seed: u64) -> Self {
+        Self {
+            doorkeeper: BloomFilter::new(expected_objects, seed),
+            reset_every,
+            since_reset: 0,
+            admitted: 0,
+            bypassed: 0,
+        }
+    }
+
+    /// Decide a miss: admit iff the object was seen before (approximately).
+    pub fn decide(&mut self, obj: ObjectId) -> bool {
+        if self.reset_every > 0 {
+            self.since_reset += 1;
+            if self.since_reset >= self.reset_every {
+                self.doorkeeper.clear();
+                self.since_reset = 0;
+            }
+        }
+        if self.doorkeeper.contains(obj) {
+            self.admitted += 1;
+            true
+        } else {
+            self.doorkeeper.insert(obj);
+            self.bypassed += 1;
+            false
+        }
+    }
+
+    /// Misses admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Misses bypassed so far.
+    pub fn bypassed(&self) -> u64 {
+        self.bypassed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut b = BloomFilter::new(1000, 7);
+        for i in 0..1000u32 {
+            b.insert(ObjectId(i));
+        }
+        for i in 0..1000u32 {
+            assert!(b.contains(ObjectId(i)), "inserted key {i} must be present");
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_low() {
+        let mut b = BloomFilter::new(10_000, 3);
+        for i in 0..10_000u32 {
+            b.insert(ObjectId(i));
+        }
+        let fp = (10_000..110_000u32).filter(|&i| b.contains(ObjectId(i))).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn bloom_clear_resets() {
+        let mut b = BloomFilter::new(100, 1);
+        b.insert(ObjectId(5));
+        assert!(b.contains(ObjectId(5)));
+        b.clear();
+        assert!(!b.contains(ObjectId(5)));
+        assert_eq!(b.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn second_hit_bypasses_first_admits_second() {
+        let mut a = SecondHitAdmission::new(1000, 0, 9);
+        assert!(!a.decide(ObjectId(1)), "first sighting bypassed");
+        assert!(a.decide(ObjectId(1)), "second sighting admitted");
+        assert_eq!(a.bypassed(), 1);
+        assert_eq!(a.admitted(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut a = SecondHitAdmission::new(1000, 2, 9);
+        assert!(!a.decide(ObjectId(1)));
+        assert!(!a.decide(ObjectId(2))); // triggers reset at 2 misses
+        // History wiped: object 1 is "new" again.
+        assert!(!a.decide(ObjectId(1)));
+    }
+
+    #[test]
+    fn one_time_stream_is_fully_bypassed() {
+        let mut a = SecondHitAdmission::new(100_000, 0, 11);
+        let mut admitted = 0;
+        for i in 0..50_000u32 {
+            if a.decide(ObjectId(i)) {
+                admitted += 1;
+            }
+        }
+        // Only bloom false positives slip through.
+        assert!(
+            (admitted as f64) < 0.03 * 50_000.0,
+            "one-time stream mostly bypassed, admitted {admitted}"
+        );
+    }
+}

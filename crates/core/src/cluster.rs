@@ -1,0 +1,381 @@
+//! Multi-server cache cluster — §2.1's "the Outside Cache layer consists of
+//! many cache servers", made concrete.
+//!
+//! Objects are partitioned over `n` cache servers with a consistent-hash
+//! ring (virtual nodes for balance); each server runs its own replacement
+//! policy and its own admission state (per-server classifiers, as a fleet
+//! would train locally). The module answers deployment questions the paper
+//! leaves implicit:
+//!
+//! * how much hit rate does partitioning cost versus one big cache of the
+//!   same total capacity (per-server `M` shrinks with per-server capacity);
+//! * how uneven is the load across servers;
+//! * what a mid-trace server failure costs, with and without
+//!   one-time-access exclusion (remapped objects are all cold misses — a
+//!   flood of effectively-one-time traffic into the surviving servers).
+
+use crate::admission::{AdmissionPolicy, ClassifierAdmission};
+use crate::criteria::solve_criteria;
+use crate::daily::{DailyTrainer, MinuteSampler, TrainingConfig};
+use crate::features::{FeatureExtractor, N_FEATURES};
+use crate::pipeline::{Mode, PolicyKind};
+use crate::reaccess::ReaccessIndex;
+use otae_cache::{Cache, CacheStats, Evicted};
+use otae_trace::{ObjectId, Trace};
+
+/// Consistent-hash ring over cache servers.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted (hash, node) points.
+    points: Vec<(u64, u16)>,
+    vnodes: u16,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl HashRing {
+    /// Ring over nodes `0..n_nodes` with `vnodes` virtual points each.
+    pub fn new(n_nodes: u16, vnodes: u16) -> Self {
+        assert!(n_nodes > 0 && vnodes > 0);
+        let mut ring = Self { points: Vec::new(), vnodes };
+        for node in 0..n_nodes {
+            ring.insert_points(node);
+        }
+        ring.points.sort_unstable();
+        ring
+    }
+
+    fn insert_points(&mut self, node: u16) {
+        for v in 0..self.vnodes {
+            let h = splitmix(((node as u64) << 32) | v as u64);
+            self.points.push((h, node));
+        }
+    }
+
+    /// Node owning `obj`.
+    pub fn node_of(&self, obj: ObjectId) -> u16 {
+        let h = splitmix(obj.0 as u64 ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// Remove a node; its arc is absorbed by ring successors.
+    pub fn remove_node(&mut self, node: u16) {
+        self.points.retain(|&(_, n)| n != node);
+        assert!(!self.points.is_empty(), "cannot remove the last node");
+    }
+
+    /// Add a node back (or a new one).
+    pub fn add_node(&mut self, node: u16) {
+        self.insert_points(node);
+        self.points.sort_unstable();
+    }
+
+    /// Distinct nodes currently on the ring.
+    pub fn nodes(&self) -> Vec<u16> {
+        let mut nodes: Vec<u16> = self.points.iter().map(|&(_, n)| n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of cache servers.
+    pub n_nodes: u16,
+    /// Virtual points per server on the ring.
+    pub vnodes: u16,
+    /// Per-server capacity in bytes (total = `n_nodes × capacity`).
+    pub node_capacity: u64,
+    /// Replacement policy on every server.
+    pub policy: PolicyKind,
+    /// Admission mode on every server.
+    pub mode: Mode,
+    /// Kill this server at this request index (simulated failure), if set.
+    pub failure: Option<(u16, u64)>,
+    /// Training settings for Proposal mode.
+    pub training: TrainingConfig,
+}
+
+impl ClusterConfig {
+    /// Cluster of `n_nodes` LRU servers with the given per-node capacity.
+    pub fn new(n_nodes: u16, node_capacity: u64, mode: Mode) -> Self {
+        Self {
+            n_nodes,
+            vnodes: 64,
+            node_capacity,
+            policy: PolicyKind::Lru,
+            mode,
+            failure: None,
+            training: TrainingConfig::default(),
+        }
+    }
+}
+
+/// Aggregated outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-server statistics (dead servers keep their pre-failure counters).
+    pub per_node: Vec<CacheStats>,
+    /// Whole-cluster counters.
+    pub total: CacheStats,
+    /// max/mean accesses per surviving server (1.0 = perfectly balanced).
+    pub load_imbalance: f64,
+    /// Hit rate over the period after the failure (equals the overall hit
+    /// rate when no failure is configured).
+    pub post_failure_hit_rate: f64,
+}
+
+struct Node<'a> {
+    cache: Box<dyn Cache<ObjectId>>,
+    admission: AdmissionPolicy<'a>,
+    trainer: DailyTrainer,
+    sampler: MinuteSampler,
+    stats: CacheStats,
+    alive: bool,
+}
+
+/// Run a trace through the cluster.
+pub fn run_cluster(trace: &Trace, index: &ReaccessIndex, cfg: &ClusterConfig) -> ClusterResult {
+    assert_eq!(index.len(), trace.len());
+    let avg = trace.avg_object_size().max(1.0);
+    // Per-server criteria: each server holds node_capacity and sees ~1/n of
+    // the stream, so M is solved from per-server capacity (request distances
+    // remain global — a conservative, consistent choice).
+    let criteria = solve_criteria(index, cfg.node_capacity, avg, 3);
+    let m = criteria.m;
+    let v = cfg.training.cost.resolve(cfg.node_capacity, trace.unique_bytes());
+
+    let mut ring = HashRing::new(cfg.n_nodes, cfg.vnodes);
+    let mut nodes: Vec<Node> = (0..cfg.n_nodes)
+        .map(|_| Node {
+            cache: cfg.policy.build(cfg.node_capacity, trace),
+            admission: match cfg.mode {
+                Mode::Original => AdmissionPolicy::Always,
+                Mode::Ideal => AdmissionPolicy::Oracle { index, m },
+                Mode::Proposal => AdmissionPolicy::Classifier(Box::new(
+                    ClassifierAdmission::new(m, criteria.history_table_capacity()),
+                )),
+                Mode::SecondHit => AdmissionPolicy::SecondHit(
+                    crate::baseline::SecondHitAdmission::new(
+                        trace.meta.len().max(1024) / cfg.n_nodes as usize,
+                        2 * m,
+                        0x5EED,
+                    ),
+                ),
+            },
+            trainer: DailyTrainer::new(cfg.training.clone(), v),
+            sampler: MinuteSampler::new(cfg.training.records_per_minute),
+            stats: CacheStats::default(),
+            alive: true,
+        })
+        .collect();
+
+    let needs_features = cfg.mode == Mode::Proposal;
+    let mut extractor = FeatureExtractor::new(trace);
+    let mut evicted: Vec<Evicted<ObjectId>> = Vec::new();
+    let (mut post_hits, mut post_total) = (0u64, 0u64);
+    let failure_at = cfg.failure.map(|(_, at)| at).unwrap_or(u64::MAX);
+
+    for (i, req) in trace.requests.iter().enumerate() {
+        let now = i as u64;
+        if let Some((node, at)) = cfg.failure {
+            if now == at {
+                ring.remove_node(node);
+                nodes[node as usize].alive = false;
+            }
+        }
+        let size = trace.photo(req.object).size as u64;
+        let truth = index.is_one_time(i, m);
+        let mut features = [0.0f32; N_FEATURES];
+        if needs_features {
+            features = extractor.extract(trace, req);
+        }
+
+        let node = &mut nodes[ring.node_of(req.object) as usize];
+        debug_assert!(node.alive, "ring must not route to dead servers");
+        if needs_features {
+            if let AdmissionPolicy::Classifier(c) = &mut node.admission {
+                if let Some(model) = node.trainer.maybe_retrain(req.ts, &mut node.sampler) {
+                    c.model = Some(model);
+                }
+            }
+            node.sampler.offer(req.ts, features, truth);
+        }
+
+        let hit = node.cache.contains(&req.object);
+        if hit {
+            node.cache.on_hit(&req.object, now);
+            node.stats.record_hit(size);
+        } else if node.admission.decide(req.object, &features, now, truth) {
+            evicted.clear();
+            node.cache.insert(req.object, size, now, &mut evicted);
+            node.stats.record_admitted_miss(size);
+            for e in &evicted {
+                node.stats.record_eviction(e.size);
+            }
+        } else {
+            node.cache.on_bypass(&req.object, size, now);
+            node.stats.record_bypassed_miss(size);
+        }
+        if now >= failure_at {
+            post_total += 1;
+            post_hits += hit as u64;
+        }
+        if needs_features {
+            extractor.update(trace, req);
+        }
+    }
+
+    let mut total = CacheStats::default();
+    for n in &nodes {
+        total.merge(&n.stats);
+    }
+    let surviving: Vec<&Node> = nodes.iter().filter(|n| n.alive).collect();
+    let mean = surviving.iter().map(|n| n.stats.accesses as f64).sum::<f64>()
+        / surviving.len().max(1) as f64;
+    let max = surviving.iter().map(|n| n.stats.accesses as f64).fold(0.0, f64::max);
+    let post_failure_hit_rate = if post_total > 0 {
+        post_hits as f64 / post_total as f64
+    } else {
+        total.file_hit_rate()
+    };
+    ClusterResult {
+        per_node: nodes.into_iter().map(|n| n.stats).collect(),
+        total,
+        load_imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        post_failure_hit_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_with_index, RunConfig};
+    use otae_trace::{generate, TraceConfig};
+
+    fn setup() -> (Trace, ReaccessIndex) {
+        let t = generate(&TraceConfig { n_objects: 8_000, seed: 21, ..Default::default() });
+        let i = ReaccessIndex::build(&t);
+        (t, i)
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_balanced() {
+        let ring = HashRing::new(8, 64);
+        let mut counts = [0u32; 8];
+        for k in 0..40_000u32 {
+            counts[ring.node_of(ObjectId(k)) as usize] += 1;
+        }
+        let mean = 40_000.0 / 8.0;
+        for (n, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / mean;
+            assert!((0.6..1.5).contains(&ratio), "node {n} ratio {ratio}");
+        }
+        // Determinism.
+        let ring2 = HashRing::new(8, 64);
+        for k in 0..100u32 {
+            assert_eq!(ring.node_of(ObjectId(k)), ring2.node_of(ObjectId(k)));
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let mut ring = HashRing::new(8, 64);
+        let before: Vec<u16> = (0..20_000).map(|k| ring.node_of(ObjectId(k))).collect();
+        ring.remove_node(3);
+        let mut moved = 0;
+        for (k, &was) in before.iter().enumerate() {
+            let now = ring.node_of(ObjectId(k as u32));
+            if was == 3 {
+                assert_ne!(now, 3, "keys of the dead node must move");
+            } else {
+                assert_eq!(now, was, "other keys must stay (consistent hashing)");
+            }
+            if now != was {
+                moved += 1;
+            }
+        }
+        // Roughly 1/8 of keys move.
+        let frac = moved as f64 / before.len() as f64;
+        assert!((0.05..0.25).contains(&frac), "moved fraction {frac}");
+        assert_eq!(ring.nodes().len(), 7);
+    }
+
+    #[test]
+    fn cluster_conserves_requests() {
+        let (t, i) = setup();
+        let cap = t.unique_bytes() / 100;
+        let r = run_cluster(&t, &i, &ClusterConfig::new(4, cap / 4, Mode::Original));
+        assert_eq!(r.total.accesses as usize, t.len());
+        let per_node_sum: u64 = r.per_node.iter().map(|s| s.accesses).sum();
+        assert_eq!(per_node_sum as usize, t.len());
+        assert!(r.load_imbalance >= 1.0 && r.load_imbalance < 2.0, "{}", r.load_imbalance);
+    }
+
+    #[test]
+    fn partitioning_costs_some_hit_rate_vs_one_big_cache() {
+        let (t, i) = setup();
+        let total_cap = t.unique_bytes() / 50;
+        let single =
+            run_with_index(&t, &i, &RunConfig::new(PolicyKind::Lru, Mode::Original, total_cap));
+        let cluster =
+            run_cluster(&t, &i, &ClusterConfig::new(8, total_cap / 8, Mode::Original));
+        // Partitioning can only lose (no shared capacity), but not by much
+        // with a balanced ring.
+        assert!(cluster.total.file_hit_rate() <= single.stats.file_hit_rate() + 0.01);
+        assert!(
+            cluster.total.file_hit_rate() > single.stats.file_hit_rate() - 0.10,
+            "cluster {} vs single {}",
+            cluster.total.file_hit_rate(),
+            single.stats.file_hit_rate()
+        );
+    }
+
+    #[test]
+    fn admission_helps_the_cluster_too() {
+        let (t, i) = setup();
+        let cap = t.unique_bytes() / 100;
+        let orig = run_cluster(&t, &i, &ClusterConfig::new(4, cap / 4, Mode::Original));
+        let ideal = run_cluster(&t, &i, &ClusterConfig::new(4, cap / 4, Mode::Ideal));
+        assert!(ideal.total.file_hit_rate() > orig.total.file_hit_rate());
+        assert!(ideal.total.files_written < orig.total.files_written / 2);
+    }
+
+    #[test]
+    fn node_failure_redirects_and_costs_hits() {
+        let (t, i) = setup();
+        let cap = t.unique_bytes() / 50;
+        let at = (t.len() / 2) as u64;
+        let mut cfg = ClusterConfig::new(4, cap / 4, Mode::Original);
+        cfg.failure = Some((2, at));
+        let failed = run_cluster(&t, &i, &cfg);
+        let healthy = run_cluster(&t, &i, &ClusterConfig::new(4, cap / 4, Mode::Original));
+        assert_eq!(failed.total.accesses as usize, t.len(), "requests rerouted, not lost");
+        assert!(
+            failed.post_failure_hit_rate < healthy.post_failure_hit_rate + 1e-9,
+            "failure must not help: {} vs {}",
+            failed.post_failure_hit_rate,
+            healthy.post_failure_hit_rate
+        );
+        // The dead node stops taking traffic.
+        let dead = &failed.per_node[2];
+        assert!(dead.accesses < healthy.per_node[2].accesses);
+    }
+
+    #[test]
+    fn cluster_proposal_is_deterministic() {
+        let (t, i) = setup();
+        let cap = t.unique_bytes() / 100;
+        let a = run_cluster(&t, &i, &ClusterConfig::new(3, cap / 3, Mode::Proposal));
+        let b = run_cluster(&t, &i, &ClusterConfig::new(3, cap / 3, Mode::Proposal));
+        assert_eq!(a.total, b.total);
+    }
+}

@@ -1,0 +1,161 @@
+//! The history table (§4.4.2).
+//!
+//! A FIFO-evicted hash map of photos recently classified as one-time-access.
+//! When such a photo misses *again* within the criteria threshold `M`, the
+//! earlier judgement was wrong — the table "rectifies" it: the photo is
+//! admitted this time and removed from the table. The table biases the whole
+//! classification system toward admitting (a wrongly-bypassed photo costs a
+//! subsequent miss, which is dearer than one wasted write).
+
+use otae_trace::ObjectId;
+use std::collections::{HashMap, VecDeque};
+
+/// FIFO-evicting table of recent one-time classifications.
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    capacity: usize,
+    /// object → logical access index of the one-time judgement.
+    map: HashMap<ObjectId, u64>,
+    fifo: VecDeque<ObjectId>,
+    rectifications: u64,
+}
+
+impl HistoryTable {
+    /// Table holding at most `capacity` entries (§4.4.2 sizes this as
+    /// `M(1−h)p × 0.05`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history table needs capacity");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            fifo: VecDeque::with_capacity(capacity),
+            rectifications: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rectified misclassifications so far.
+    pub fn rectifications(&self) -> u64 {
+        self.rectifications
+    }
+
+    /// A photo was just classified one-time at access index `now`: remember
+    /// it, evicting the oldest entry when full.
+    pub fn record_one_time(&mut self, obj: ObjectId, now: u64) {
+        if let Some(entry) = self.map.get_mut(&obj) {
+            // Refresh the judgement time; FIFO position is kept (stale fifo
+            // entries are skipped on eviction).
+            *entry = now;
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.fifo.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(obj, now);
+        self.fifo.push_back(obj);
+    }
+
+    /// The photo misses again at access index `now`. Returns `true` when the
+    /// earlier one-time judgement is rectified (the photo returned within
+    /// `m` accesses) — the caller must then admit it. In either case the
+    /// stale entry is dropped.
+    pub fn check_and_rectify(&mut self, obj: ObjectId, now: u64, m: u64) -> bool {
+        let Some(recorded) = self.map.remove(&obj) else {
+            return false;
+        };
+        // Lazy fifo cleanup happens on eviction; just decide.
+        let within = now.saturating_sub(recorded) <= m;
+        if within {
+            self.rectifications += 1;
+        }
+        within
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn rectifies_fast_returns() {
+        let mut t = HistoryTable::new(8);
+        t.record_one_time(obj(1), 100);
+        assert!(t.check_and_rectify(obj(1), 150, 100), "returned within M");
+        assert_eq!(t.rectifications(), 1);
+        // Entry consumed.
+        assert!(!t.check_and_rectify(obj(1), 160, 100));
+    }
+
+    #[test]
+    fn slow_returns_are_not_rectified() {
+        let mut t = HistoryTable::new(8);
+        t.record_one_time(obj(1), 100);
+        assert!(!t.check_and_rectify(obj(1), 100 + 101, 100), "returned after M");
+        assert_eq!(t.rectifications(), 0);
+    }
+
+    #[test]
+    fn fifo_eviction_drops_oldest() {
+        let mut t = HistoryTable::new(2);
+        t.record_one_time(obj(1), 0);
+        t.record_one_time(obj(2), 1);
+        t.record_one_time(obj(3), 2); // evicts 1
+        assert_eq!(t.len(), 2);
+        assert!(!t.check_and_rectify(obj(1), 3, 100), "evicted entry is gone");
+        assert!(t.check_and_rectify(obj(2), 3, 100));
+    }
+
+    #[test]
+    fn re_recording_refreshes_time() {
+        let mut t = HistoryTable::new(4);
+        t.record_one_time(obj(1), 0);
+        t.record_one_time(obj(1), 500);
+        assert_eq!(t.len(), 1);
+        // Judged at 500; returning at 550 with m=100 rectifies.
+        assert!(t.check_and_rectify(obj(1), 550, 100));
+    }
+
+    #[test]
+    fn unknown_object_is_not_rectified() {
+        let mut t = HistoryTable::new(4);
+        assert!(!t.check_and_rectify(obj(9), 10, 1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        HistoryTable::new(0);
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let mut t = HistoryTable::new(10);
+        for i in 0..1000 {
+            t.record_one_time(obj(i), i as u64);
+        }
+        assert!(t.len() <= 10);
+    }
+}

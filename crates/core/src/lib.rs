@@ -1,0 +1,60 @@
+//! # otae-core — the one-time-access-exclusion caching system
+//!
+//! This crate assembles the paper's contribution on top of the substrate
+//! crates: an admission-controlled photo cache that predicts, at miss time
+//! and with no per-object history, whether the missed photo is
+//! **one-time-access** — and if so serves it around the SSD, avoiding the
+//! write entirely (§4, Figure 4).
+//!
+//! Components, mapped to the paper:
+//!
+//! * [`reaccess`] — forward reaccess distances over a trace (the quantity
+//!   the criteria is defined on);
+//! * [`criteria`] — the one-time-access criteria `M = C/(S·(1−h)·(1−p))`
+//!   solved by fixed-point iteration (§4.3), with the LIRS variant
+//!   `M_LIRS = M_LRU · R_s` (§5.2);
+//! * [`features`] — online extraction of the §3.2.1 features (owner's
+//!   average views, active friends, photo type/size/age, recency, terminal,
+//!   requests-in-last-minute, hour of day) with §3.2.3 discretisation;
+//! * [`history`] — the FIFO history table that rectifies one-time
+//!   misclassifications (§4.4.2), sized `M(1−h)p × 0.05`;
+//! * [`admission`] — admission policies: always-admit (Original), the
+//!   trained classifier with history table (Proposal), and the oracle
+//!   (Ideal, 100 % accuracy);
+//! * [`daily`] — per-minute training-data sampling (§3.1.1) and the daily
+//!   05:00 retraining cycle (§4.4.3) with the Table-4 cost matrix;
+//! * [`pipeline`] — the end-to-end trace-driven simulation producing every
+//!   statistic of Figures 5–10;
+//! * [`mod@sweep`] — parallel (policy × capacity × mode) grids via crossbeam;
+//! * [`tiered`] — the production OC → DC → backend topology of §2.1 with
+//!   per-tier admission;
+//! * [`online`] — the incremental-learning alternative §4.4.3 mentions but
+//!   does not pursue, with realistic delayed label feedback.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod baseline;
+pub mod cluster;
+pub mod criteria;
+pub mod daily;
+pub mod features;
+pub mod history;
+pub mod pipeline;
+pub mod online;
+pub mod reaccess;
+pub mod sweep;
+pub mod tiered;
+
+pub use admission::{AdmissionKind, AdmissionPolicy};
+pub use baseline::{BloomFilter, SecondHitAdmission};
+pub use cluster::{run_cluster, ClusterConfig, ClusterResult, HashRing};
+pub use criteria::{solve_criteria, CriteriaSolution};
+pub use daily::{DailyTrainer, MinuteSampler, TrainingConfig};
+pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
+pub use history::HistoryTable;
+pub use online::{run_online, run_online_with, OnlineModelKind};
+pub use pipeline::{run, CacheEvent, Mode, PolicyKind, RunConfig, RunResult};
+pub use reaccess::ReaccessIndex;
+pub use sweep::{sweep, SweepPoint};
+pub use tiered::{run_tiered, TierConfig, TieredConfig, TieredResult};

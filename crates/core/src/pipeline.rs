@@ -1,0 +1,527 @@
+//! End-to-end trace-driven simulation (Figure 4's workflow).
+//!
+//! One [`run`] drives a full trace through a replacement policy under one of
+//! the paper's three admission configurations and returns every statistic
+//! the evaluation section plots: file/byte hit rate, file/byte write rate
+//! (Figures 6–9), mean response time via the Eqs. 3–6 model (Figure 10),
+//! and per-day classifier quality (Figure 5).
+
+use crate::admission::{AdmissionPolicy, ClassifierAdmission};
+use crate::baseline::SecondHitAdmission;
+use crate::criteria::{solve_criteria, CriteriaSolution};
+use crate::daily::{DailyTrainer, MinuteSampler, TrainingConfig};
+use crate::features::{FeatureExtractor, N_FEATURES};
+use crate::reaccess::ReaccessIndex;
+use otae_cache::{
+    ArcCache, Belady, Cache, CacheStats, Evicted, Fifo, Gdsf, Lfu, Lirs, Lru, S3Lru, TwoQ,
+};
+use otae_device::{LatencyModel, ResponseTime};
+use otae_ml::ConfusionMatrix;
+use otae_trace::diurnal::DAY;
+use otae_trace::{ObjectId, Trace};
+
+/// Replacement policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least recently used (the paper's baseline).
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Least frequently used (extra baseline).
+    Lfu,
+    /// Three-segment segmented LRU.
+    S3Lru,
+    /// Adaptive replacement cache.
+    Arc,
+    /// Low inter-reference recency set.
+    Lirs,
+    /// 2Q (extra baseline; filters one-hit wonders on the replacement side).
+    TwoQ,
+    /// Greedy-Dual-Size-Frequency (extra baseline; size-aware priorities).
+    Gdsf,
+    /// Offline-optimal Belady bound.
+    Belady,
+}
+
+impl PolicyKind {
+    /// The five policies of the paper's §5.3 figures.
+    pub const PAPER_SET: [PolicyKind; 5] =
+        [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::S3Lru, PolicyKind::Arc, PolicyKind::Lirs];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::S3Lru => "S3LRU",
+            PolicyKind::Arc => "ARC",
+            PolicyKind::Lirs => "LIRS",
+            PolicyKind::TwoQ => "2Q",
+            PolicyKind::Gdsf => "GDSF",
+            PolicyKind::Belady => "Belady",
+        }
+    }
+
+    /// LIR-stack share used by the LIRS criteria variant (`R_s`); 1 for
+    /// other policies.
+    pub fn stack_ratio(&self) -> f64 {
+        match self {
+            PolicyKind::Lirs => 0.99,
+            _ => 1.0,
+        }
+    }
+
+    pub(crate) fn build(&self, capacity: u64, trace: &Trace) -> Box<dyn Cache<ObjectId>> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(capacity)),
+            PolicyKind::Fifo => Box::new(Fifo::new(capacity)),
+            PolicyKind::Lfu => Box::new(Lfu::new(capacity)),
+            PolicyKind::S3Lru => Box::new(S3Lru::new(capacity)),
+            PolicyKind::Arc => Box::new(ArcCache::new(capacity)),
+            PolicyKind::Lirs => Box::new(Lirs::new(capacity)),
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicyKind::Gdsf => Box::new(Gdsf::new(capacity)),
+            PolicyKind::Belady => {
+                let keys: Vec<ObjectId> = trace.requests.iter().map(|r| r.object).collect();
+                Box::new(Belady::new(capacity, &keys))
+            }
+        }
+    }
+}
+
+/// Admission configuration of a run (the curves in Figures 6–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Traditional caching: admit every miss.
+    Original,
+    /// The paper's classifier + history table.
+    Proposal,
+    /// Perfect classifier (100 % accuracy).
+    Ideal,
+    /// Cache-on-second-request doorkeeper (non-ML baseline; a miss is
+    /// admitted only when the object was seen before, tracked in a bloom
+    /// filter reset every `2M` misses).
+    SecondHit,
+}
+
+impl Mode {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Original => "Original",
+            Mode::Proposal => "Proposal",
+            Mode::Ideal => "Ideal",
+            Mode::SecondHit => "SecondHit",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Admission mode.
+    pub mode: Mode,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Classifier training configuration (Proposal only).
+    pub training: TrainingConfig,
+    /// Latency model for Figure 10.
+    pub latency: LatencyModel,
+    /// Criteria fixed-point rounds (§4.3; paper uses 3).
+    pub criteria_iterations: usize,
+    /// Override the computed one-time-access threshold `M` (ablations; e.g.
+    /// `u64::MAX - 1` reproduces the naive "accessed once in the whole
+    /// trace" criteria of §4.3's first paragraph).
+    pub m_override: Option<u64>,
+}
+
+impl RunConfig {
+    /// Config with paper-default training, latency and criteria settings.
+    pub fn new(policy: PolicyKind, mode: Mode, capacity: u64) -> Self {
+        Self {
+            policy,
+            mode,
+            capacity,
+            training: TrainingConfig::default(),
+            latency: LatencyModel::default(),
+            criteria_iterations: 3,
+            m_override: None,
+        }
+    }
+}
+
+/// Classifier quality for one simulated day (Figure 5's x-axis).
+#[derive(Debug, Clone, Copy)]
+pub struct DayMetrics {
+    /// Day index (0-based).
+    pub day: u64,
+    /// Decisions made during that day.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Classifier-side outcome of a Proposal run.
+#[derive(Debug, Clone)]
+pub struct ClassifierReport {
+    /// All decisions over the whole run.
+    pub overall: ConfusionMatrix,
+    /// Per-day breakdown (Figure 5).
+    pub per_day: Vec<DayMetrics>,
+    /// History-table rectifications (§4.4.2).
+    pub rectifications: u64,
+    /// Completed daily trainings.
+    pub trainings: u32,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Admission mode.
+    pub mode: Mode,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Cache counters (Figures 6–9).
+    pub stats: CacheStats,
+    /// Mean access latency in µs (Figure 10).
+    pub mean_latency_us: f64,
+    /// 25th-percentile access latency in µs (tail view; extension).
+    pub latency_p25_us: f64,
+    /// Median access latency in µs (tail view; extension).
+    pub latency_p50_us: f64,
+    /// 99th-percentile access latency in µs (tail view; extension).
+    pub latency_p99_us: f64,
+    /// File hit rate per calendar day (warm-up / steady-state view).
+    pub per_day_hit_rate: Vec<f64>,
+    /// Criteria solution used for labels/admission.
+    pub criteria: CriteriaSolution,
+    /// Classifier report (Proposal runs only).
+    pub classifier: Option<ClassifierReport>,
+}
+
+/// SSD-level event emitted while driving the cache (for device-layer
+/// consumers such as the FTL simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// Object written into the SSD cache.
+    Insert {
+        /// Object id.
+        object: ObjectId,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// Object evicted from the SSD cache (its flash pages are invalidated).
+    Evict {
+        /// Object id.
+        object: ObjectId,
+        /// Size in bytes.
+        size: u64,
+    },
+}
+
+fn confusion_delta(cur: &ConfusionMatrix, prev: &ConfusionMatrix) -> ConfusionMatrix {
+    ConfusionMatrix {
+        tp: cur.tp - prev.tp,
+        fp: cur.fp - prev.fp,
+        fn_: cur.fn_ - prev.fn_,
+        tn: cur.tn - prev.tn,
+    }
+}
+
+/// Run a simulation, building the reaccess index internally. For sweeps use
+/// [`run_with_index`] and share the index.
+pub fn run(trace: &Trace, cfg: &RunConfig) -> RunResult {
+    let index = ReaccessIndex::build(trace);
+    run_with_index(trace, &index, cfg)
+}
+
+/// Run a simulation against a precomputed reaccess index.
+pub fn run_with_index(trace: &Trace, index: &ReaccessIndex, cfg: &RunConfig) -> RunResult {
+    run_with_observer(trace, index, cfg, &mut |_| {})
+}
+
+/// [`run_with_index`] with an observer receiving every SSD insert/evict —
+/// the seam the FTL wear experiments consume.
+pub fn run_with_observer(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    cfg: &RunConfig,
+    observer: &mut dyn FnMut(CacheEvent),
+) -> RunResult {
+    assert_eq!(index.len(), trace.len(), "index must match the trace");
+    let avg_size = trace.avg_object_size().max(1.0);
+    let base = solve_criteria(index, cfg.capacity, avg_size, cfg.criteria_iterations);
+    let criteria = if cfg.policy == PolicyKind::Lirs {
+        base.for_lirs(cfg.policy.stack_ratio())
+    } else {
+        base
+    };
+    let m = cfg.m_override.unwrap_or(criteria.m);
+
+    let mut cache = cfg.policy.build(cfg.capacity, trace);
+    let mut admission = match cfg.mode {
+        Mode::Original => AdmissionPolicy::Always,
+        Mode::Ideal => AdmissionPolicy::Oracle { index, m },
+        Mode::Proposal => {
+            let mut c = ClassifierAdmission::new(m, criteria.history_table_capacity());
+            c.use_history = cfg.training.use_history;
+            AdmissionPolicy::Classifier(Box::new(c))
+        }
+        Mode::SecondHit => AdmissionPolicy::SecondHit(SecondHitAdmission::new(
+            trace.meta.len().max(1024),
+            2 * m.min(u64::MAX / 2),
+            cfg.training.max_splits as u64 ^ 0x5EED,
+        )),
+    };
+    let is_proposal = cfg.mode == Mode::Proposal;
+    let classified = cfg.mode != Mode::Original;
+
+    let v = cfg.training.cost.resolve(cfg.capacity, trace.unique_bytes());
+    let mut trainer = DailyTrainer::new(cfg.training.clone(), v);
+    let mut sampler = MinuteSampler::new(cfg.training.records_per_minute);
+    let mut extractor = FeatureExtractor::new(trace);
+
+    let mut stats = CacheStats::default();
+    let mut response = ResponseTime::default();
+    let mut evicted: Vec<Evicted<ObjectId>> = Vec::new();
+
+    let mut per_day: Vec<DayMetrics> = Vec::new();
+    let mut day_start_confusion = ConfusionMatrix::default();
+    let mut current_day = 0u64;
+    let mut day_hits: Vec<(u64, u64)> = Vec::new(); // (hits, accesses) per day
+
+    for (i, req) in trace.requests.iter().enumerate() {
+        let now = i as u64;
+        let size = trace.photo(req.object).size as u64;
+        let truth = index.is_one_time(i, m);
+
+        let mut features = [0.0f32; N_FEATURES];
+        if is_proposal {
+            // Daily retraining at the configured hour (§4.4.3).
+            if let AdmissionPolicy::Classifier(c) = &mut admission {
+                if let Some(model) = trainer.maybe_retrain(req.ts, &mut sampler) {
+                    c.model = Some(model);
+                }
+                // Day roll-over for Figure 5 accounting.
+                let day = req.ts / DAY;
+                if day != current_day {
+                    per_day.push(DayMetrics {
+                        day: current_day,
+                        confusion: confusion_delta(&c.confusion, &day_start_confusion),
+                    });
+                    day_start_confusion = c.confusion;
+                    current_day = day;
+                }
+            }
+            features = extractor.extract(trace, req);
+            sampler.offer(req.ts, features, truth);
+        }
+
+        let day = (req.ts / DAY) as usize;
+        if day_hits.len() <= day {
+            day_hits.resize(day + 1, (0, 0));
+        }
+        day_hits[day].1 += 1;
+        if cache.contains(&req.object) {
+            cache.on_hit(&req.object, now);
+            stats.record_hit(size);
+            day_hits[day].0 += 1;
+            response.record(cfg.latency.request_latency_us(true, size, classified));
+        } else {
+            let admit = admission.decide(req.object, &features, now, truth);
+            if admit {
+                evicted.clear();
+                cache.insert(req.object, size, now, &mut evicted);
+                stats.record_admitted_miss(size);
+                observer(CacheEvent::Insert { object: req.object, size });
+                for e in &evicted {
+                    stats.record_eviction(e.size);
+                    observer(CacheEvent::Evict { object: e.key, size: e.size });
+                }
+            } else {
+                cache.on_bypass(&req.object, size, now);
+                stats.record_bypassed_miss(size);
+            }
+            response.record(cfg.latency.request_latency_us(false, size, classified));
+        }
+
+        if is_proposal {
+            extractor.update(trace, req);
+        }
+    }
+
+    let classifier = if let AdmissionPolicy::Classifier(c) = &admission {
+        per_day.push(DayMetrics {
+            day: current_day,
+            confusion: confusion_delta(&c.confusion, &day_start_confusion),
+        });
+        Some(ClassifierReport {
+            overall: c.confusion,
+            per_day,
+            rectifications: c.history.rectifications(),
+            trainings: trainer.trainings,
+        })
+    } else {
+        None
+    };
+
+    RunResult {
+        policy: cfg.policy,
+        mode: cfg.mode,
+        capacity: cfg.capacity,
+        stats,
+        mean_latency_us: response.mean_us(),
+        latency_p25_us: response.percentile_us(0.25),
+        latency_p50_us: response.percentile_us(0.5),
+        latency_p99_us: response.percentile_us(0.99),
+        per_day_hit_rate: day_hits
+            .iter()
+            .map(|&(h, a)| if a == 0 { 0.0 } else { h as f64 / a as f64 })
+            .collect(),
+        criteria,
+        classifier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_trace::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(&TraceConfig { n_objects: 8_000, seed: 31, ..Default::default() })
+    }
+
+    fn cap_for(trace: &Trace, frac: f64) -> u64 {
+        (trace.unique_bytes() as f64 * frac) as u64
+    }
+
+    #[test]
+    fn original_lru_behaves_like_always_admit() {
+        let t = trace();
+        let r = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap_for(&t, 0.02)));
+        assert_eq!(r.stats.accesses as usize, t.len());
+        assert_eq!(r.stats.bypasses, 0);
+        // Every miss is a write under Original.
+        assert_eq!(r.stats.files_written, r.stats.accesses - r.stats.hits);
+        assert!(r.classifier.is_none());
+    }
+
+    #[test]
+    fn ideal_improves_hits_and_slashes_writes() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let orig = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
+        let ideal = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Ideal, cap));
+        assert!(
+            ideal.stats.file_hit_rate() >= orig.stats.file_hit_rate(),
+            "ideal {} vs original {}",
+            ideal.stats.file_hit_rate(),
+            orig.stats.file_hit_rate()
+        );
+        assert!(
+            (ideal.stats.files_written as f64) < 0.6 * orig.stats.files_written as f64,
+            "ideal writes {} vs original {}",
+            ideal.stats.files_written,
+            orig.stats.files_written
+        );
+    }
+
+    #[test]
+    fn proposal_trains_daily_and_reduces_writes() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let orig = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
+        let prop = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap));
+        let report = prop.classifier.expect("proposal must report classifier metrics");
+        assert!(report.trainings >= 7, "9-day trace must retrain daily: {}", report.trainings);
+        assert!(report.overall.total() > 0);
+        assert!(
+            (prop.stats.files_written as f64) < 0.7 * orig.stats.files_written as f64,
+            "proposal writes {} vs original {}",
+            prop.stats.files_written,
+            orig.stats.files_written
+        );
+        assert!(
+            prop.stats.file_hit_rate() > orig.stats.file_hit_rate() - 0.01,
+            "proposal must not lose hit rate: {} vs {}",
+            prop.stats.file_hit_rate(),
+            orig.stats.file_hit_rate()
+        );
+    }
+
+    #[test]
+    fn belady_dominates_lru_hit_rate() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let lru = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
+        let belady = run(&t, &RunConfig::new(PolicyKind::Belady, Mode::Original, cap));
+        assert!(belady.stats.file_hit_rate() >= lru.stats.file_hit_rate());
+    }
+
+    #[test]
+    fn latency_orders_with_hit_rate() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let orig = run(&t, &RunConfig::new(PolicyKind::Fifo, Mode::Original, cap));
+        let ideal = run(&t, &RunConfig::new(PolicyKind::Fifo, Mode::Ideal, cap));
+        assert!(ideal.mean_latency_us < orig.mean_latency_us);
+    }
+
+    #[test]
+    fn lirs_uses_smaller_m() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let lru = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Ideal, cap));
+        let lirs = run(&t, &RunConfig::new(PolicyKind::Lirs, Mode::Ideal, cap));
+        assert!(lirs.criteria.m < lru.criteria.m);
+    }
+
+    #[test]
+    fn second_hit_baseline_filters_writes_and_beats_always_admit() {
+        let t = trace();
+        let cap = cap_for(&t, 0.02);
+        let orig = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
+        let second = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::SecondHit, cap));
+        let prop = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap));
+        assert!(second.stats.files_written < orig.stats.files_written);
+        assert!(second.stats.bypasses > 0);
+        assert!(second.classifier.is_none(), "doorkeeper is not a classifier");
+        // Both admission filters beat always-admit on hit rate. Which of the
+        // two wins depends on capacity (the doorkeeper wastes one miss per
+        // popular object but filters one-times perfectly); the
+        // ablation_baselines experiment charts the comparison.
+        assert!(second.stats.file_hit_rate() > orig.stats.file_hit_rate());
+        assert!(prop.stats.file_hit_rate() > orig.stats.file_hit_rate());
+    }
+
+    #[test]
+    fn latency_percentiles_and_daily_timeline_are_sane() {
+        let t = trace();
+        let r = run(&t, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap_for(&t, 0.02)));
+        // Tails: p50 <= mean-ish region <= p99; with a 3ms miss penalty and
+        // partial hit rate, p99 must be in miss territory and p50 below it.
+        assert!(r.latency_p50_us > 0.0);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+        assert!(r.latency_p99_us > 2000.0, "p99 {} must reflect HDD misses", r.latency_p99_us);
+        // Daily timeline: 9-day trace, rates in [0,1], warm-up below later days.
+        assert_eq!(r.per_day_hit_rate.len(), 9);
+        assert!(r.per_day_hit_rate.iter().all(|h| (0.0..=1.0).contains(h)));
+        let late_avg: f64 = r.per_day_hit_rate[5..].iter().sum::<f64>() / 4.0;
+        assert!(
+            r.per_day_hit_rate[0] < late_avg,
+            "day 0 is cold: {} vs steady {}",
+            r.per_day_hit_rate[0],
+            late_avg
+        );
+    }
+
+    #[test]
+    fn policy_names_cover_paper_set() {
+        let names: Vec<&str> = PolicyKind::PAPER_SET.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["LRU", "FIFO", "S3LRU", "ARC", "LIRS"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Forward reaccess distances.
+//!
+//! The one-time-access criteria (§4.3) is defined on the **reaccess
+//! distance**: "the number of successive accesses between the time when
+//! [a photo] is brought into the cache and the time when it is accessed
+//! again". This module precomputes, for every request position, the distance
+//! (in requests) to the next access of the same object.
+
+use otae_trace::Trace;
+use std::collections::HashMap;
+
+/// Distance marker for "never accessed again within the trace".
+pub const NEVER: u64 = u64::MAX;
+
+/// Per-request forward reaccess information over one trace.
+#[derive(Debug, Clone)]
+pub struct ReaccessIndex {
+    /// `dist[i]` = number of requests until the object of request `i` is
+    /// accessed again (1 = very next request), or [`NEVER`].
+    dist: Vec<u64>,
+    /// `first[i]` = true when request `i` is the first access of its object.
+    first: Vec<bool>,
+}
+
+impl ReaccessIndex {
+    /// Build the index with a single backward pass.
+    pub fn build(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut dist = vec![NEVER; n];
+        let mut next_pos: HashMap<u32, u64> = HashMap::new();
+        for (i, req) in trace.requests.iter().enumerate().rev() {
+            if let Some(&next) = next_pos.get(&req.object.0) {
+                dist[i] = next - i as u64;
+            }
+            next_pos.insert(req.object.0, i as u64);
+        }
+        let mut first = vec![false; n];
+        let mut seen: HashMap<u32, ()> = HashMap::with_capacity(next_pos.len());
+        for (i, req) in trace.requests.iter().enumerate() {
+            if seen.insert(req.object.0, ()).is_none() {
+                first[i] = true;
+            }
+        }
+        Self { dist, first }
+    }
+
+    /// Number of indexed requests.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// True when the index covers no requests.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Forward distance of request `i` ([`NEVER`] if not reaccessed).
+    pub fn distance(&self, i: usize) -> u64 {
+        self.dist[i]
+    }
+
+    /// Whether request `i` is the first access of its object.
+    pub fn is_first_access(&self, i: usize) -> bool {
+        self.first[i]
+    }
+
+    /// The paper's label: request `i` is a **one-time access** w.r.t.
+    /// threshold `m` when its object will not return within `m` requests.
+    pub fn is_one_time(&self, i: usize, m: u64) -> bool {
+        self.dist[i] > m
+    }
+
+    /// Fraction of requests that are one-time w.r.t. `m` (the criteria's `p`).
+    pub fn one_time_fraction(&self, m: u64) -> f64 {
+        if self.dist.is_empty() {
+            return 0.0;
+        }
+        let ones = self.dist.iter().filter(|&&d| d > m).count();
+        ones as f64 / self.dist.len() as f64
+    }
+
+    /// Fraction of accesses whose object returns within `m` requests — the
+    /// criteria's hit-rate estimate `h` for a cache retaining roughly the
+    /// last `m` accesses.
+    pub fn hit_fraction(&self, m: u64) -> f64 {
+        1.0 - self.one_time_fraction(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_trace::{ObjectId, Owner, OwnerId, PhotoMeta, PhotoType, Request, Terminal};
+
+    fn trace_of(keys: &[u32]) -> Trace {
+        let n_obj = keys.iter().max().map_or(0, |m| m + 1);
+        Trace {
+            requests: keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Request {
+                    ts: i as u64,
+                    object: ObjectId(k),
+                    terminal: Terminal::Pc,
+                })
+                .collect(),
+            meta: (0..n_obj)
+                .map(|_| PhotoMeta {
+                    owner: OwnerId(0),
+                    ptype: PhotoType::L5,
+                    size: 1,
+                    upload_ts: 0,
+                })
+                .collect(),
+            owners: vec![Owner { activity: 0.5, active_friends: 1 }],
+        }
+    }
+
+    #[test]
+    fn distances_on_simple_trace() {
+        // positions: 0:A 1:B 2:A 3:C 4:A
+        let idx = ReaccessIndex::build(&trace_of(&[0, 1, 0, 2, 0]));
+        assert_eq!(idx.distance(0), 2);
+        assert_eq!(idx.distance(1), NEVER);
+        assert_eq!(idx.distance(2), 2);
+        assert_eq!(idx.distance(3), NEVER);
+        assert_eq!(idx.distance(4), NEVER);
+    }
+
+    #[test]
+    fn first_access_flags() {
+        let idx = ReaccessIndex::build(&trace_of(&[0, 1, 0, 2, 0]));
+        assert_eq!(
+            (0..5).map(|i| idx.is_first_access(i)).collect::<Vec<_>>(),
+            vec![true, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn one_time_labels_depend_on_m() {
+        let idx = ReaccessIndex::build(&trace_of(&[0, 1, 0, 2, 0]));
+        // With m = 1, even object 0's accesses (distance 2) are one-time.
+        assert!(idx.is_one_time(0, 1));
+        // With m = 2 they are not.
+        assert!(!idx.is_one_time(0, 2));
+        // Never-reaccessed requests are one-time for any m.
+        assert!(idx.is_one_time(1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let idx = ReaccessIndex::build(&trace_of(&[0, 1, 0, 2, 0, 1, 3, 3]));
+        for m in [0u64, 1, 2, 5, 100] {
+            let p = idx.one_time_fraction(m);
+            let h = idx.hit_fraction(m);
+            assert!((p + h - 1.0).abs() < 1e-12);
+        }
+        // p is non-increasing in m.
+        let ps: Vec<f64> = [0u64, 1, 2, 4, 8].iter().map(|&m| idx.one_time_fraction(m)).collect();
+        for w in ps.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let idx = ReaccessIndex::build(&trace_of(&[]));
+        assert!(idx.is_empty());
+        assert_eq!(idx.one_time_fraction(10), 0.0);
+    }
+}

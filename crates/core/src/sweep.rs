@@ -1,0 +1,136 @@
+//! Parallel experiment grids.
+//!
+//! The paper's figures sweep (policy × mode × capacity); runs are
+//! independent, so they fan out over crossbeam scoped threads sharing one
+//! reaccess index. Results return in the order of the input points,
+//! regardless of scheduling.
+
+use crate::pipeline::{run_with_index, Mode, PolicyKind, RunConfig, RunResult};
+use crate::reaccess::ReaccessIndex;
+use otae_trace::Trace;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepPoint {
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Admission mode.
+    pub mode: Mode,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+}
+
+/// Cartesian helper: all (policy × mode × capacity) combinations.
+pub fn grid(policies: &[PolicyKind], modes: &[Mode], capacities: &[u64]) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(policies.len() * modes.len() * capacities.len());
+    for &policy in policies {
+        for &mode in modes {
+            for &capacity in capacities {
+                out.push(SweepPoint { policy, mode, capacity });
+            }
+        }
+    }
+    out
+}
+
+/// Run every point in parallel (`threads = 0` uses available parallelism).
+/// `base` supplies training/latency/criteria settings; its policy, mode and
+/// capacity fields are overridden per point.
+pub fn sweep(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    points: &[SweepPoint],
+    base: &RunConfig,
+    threads: usize,
+) -> Vec<RunResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(points.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunResult>>> =
+        (0..points.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let p = points[i];
+                let cfg = RunConfig {
+                    policy: p.policy,
+                    mode: p.mode,
+                    capacity: p.capacity,
+                    ..base.clone()
+                };
+                let result = run_with_index(trace, index, &cfg);
+                *results[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every point completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_trace::{generate, TraceConfig};
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let g = grid(
+            &[PolicyKind::Lru, PolicyKind::Fifo],
+            &[Mode::Original, Mode::Ideal],
+            &[100, 200, 300],
+        );
+        assert_eq!(g.len(), 12);
+        assert_eq!(g[0], SweepPoint { policy: PolicyKind::Lru, mode: Mode::Original, capacity: 100 });
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let trace = generate(&TraceConfig { n_objects: 2_000, seed: 17, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let cap = (trace.unique_bytes() as f64 * 0.03) as u64;
+        let points = grid(
+            &[PolicyKind::Lru, PolicyKind::Fifo],
+            &[Mode::Original, Mode::Ideal],
+            &[cap, cap * 2],
+        );
+        let base = RunConfig::new(PolicyKind::Lru, Mode::Original, cap);
+        let par = sweep(&trace, &index, &points, &base, 4);
+        assert_eq!(par.len(), points.len());
+        for (point, result) in points.iter().zip(&par) {
+            let cfg = RunConfig {
+                policy: point.policy,
+                mode: point.mode,
+                capacity: point.capacity,
+                ..base.clone()
+            };
+            let seq = run_with_index(&trace, &index, &cfg);
+            assert_eq!(seq.stats, result.stats, "point {point:?} must be deterministic");
+            assert_eq!(seq.policy, result.policy);
+            assert_eq!(seq.capacity, result.capacity);
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_points() {
+        let trace = generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let base = RunConfig::new(PolicyKind::Lru, Mode::Original, 1000);
+        assert!(sweep(&trace, &index, &[], &base, 2).is_empty());
+    }
+}

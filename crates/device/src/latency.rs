@@ -1,0 +1,315 @@
+//! The paper's response-time model (§5.3.5).
+//!
+//! * Eq. 3: `T = h · HitCost + (1 − h) · MissPenalty`
+//! * Eq. 4: `HitCost = t_query + t_ssdr`
+//! * Eq. 5: `MissPenalty_original = t_query + t_hddr`
+//! * Eq. 6: `MissPenalty_proposed = t_query + t_classify + t_hddr`
+//!
+//! Writes to the SSD are *not* part of the critical path ("writing data to
+//! SSD should not be taken into account since it can be done in the
+//! background", §5.3.5). All times are in microseconds.
+
+/// Device/service timing constants, defaulting to the paper's measured
+/// values for a 32 KB photo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Cache index lookup time (µs). Paper: 1 µs.
+    pub t_query_us: f64,
+    /// Classifier + history-table execution time (µs). Paper: 0.4 µs.
+    pub t_classify_us: f64,
+    /// SSD read time for the reference object (µs).
+    pub t_ssd_read_us: f64,
+    /// HDD read time for the reference object (µs). Paper: 3 ms.
+    pub t_hdd_read_us: f64,
+    /// Reference object size the read constants were measured at (bytes).
+    pub reference_size: u64,
+    /// SSD sequential read bandwidth (bytes/µs) for size scaling.
+    pub ssd_bandwidth: f64,
+    /// HDD sequential read bandwidth (bytes/µs) for size scaling.
+    pub hdd_bandwidth: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            t_query_us: 1.0,
+            t_classify_us: 0.4,
+            // ~100 µs to fetch a 32 KB object from a SATA-class SSD.
+            t_ssd_read_us: 100.0,
+            t_hdd_read_us: 3000.0,
+            reference_size: 32 * 1024,
+            ssd_bandwidth: 500.0,  // 500 MB/s ≈ 500 bytes/µs
+            hdd_bandwidth: 150.0,  // 150 MB/s
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Hit cost (Eq. 4) for the reference object size.
+    pub fn hit_cost_us(&self) -> f64 {
+        self.t_query_us + self.t_ssd_read_us
+    }
+
+    /// Miss penalty without classification (Eq. 5).
+    pub fn miss_penalty_original_us(&self) -> f64 {
+        self.t_query_us + self.t_hdd_read_us
+    }
+
+    /// Miss penalty with classification (Eq. 6).
+    pub fn miss_penalty_proposed_us(&self) -> f64 {
+        self.t_query_us + self.t_classify_us + self.t_hdd_read_us
+    }
+
+    /// Average access latency (Eq. 3) at file hit rate `h`;
+    /// `classified` selects Eq. 6 over Eq. 5 for the miss penalty.
+    pub fn avg_latency_us(&self, hit_rate: f64, classified: bool) -> f64 {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate {hit_rate} out of range");
+        let miss = if classified {
+            self.miss_penalty_proposed_us()
+        } else {
+            self.miss_penalty_original_us()
+        };
+        hit_rate * self.hit_cost_us() + (1.0 - hit_rate) * miss
+    }
+
+    /// Size-scaled SSD read time: fixed overhead plus transfer.
+    pub fn ssd_read_us(&self, size: u64) -> f64 {
+        let fixed = self.t_ssd_read_us - self.reference_size as f64 / self.ssd_bandwidth;
+        fixed.max(0.0) + size as f64 / self.ssd_bandwidth
+    }
+
+    /// Size-scaled HDD read time: fixed overhead (seek) plus transfer.
+    pub fn hdd_read_us(&self, size: u64) -> f64 {
+        let fixed = self.t_hdd_read_us - self.reference_size as f64 / self.hdd_bandwidth;
+        fixed.max(0.0) + size as f64 / self.hdd_bandwidth
+    }
+
+    /// Per-request latency (size-scaled variant of Eqs. 3–6).
+    pub fn request_latency_us(&self, hit: bool, size: u64, classified: bool) -> f64 {
+        if hit {
+            self.t_query_us + self.ssd_read_us(size)
+        } else {
+            let classify = if classified { self.t_classify_us } else { 0.0 };
+            self.t_query_us + classify + self.hdd_read_us(size)
+        }
+    }
+}
+
+/// Number of logarithmic latency buckets (ratio 1.25 from 0.5 µs covers
+/// well past 100 s).
+const BUCKETS: usize = 96;
+const BUCKET_BASE_US: f64 = 0.5;
+const BUCKET_RATIO: f64 = 1.25;
+
+/// Streaming accumulator of per-request latencies: exact mean plus a
+/// log-bucketed histogram for tail percentiles (≤ 25 % bucket error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseTime {
+    total_us: f64,
+    requests: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for ResponseTime {
+    fn default() -> Self {
+        Self { total_us: 0.0, requests: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl ResponseTime {
+    fn bucket_of(latency_us: f64) -> usize {
+        if latency_us <= BUCKET_BASE_US {
+            return 0;
+        }
+        let b = (latency_us / BUCKET_BASE_US).ln() / BUCKET_RATIO.ln();
+        (b as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) latency of a bucket.
+    fn bucket_value(b: usize) -> f64 {
+        BUCKET_BASE_US * BUCKET_RATIO.powi(b as i32 + 1)
+    }
+
+    /// Record one request's latency.
+    pub fn record(&mut self, latency_us: f64) {
+        self.total_us += latency_us;
+        self.requests += 1;
+        self.buckets[Self::bucket_of(latency_us)] += 1;
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_us / self.requests as f64
+        }
+    }
+
+    /// Approximate latency percentile (`p` in `[0, 1]`); 0 when empty.
+    /// Production caches are judged by their tails, not their means.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let target = (p * self.requests as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Self::bucket_value(b);
+            }
+        }
+        Self::bucket_value(BUCKETS - 1)
+    }
+
+    /// Number of recorded requests.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &ResponseTime) {
+        self.total_us += other.total_us;
+        self.requests += other.requests;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_default() {
+        let m = LatencyModel::default();
+        assert_eq!(m.t_query_us, 1.0);
+        assert_eq!(m.t_classify_us, 0.4);
+        assert_eq!(m.t_hdd_read_us, 3000.0);
+    }
+
+    #[test]
+    fn equations_compose() {
+        let m = LatencyModel::default();
+        assert_eq!(m.hit_cost_us(), 101.0);
+        assert_eq!(m.miss_penalty_original_us(), 3001.0);
+        assert_eq!(m.miss_penalty_proposed_us(), 3001.4);
+        // Eq. 3 at h = 0.5.
+        let t = m.avg_latency_us(0.5, false);
+        assert!((t - 0.5 * 101.0 - 0.5 * 3001.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_hit_rate_reduces_latency() {
+        let m = LatencyModel::default();
+        assert!(m.avg_latency_us(0.8, true) < m.avg_latency_us(0.5, true));
+    }
+
+    #[test]
+    fn classification_overhead_is_tiny_but_positive() {
+        let m = LatencyModel::default();
+        let delta = m.avg_latency_us(0.5, true) - m.avg_latency_us(0.5, false);
+        assert!(delta > 0.0 && delta < 1.0, "overhead {delta} µs");
+    }
+
+    #[test]
+    fn classified_system_wins_with_modest_hit_rate_gain() {
+        // The paper's claim: a few points of hit rate dwarf t_classify.
+        let m = LatencyModel::default();
+        assert!(m.avg_latency_us(0.55, true) < m.avg_latency_us(0.50, false));
+    }
+
+    #[test]
+    fn size_scaling_is_monotone_and_anchored() {
+        let m = LatencyModel::default();
+        assert!((m.ssd_read_us(m.reference_size) - m.t_ssd_read_us).abs() < 1e-9);
+        assert!((m.hdd_read_us(m.reference_size) - m.t_hdd_read_us).abs() < 1e-9);
+        assert!(m.ssd_read_us(64 * 1024) > m.ssd_read_us(16 * 1024));
+        assert!(m.hdd_read_us(64 * 1024) > m.hdd_read_us(16 * 1024));
+    }
+
+    #[test]
+    fn request_latency_hit_vs_miss() {
+        let m = LatencyModel::default();
+        let hit = m.request_latency_us(true, 32 * 1024, true);
+        let miss = m.request_latency_us(false, 32 * 1024, true);
+        assert!(miss > hit * 10.0, "HDD miss must dominate: {hit} vs {miss}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_hit_rate_panics() {
+        LatencyModel::default().avg_latency_us(1.5, false);
+    }
+
+    #[test]
+    fn response_time_accumulator() {
+        let mut r = ResponseTime::default();
+        r.record(100.0);
+        r.record(200.0);
+        assert_eq!(r.mean_us(), 150.0);
+        assert_eq!(r.requests(), 2);
+        let mut s = ResponseTime::default();
+        s.record(300.0);
+        r.merge(&s);
+        assert_eq!(r.mean_us(), 200.0);
+        assert_eq!(ResponseTime::default().mean_us(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_approximate_the_distribution() {
+        let mut r = ResponseTime::default();
+        // 90 fast requests at ~100 µs, 10 slow at ~3000 µs.
+        for _ in 0..90 {
+            r.record(100.0);
+        }
+        for _ in 0..10 {
+            r.record(3000.0);
+        }
+        let p50 = r.percentile_us(0.5);
+        let p99 = r.percentile_us(0.99);
+        assert!((75.0..150.0).contains(&p50), "p50 {p50}");
+        assert!((2000.0..4500.0).contains(&p99), "p99 {p99}");
+        assert!(r.percentile_us(0.0) <= p50);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(ResponseTime::default().percentile_us(0.99), 0.0);
+        let mut r = ResponseTime::default();
+        r.record(0.1); // below the first bucket edge
+        assert!(r.percentile_us(1.0) > 0.0);
+        // Huge latency clamps into the last bucket, not a panic.
+        r.record(1e12);
+        assert!(r.percentile_us(1.0).is_finite());
+    }
+
+    #[test]
+    fn percentile_merge_consistency() {
+        let mut a = ResponseTime::default();
+        let mut b = ResponseTime::default();
+        let mut whole = ResponseTime::default();
+        for i in 0..1000 {
+            let v = 50.0 + (i % 97) as f64 * 13.0;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.percentile_us(0.9), whole.percentile_us(0.9));
+        assert_eq!(a.requests(), whole.requests());
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_out_of_range() {
+        ResponseTime::default().percentile_us(1.5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Information-gain computation and the paper's greedy forward feature
+//! selection (§3.2.2): repeatedly move the feature with the largest
+//! information gain from the full set to the goal set, stopping when the
+//! goal set stops improving.
+
+use crate::{Classifier, Dataset, DecisionTree, TreeParams};
+
+/// Shannon entropy of a binary split (weighted).
+fn entropy(pos: f64, tot: f64) -> f64 {
+    if tot <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / tot;
+    let mut h = 0.0;
+    for q in [p, 1.0 - p] {
+        if q > 0.0 {
+            h -= q * q.log2();
+        }
+    }
+    h
+}
+
+/// Information gain of feature `col` with respect to the labels, computed by
+/// discretising the column into equal-frequency bins.
+pub fn information_gain(data: &Dataset, col: usize, bins: usize) -> f64 {
+    assert!(bins >= 2);
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut values: Vec<(f32, bool, f32)> =
+        (0..n).map(|i| (data.row(i)[col], data.label(i), data.weight(i))).collect();
+    values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features must not be NaN"));
+
+    let total_w: f64 = values.iter().map(|v| v.2 as f64).sum();
+    let total_pos: f64 = values.iter().filter(|v| v.1).map(|v| v.2 as f64).sum();
+    let h_parent = entropy(total_pos, total_w);
+
+    // Equal-frequency bin boundaries that respect value ties.
+    let mut h_children = 0.0;
+    let mut i = 0;
+    for b in 0..bins {
+        let target_end = (n * (b + 1)) / bins;
+        let mut j = i.max(target_end.min(n));
+        // Extend to cover ties across the boundary.
+        while j < n && j > 0 && values[j].0 == values[j - 1].0 {
+            j += 1;
+        }
+        if j <= i {
+            continue;
+        }
+        let (mut w, mut pos) = (0.0f64, 0.0f64);
+        for v in &values[i..j] {
+            w += v.2 as f64;
+            if v.1 {
+                pos += v.2 as f64;
+            }
+        }
+        h_children += w / total_w * entropy(pos, w);
+        i = j;
+        if i >= n {
+            break;
+        }
+    }
+    (h_parent - h_children).max(0.0)
+}
+
+/// Result of forward feature selection.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Chosen feature columns, in selection order.
+    pub selected: Vec<usize>,
+    /// Evaluation score after each selection step.
+    pub scores: Vec<f64>,
+    /// Information gain of every feature on the full set (diagnostics).
+    pub gains: Vec<f64>,
+}
+
+/// Greedy forward selection per §3.2.2: order candidates by information
+/// gain; grow the goal set while the evaluation score (k-fold CV accuracy of
+/// a small decision tree) improves by at least `min_improvement`.
+pub fn forward_select(data: &Dataset, min_improvement: f64, seed: u64) -> SelectionResult {
+    let f = data.n_features();
+    let gains: Vec<f64> = (0..f).map(|c| information_gain(data, c, 16)).collect();
+    let mut remaining: Vec<usize> = (0..f).collect();
+    // Highest gain first.
+    remaining.sort_by(|&a, &b| gains[b].partial_cmp(&gains[a]).expect("gain not NaN"));
+
+    let mut selected = Vec::new();
+    let mut scores = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+    for &cand in &remaining {
+        let mut trial = selected.clone();
+        trial.push(cand);
+        let score = cv_accuracy(&data.select_features(&trial), seed);
+        if score >= best_score + min_improvement {
+            best_score = score;
+            selected = trial;
+            scores.push(score);
+        } else {
+            break; // §3.2.2: stop when the goal set stops improving
+        }
+    }
+    SelectionResult { selected, scores, gains }
+}
+
+/// 3-fold cross-validated accuracy of a small decision tree.
+pub fn cv_accuracy(data: &Dataset, seed: u64) -> f64 {
+    let folds = data.kfold(3, seed);
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for (train, test) in folds {
+        let mut tree = DecisionTree::new(TreeParams { max_splits: 15, ..Default::default() });
+        tree.fit(&train);
+        for i in 0..test.len() {
+            total += 1;
+            if tree.predict(test.row(i)) == test.label(i) {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Feature 0 fully determines the label, feature 1 is correlated,
+    /// feature 2 is pure noise.
+    fn informative_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(3);
+        for _ in 0..n {
+            let label = rng.gen::<bool>();
+            let x0 = if label { 1.0 } else { 0.0 };
+            let x1 = if rng.gen::<f32>() < 0.8 { x0 } else { 1.0 - x0 };
+            let x2: f32 = rng.gen();
+            d.push(&[x0 + rng.gen::<f32>() * 0.1, x1, x2], label);
+        }
+        d
+    }
+
+    #[test]
+    fn gain_orders_features_by_informativeness() {
+        let d = informative_dataset(2000, 1);
+        let g0 = information_gain(&d, 0, 16);
+        let g1 = information_gain(&d, 1, 16);
+        let g2 = information_gain(&d, 2, 16);
+        assert!(g0 > g1, "g0 {g0} must exceed g1 {g1}");
+        assert!(g1 > g2, "g1 {g1} must exceed g2 {g2}");
+        assert!(g2 < 0.05, "noise gain {g2} should be near zero");
+    }
+
+    #[test]
+    fn gain_of_perfect_feature_is_one_bit() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[(i % 2) as f32], i % 2 == 0);
+        }
+        let g = information_gain(&d, 0, 4);
+        assert!((g - 1.0).abs() < 1e-6, "perfect binary feature gain {g}");
+    }
+
+    #[test]
+    fn forward_selection_picks_informative_first() {
+        let d = informative_dataset(1500, 2);
+        let res = forward_select(&d, 0.002, 3);
+        assert_eq!(res.selected.first(), Some(&0), "selected {:?}", res.selected);
+        assert!(!res.selected.contains(&2), "noise feature must be dropped: {:?}", res.selected);
+    }
+
+    #[test]
+    fn empty_dataset_gain_is_zero() {
+        let d = Dataset::new(2);
+        assert_eq!(information_gain(&d, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn constant_feature_gain_is_zero() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[3.0], i % 2 == 0);
+        }
+        assert!(information_gain(&d, 0, 8) < 1e-9);
+    }
+}

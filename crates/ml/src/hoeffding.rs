@@ -1,0 +1,404 @@
+//! Hoeffding tree (VFDT, Domingos & Hulten 2000) — an *incremental* decision
+//! tree for streaming classification.
+//!
+//! The paper retrains its CART batch-style every day (§4.4.3) and mentions —
+//! without building — the real-time incremental alternative. A Hoeffding
+//! tree is the canonical such learner: it grows a decision tree from a
+//! stream, splitting a leaf only once the Hoeffding bound guarantees (with
+//! confidence `1 − δ`) that the best split would also be best on an infinite
+//! sample. Used by the online-admission ablation alongside the linear
+//! [`crate::mlp`]-style models.
+//!
+//! Numeric features are summarised per leaf with adaptive-range histograms
+//! (a standard practical simplification of the original attribute
+//! estimators).
+
+/// Histogram bins per feature per leaf.
+const BINS: usize = 16;
+
+/// Streaming-classifier interface for incremental learners.
+pub trait OnlineClassifier: Send {
+    /// Consume one labelled example.
+    fn observe(&mut self, row: &[f32], label: bool);
+    /// Positive-class confidence in `[0, 1]`.
+    fn score(&self, row: &[f32]) -> f32;
+    /// Hard decision at 0.5.
+    fn predict(&self, row: &[f32]) -> bool {
+        self.score(row) >= 0.5
+    }
+    /// Examples consumed so far.
+    fn observations(&self) -> u64;
+}
+
+#[derive(Debug, Clone)]
+struct FeatureStats {
+    min: f32,
+    max: f32,
+    /// Per-bin class counts: `[negative, positive]`.
+    bins: [[f64; 2]; BINS],
+}
+
+impl FeatureStats {
+    fn new() -> Self {
+        Self { min: f32::INFINITY, max: f32::NEG_INFINITY, bins: [[0.0; 2]; BINS] }
+    }
+
+    fn bin_of(&self, x: f32) -> usize {
+        if self.max <= self.min {
+            return 0;
+        }
+        let f = (x - self.min) / (self.max - self.min);
+        ((f * BINS as f32) as usize).min(BINS - 1)
+    }
+
+    fn update(&mut self, x: f32, label: bool) {
+        // Range expansion leaves earlier counts in their old bins — the
+        // standard coarse approximation; bounds settle quickly in practice.
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.bins[self.bin_of(x)][label as usize] += 1.0;
+    }
+
+    /// Threshold value at the upper edge of `bin`.
+    fn threshold_of(&self, bin: usize) -> f32 {
+        self.min + (self.max - self.min) * (bin + 1) as f32 / BINS as f32
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HNode {
+    Leaf {
+        counts: [f64; 2],
+        feats: Vec<FeatureStats>,
+        since_check: u64,
+        depth: u32,
+    },
+    Split {
+        feature: u16,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// Incremental Hoeffding decision tree for binary classification.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    /// Split-confidence parameter δ (smaller = more conservative splits).
+    pub delta: f64,
+    /// Examples a leaf accumulates between split checks.
+    pub grace_period: u64,
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Training weight multiplier for negative examples (Table 4's `v`).
+    pub cost_fp: f64,
+    n_features: usize,
+    nodes: Vec<HNode>,
+    observations: u64,
+    splits: u32,
+}
+
+impl HoeffdingTree {
+    /// New tree over `n_features` numeric features.
+    pub fn new(n_features: usize) -> Self {
+        Self {
+            delta: 1e-4,
+            grace_period: 200,
+            max_depth: 12,
+            cost_fp: 1.0,
+            n_features,
+            nodes: vec![HNode::new_leaf(n_features, 0)],
+            observations: 0,
+            splits: 0,
+        }
+    }
+
+    /// Splits performed so far.
+    pub fn n_splits(&self) -> u32 {
+        self.splits
+    }
+
+    fn leaf_of(&self, row: &[f32]) -> u32 {
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                HNode::Leaf { .. } => return i,
+                HNode::Split { feature, threshold, left, right } => {
+                    i = if row[*feature as usize] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Binary entropy of a class-count pair.
+    fn entropy(counts: &[f64; 2]) -> f64 {
+        let total = counts[0] + counts[1];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for &c in counts {
+            if c > 0.0 {
+                let p = c / total;
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Best (gain, feature, threshold) and second-best gain for a leaf.
+    fn best_splits(feats: &[FeatureStats], counts: &[f64; 2]) -> (f64, u16, f32, f64) {
+        let parent = Self::entropy(counts);
+        let total = counts[0] + counts[1];
+        let (mut g1, mut f1, mut t1, mut g2) = (0.0f64, 0u16, 0.0f32, 0.0f64);
+        for (f, stats) in feats.iter().enumerate() {
+            // Prefix class counts over bins.
+            let mut left = [0.0f64; 2];
+            let mut best_for_feature = 0.0f64;
+            let mut best_thr = 0.0f32;
+            for b in 0..BINS - 1 {
+                left[0] += stats.bins[b][0];
+                left[1] += stats.bins[b][1];
+                let lt = left[0] + left[1];
+                if lt <= 0.0 || lt >= total {
+                    continue;
+                }
+                let right = [counts[0] - left[0], counts[1] - left[1]];
+                let gain = parent
+                    - lt / total * Self::entropy(&left)
+                    - (total - lt) / total * Self::entropy(&right);
+                if gain > best_for_feature {
+                    best_for_feature = gain;
+                    best_thr = stats.threshold_of(b);
+                }
+            }
+            if best_for_feature > g1 {
+                g2 = g1;
+                g1 = best_for_feature;
+                f1 = f as u16;
+                t1 = best_thr;
+            } else if best_for_feature > g2 {
+                g2 = best_for_feature;
+            }
+        }
+        (g1, f1, t1, g2)
+    }
+
+    fn maybe_split(&mut self, leaf: u32) {
+        let (counts, depth, gain1, feature, threshold, gain2) = {
+            let HNode::Leaf { counts, feats, depth, .. } = &self.nodes[leaf as usize] else {
+                return;
+            };
+            let (g1, f, t, g2) = Self::best_splits(feats, counts);
+            (*counts, *depth, g1, f, t, g2)
+        };
+        if depth >= self.max_depth || gain1 <= 0.0 {
+            return;
+        }
+        let n = counts[0] + counts[1];
+        // Hoeffding bound for a range-1 quantity (binary entropy gain).
+        let eps = ((1.0 / self.delta).ln() / (2.0 * n)).sqrt();
+        let tie = 0.05;
+        if gain1 - gain2 > eps || eps < tie {
+            let left = self.nodes.len() as u32;
+            self.nodes.push(HNode::new_leaf(self.n_features, depth + 1));
+            let right = self.nodes.len() as u32;
+            self.nodes.push(HNode::new_leaf(self.n_features, depth + 1));
+            self.nodes[leaf as usize] = HNode::Split { feature, threshold, left, right };
+            self.splits += 1;
+        }
+    }
+}
+
+impl HNode {
+    fn new_leaf(n_features: usize, depth: u32) -> Self {
+        HNode::Leaf {
+            counts: [0.0; 2],
+            feats: vec![FeatureStats::new(); n_features],
+            since_check: 0,
+            depth,
+        }
+    }
+}
+
+impl OnlineClassifier for HoeffdingTree {
+    fn observe(&mut self, row: &[f32], label: bool) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        self.observations += 1;
+        let leaf = self.leaf_of(row);
+        let grace = self.grace_period;
+        let weight = if label { 1.0 } else { self.cost_fp };
+        let check = {
+            let HNode::Leaf { counts, feats, since_check, .. } = &mut self.nodes[leaf as usize]
+            else {
+                unreachable!("leaf_of returns a leaf")
+            };
+            counts[label as usize] += weight;
+            for (stats, &x) in feats.iter_mut().zip(row) {
+                stats.update(x, label);
+            }
+            *since_check += 1;
+            if *since_check >= grace {
+                *since_check = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if check {
+            self.maybe_split(leaf);
+        }
+    }
+
+    fn score(&self, row: &[f32]) -> f32 {
+        let leaf = self.leaf_of(row);
+        let HNode::Leaf { counts, .. } = &self.nodes[leaf as usize] else {
+            unreachable!("leaf_of returns a leaf")
+        };
+        let total = counts[0] + counts[1];
+        if total <= 0.0 {
+            0.0
+        } else {
+            (counts[1] / total) as f32
+        }
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn stream_accuracy<F: FnMut(&mut ChaCha8Rng) -> (Vec<f32>, bool)>(
+        tree: &mut HoeffdingTree,
+        mut gen: F,
+        train: usize,
+        test: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..train {
+            let (row, y) = gen(&mut rng);
+            tree.observe(&row, y);
+        }
+        let mut correct = 0;
+        for _ in 0..test {
+            let (row, y) = gen(&mut rng);
+            if tree.predict(&row) == y {
+                correct += 1;
+            }
+        }
+        correct as f64 / test as f64
+    }
+
+    #[test]
+    fn learns_axis_aligned_threshold() {
+        let mut t = HoeffdingTree::new(1);
+        let acc = stream_accuracy(
+            &mut t,
+            |rng| {
+                let x: f32 = rng.gen();
+                (vec![x], x > 0.6)
+            },
+            8_000,
+            1_000,
+            1,
+        );
+        assert!(acc > 0.95, "threshold accuracy {acc}");
+        assert!(t.n_splits() >= 1);
+    }
+
+    #[test]
+    fn learns_xor_unlike_a_linear_model() {
+        let mut t = HoeffdingTree::new(2);
+        let acc = stream_accuracy(
+            &mut t,
+            |rng| {
+                let a: f32 = rng.gen();
+                let b: f32 = rng.gen();
+                (vec![a, b], (a > 0.5) ^ (b > 0.5))
+            },
+            20_000,
+            2_000,
+            2,
+        );
+        assert!(acc > 0.9, "XOR accuracy {acc}");
+        assert!(t.n_splits() >= 3, "XOR needs at least a root and two children");
+    }
+
+    #[test]
+    fn does_not_split_on_noise() {
+        let mut t = HoeffdingTree::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let row = [rng.gen::<f32>(), rng.gen::<f32>()];
+            t.observe(&row, rng.gen::<bool>());
+        }
+        assert!(t.n_splits() <= 2, "random labels must not grow the tree: {}", t.n_splits());
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let mut t = HoeffdingTree::new(1);
+        t.max_depth = 2;
+        t.grace_period = 50;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..30_000 {
+            let x: f32 = rng.gen();
+            // Striped labels push toward many splits.
+            t.observe(&[x], ((x * 8.0) as u32).is_multiple_of(2));
+        }
+        assert!(t.n_splits() <= 3, "depth 2 allows at most 3 splits, got {}", t.n_splits());
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_empty_tree_scores_zero() {
+        let t = HoeffdingTree::new(2);
+        assert_eq!(t.score(&[0.5, 0.5]), 0.0);
+        let mut t = HoeffdingTree::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            let row = [rng.gen::<f32>(), rng.gen::<f32>()];
+            let y = row[0] > 0.5;
+            t.observe(&row, y);
+        }
+        for _ in 0..100 {
+            let row = [rng.gen::<f32>(), rng.gen::<f32>()];
+            let s = t.score(&row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn cost_weighting_biases_toward_negative() {
+        let train = |v: f64| {
+            let mut t = HoeffdingTree::new(1);
+            t.cost_fp = v;
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            for _ in 0..6_000 {
+                let x: f32 = rng.gen();
+                let y = rng.gen::<f32>() < 0.3 + 0.4 * x;
+                t.observe(&[x], y);
+            }
+            t
+        };
+        let neutral = train(1.0);
+        let costly = train(4.0);
+        let pos = |t: &HoeffdingTree| {
+            (0..100).filter(|i| t.predict(&[*i as f32 / 100.0])).count()
+        };
+        assert!(pos(&costly) <= pos(&neutral));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_row_width_panics() {
+        let mut t = HoeffdingTree::new(2);
+        t.observe(&[1.0], true);
+    }
+}

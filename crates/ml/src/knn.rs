@@ -1,0 +1,153 @@
+//! k-Nearest-Neighbours (Table 1 baseline): brute-force Euclidean search
+//! over standardized features with weighted majority vote.
+
+use crate::{Classifier, Dataset, Standardizer};
+
+/// KNN binary classifier.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    standardizer: Option<Standardizer>,
+    x: Vec<f32>,
+    y: Vec<bool>,
+    w: Vec<f32>,
+    n_features: usize,
+}
+
+impl Knn {
+    /// Unfitted KNN with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k, standardizer: None, x: Vec::new(), y: Vec::new(), w: Vec::new(), n_features: 0 }
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) {
+        let st = Standardizer::fit(data);
+        let t = st.transform(data);
+        self.n_features = t.n_features();
+        self.x.clear();
+        self.y.clear();
+        self.w.clear();
+        for i in 0..t.len() {
+            self.x.extend_from_slice(t.row(i));
+            self.y.push(t.label(i));
+            self.w.push(t.weight(i));
+        }
+        self.standardizer = Some(st);
+    }
+
+    fn score(&self, row: &[f32]) -> f32 {
+        let Some(st) = &self.standardizer else { return 0.0 };
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        let q = st.transformed(row);
+        let n = self.y.len();
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f32, u32)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = i * self.n_features;
+            let mut d = 0.0f32;
+            for (j, &qv) in q.iter().enumerate() {
+                let diff = self.x[base + j] - qv;
+                d += diff * diff;
+            }
+            dists.push((d, i as u32));
+        }
+        let k = self.k.min(n);
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.partial_cmp(b).expect("distances must not be NaN")
+        });
+        let (mut pos, mut tot) = (0.0f32, 0.0f32);
+        for &(_, i) in &dists[..k] {
+            let w = self.w[i as usize];
+            tot += w;
+            if self.y[i as usize] {
+                pos += w;
+            }
+        }
+        if tot == 0.0 {
+            0.0
+        } else {
+            pos / tot
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict_all;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring_dataset(n: usize, seed: u64) -> Dataset {
+        // Inner disc positive, outer ring negative: non-linear but local.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let r: f32 = rng.gen::<f32>() * 2.0;
+            let a: f32 = rng.gen::<f32>() * std::f32::consts::TAU;
+            d.push(&[r * a.cos(), r * a.sin()], r < 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_local_structure() {
+        let train = ring_dataset(1500, 1);
+        let test = ring_dataset(300, 2);
+        let mut knn = Knn::new(7);
+        knn.fit(&train);
+        let acc = predict_all(&knn, &test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(p, y)| *p == *y)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.9, "ring accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_points() {
+        let train = ring_dataset(200, 3);
+        let mut knn = Knn::new(1);
+        knn.fit(&train);
+        for i in 0..train.len() {
+            assert_eq!(knn.predict(train.row(i)), train.label(i));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], true);
+        d.push(&[1.0], true);
+        let mut knn = Knn::new(100);
+        knn.fit(&d);
+        assert!(knn.predict(&[0.5]));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let knn = Knn::new(3);
+        assert_eq!(knn.score(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_vote_respects_weights() {
+        let mut d = Dataset::new(1);
+        d.push_weighted(&[0.0], true, 10.0);
+        d.push_weighted(&[0.1], false, 1.0);
+        d.push_weighted(&[0.2], false, 1.0);
+        let mut knn = Knn::new(3);
+        knn.fit(&d);
+        assert!(knn.predict(&[0.05]), "heavy positive neighbour must win");
+    }
+}

@@ -1,0 +1,358 @@
+//! Evaluation metrics — exactly the quantities of the paper's Tables 2–3:
+//! confusion matrix, precision, recall, accuracy, and ROC AUC.
+
+/// Binary confusion matrix (Table 2). "Positive" is the one-time-access class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Actual positive, predicted positive.
+    pub tp: u64,
+    /// Actual negative, predicted positive.
+    pub fp: u64,
+    /// Actual positive, predicted negative.
+    pub fn_: u64,
+    /// Actual negative, predicted negative.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tally from parallel label/prediction slices.
+    pub fn from_predictions(truth: &[bool], pred: &[bool]) -> Self {
+        assert_eq!(truth.len(), pred.len());
+        let mut m = Self::default();
+        for (&t, &p) in truth.iter().zip(pred) {
+            match (t, p) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, truth: bool, pred: bool) {
+        match (truth, pred) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    fn ratio(a: u64, b: u64) -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            a as f64 / b as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Accuracy = (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        Self::ratio(self.tp + self.tn, self.total())
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False positive rate = FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        Self::ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+/// Area under the ROC curve, computed via the rank-sum (Mann–Whitney)
+/// statistic with midrank tie handling: the probability that a random
+/// positive outscores a random negative.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    // Midranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; midrank of the group [i, j).
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for &k in &order[i..j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// ROC curve points `(fpr, tpr)` sorted by descending threshold, including
+/// the (0,0) and (1,1) endpoints.
+pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+    let n_neg = labels.len() as f64 - n_pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let mut out = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            if labels[order[j]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            j += 1;
+        }
+        out.push((if n_neg > 0.0 { fp / n_neg } else { 0.0 }, if n_pos > 0.0 { tp / n_pos } else { 0.0 }));
+        i = j;
+    }
+    out
+}
+
+/// Decision threshold minimising expected misclassification cost
+/// `cost_fp·FP + cost_fn·FN` on a validation set — the *post-hoc*
+/// alternative to the paper's in-training cost matrix (Table 4): train
+/// unweighted, then move the operating point. Returns `(threshold,
+/// expected cost at that threshold)`.
+pub fn optimal_threshold(
+    scores: &[f32],
+    labels: &[bool],
+    cost_fp: f64,
+    cost_fn: f64,
+) -> (f32, f64) {
+    assert_eq!(scores.len(), labels.len());
+    assert!(cost_fp >= 0.0 && cost_fn >= 0.0);
+    if scores.is_empty() {
+        return (0.5, 0.0);
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+    // Sweep the threshold upward through score values. Below the threshold
+    // everything is predicted negative. Start with threshold below all
+    // scores: FP = all negatives, FN = 0.
+    let n_neg = labels.len() as f64 - n_pos;
+    let mut fp = n_neg;
+    let mut fn_ = 0.0f64;
+    let mut best_cost = cost_fp * fp + cost_fn * fn_;
+    let mut best_thr = scores[order[0]] - 1e-6;
+    let mut i = 0;
+    while i < order.len() {
+        // Move every sample with this score below the threshold.
+        let v = scores[order[i]];
+        while i < order.len() && scores[order[i]] == v {
+            if labels[order[i]] {
+                fn_ += 1.0;
+            } else {
+                fp -= 1.0;
+            }
+            i += 1;
+        }
+        let cost = cost_fp * fp + cost_fn * fn_;
+        if cost < best_cost {
+            best_cost = cost;
+            // Threshold just above v so samples at v are negative.
+            best_thr = v + 1e-6;
+        }
+    }
+    (best_thr, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [true, true, false, false, true];
+        let pred = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 1));
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn empty_matrix_rates_are_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_classifier() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_classifier() {
+        let scores = [0.1f32, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied: AUC must be exactly 0.5 via midranks.
+        let scores = [0.5f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_matches_pairwise_definition() {
+        let scores = [0.3f32, 0.3, 0.7, 0.5, 0.3];
+        let labels = [false, true, true, false, false];
+        // Pairwise: P(score_pos > score_neg) + 0.5 P(equal).
+        let mut wins = 0.0;
+        let mut n = 0.0;
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if labels[i] && !labels[j] {
+                    n += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((roc_auc(&scores, &labels) - wins / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class_auc() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn roc_curve_endpoints_and_monotonicity() {
+        let scores = [0.9f32, 0.1, 0.8, 0.4, 0.6];
+        let labels = [true, false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn optimal_threshold_separable_case() {
+        // Positives score high, negatives low: any threshold in (0.4, 0.6)
+        // gives zero cost.
+        let scores = [0.9f32, 0.8, 0.6, 0.4, 0.2, 0.1];
+        let labels = [true, true, true, false, false, false];
+        let (thr, cost) = optimal_threshold(&scores, &labels, 1.0, 1.0);
+        assert_eq!(cost, 0.0);
+        assert!(thr > 0.4 && thr <= 0.6 + 1e-5, "thr {thr}");
+    }
+
+    #[test]
+    fn high_fp_cost_raises_the_threshold() {
+        // Overlapping scores: expensive FPs push the operating point up.
+        let scores = [0.9f32, 0.7, 0.6, 0.55, 0.5, 0.45, 0.3, 0.1];
+        let labels = [true, false, true, false, true, false, false, false];
+        let (thr_balanced, _) = optimal_threshold(&scores, &labels, 1.0, 1.0);
+        let (thr_costly, _) = optimal_threshold(&scores, &labels, 10.0, 1.0);
+        assert!(thr_costly >= thr_balanced, "{thr_costly} >= {thr_balanced}");
+    }
+
+    #[test]
+    fn zero_fn_cost_eliminates_false_positives() {
+        let scores = [0.9f32, 0.1];
+        let labels = [true, false];
+        let (thr, cost) = optimal_threshold(&scores, &labels, 1.0, 0.0);
+        assert_eq!(cost, 0.0);
+        // With free FNs the chosen operating point must produce no FPs.
+        assert!(thr > 0.1, "threshold {thr} must exclude the negative");
+    }
+
+    #[test]
+    fn empty_input_defaults() {
+        assert_eq!(optimal_threshold(&[], &[], 1.0, 1.0), (0.5, 0.0));
+    }
+
+    #[test]
+    fn threshold_cost_matches_brute_force() {
+        let scores = [0.2f32, 0.8, 0.5, 0.5, 0.9, 0.3, 0.6];
+        let labels = [false, true, true, false, true, false, false];
+        let (_, cost) = optimal_threshold(&scores, &labels, 2.0, 1.0);
+        // Brute force over candidate thresholds.
+        let mut best = f64::INFINITY;
+        for t in [0.0f32, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95] {
+            let (mut fp, mut fn_) = (0.0, 0.0);
+            for (s, l) in scores.iter().zip(&labels) {
+                let pred = *s >= t;
+                if pred && !*l {
+                    fp += 1.0;
+                }
+                if !pred && *l {
+                    fn_ += 1.0;
+                }
+            }
+            best = best.min(2.0 * fp + fn_);
+        }
+        assert_eq!(cost, best);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ConfusionMatrix { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        a.merge(&ConfusionMatrix { tp: 10, fp: 20, fn_: 30, tn: 40 });
+        assert_eq!(a, ConfusionMatrix { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+}

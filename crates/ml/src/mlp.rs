@@ -1,0 +1,195 @@
+//! Back-propagation neural network (Table 1's "BP NN"): a single hidden
+//! layer of sigmoid units trained with seeded mini-batch SGD on
+//! standardized features.
+
+use crate::{Classifier, Dataset, Standardizer};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One-hidden-layer perceptron for binary classification.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initialisation / shuffling seed.
+    pub seed: u64,
+    // weights: hidden x (f+1), output: hidden+1
+    w1: Vec<f32>,
+    w2: Vec<f32>,
+    n_features: usize,
+    standardizer: Option<Standardizer>,
+}
+
+impl Mlp {
+    /// New network with `hidden` units.
+    pub fn new(hidden: usize, seed: u64) -> Self {
+        Self {
+            hidden,
+            lr: 0.1,
+            epochs: 30,
+            seed,
+            w1: Vec::new(),
+            w2: Vec::new(),
+            n_features: 0,
+            standardizer: None,
+        }
+    }
+
+    fn sigmoid(z: f32) -> f32 {
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Forward pass over a standardized row; returns (hidden activations, output).
+    fn forward(&self, row: &[f32], hidden_out: &mut Vec<f32>) -> f32 {
+        hidden_out.clear();
+        let f = self.n_features;
+        for h in 0..self.hidden {
+            let base = h * (f + 1);
+            let mut z = self.w1[base + f]; // bias
+            for (j, &x) in row.iter().enumerate() {
+                z += self.w1[base + j] * x;
+            }
+            hidden_out.push(Self::sigmoid(z));
+        }
+        let mut z = self.w2[self.hidden]; // bias
+        for (h, &a) in hidden_out.iter().enumerate() {
+            z += self.w2[h] * a;
+        }
+        Self::sigmoid(z)
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset) {
+        let st = Standardizer::fit(data);
+        let t = st.transform(data);
+        let f = t.n_features();
+        self.n_features = f;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let scale = (1.0 / (f as f32 + 1.0)).sqrt();
+        self.w1 = (0..self.hidden * (f + 1))
+            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+            .collect();
+        self.w2 = (0..self.hidden + 1)
+            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+            .collect();
+        self.standardizer = Some(st);
+        if t.is_empty() {
+            return;
+        }
+
+        let mut order: Vec<usize> = (0..t.len()).collect();
+        let mut hidden = Vec::with_capacity(self.hidden);
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = t.row(i);
+                let p = self.forward(row, &mut hidden);
+                let y = if t.label(i) { 1.0 } else { 0.0 };
+                // Cross-entropy with sigmoid output: delta = p - y.
+                let delta_out = (p - y) * t.weight(i);
+                // Output layer update + hidden deltas.
+                for (h, &act) in hidden.iter().enumerate() {
+                    let delta_h = delta_out * self.w2[h] * act * (1.0 - act);
+                    self.w2[h] -= self.lr * delta_out * act;
+                    let base = h * (f + 1);
+                    for (j, &x) in row.iter().enumerate() {
+                        self.w1[base + j] -= self.lr * delta_h * x;
+                    }
+                    self.w1[base + f] -= self.lr * delta_h;
+                }
+                self.w2[self.hidden] -= self.lr * delta_out;
+            }
+        }
+    }
+
+    fn score(&self, row: &[f32]) -> f32 {
+        let Some(st) = &self.standardizer else { return 0.0 };
+        let mut hidden = Vec::with_capacity(self.hidden);
+        self.forward(&st.transformed(row), &mut hidden)
+    }
+
+    fn name(&self) -> &'static str {
+        "BP NN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict_all;
+
+    fn xor_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let x0: f32 = rng.gen();
+            let x1: f32 = rng.gen();
+            d.push(&[x0, x1], (x0 > 0.5) ^ (x1 > 0.5));
+        }
+        d
+    }
+
+    #[test]
+    fn learns_nonlinear_xor() {
+        let train = xor_dataset(2000, 1);
+        let test = xor_dataset(400, 2);
+        let mut mlp = Mlp::new(16, 7);
+        mlp.epochs = 80;
+        mlp.lr = 0.3;
+        mlp.fit(&train);
+        let acc = predict_all(&mlp, &test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(p, y)| *p == *y)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.85, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = xor_dataset(300, 3);
+        let mut a = Mlp::new(8, 5);
+        let mut b = Mlp::new(8, 5);
+        a.fit(&train);
+        b.fit(&train);
+        for i in 0..20 {
+            assert_eq!(a.score(train.row(i)), b.score(train.row(i)));
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let train = xor_dataset(300, 3);
+        let mut a = Mlp::new(8, 5);
+        let mut b = Mlp::new(8, 6);
+        a.fit(&train);
+        b.fit(&train);
+        let same = (0..train.len())
+            .all(|i| (a.score(train.row(i)) - b.score(train.row(i))).abs() < 1e-9);
+        assert!(!same);
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let mlp = Mlp::new(4, 0);
+        assert_eq!(mlp.score(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let train = xor_dataset(500, 9);
+        let mut mlp = Mlp::new(8, 1);
+        mlp.fit(&train);
+        for i in 0..train.len() {
+            let s = mlp.score(train.row(i));
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Gaussian Naive Bayes (Table 1 baseline).
+//!
+//! Per-class, per-feature Gaussians with weighted maximum-likelihood
+//! estimates and log-space posterior computation.
+
+use crate::{Classifier, Dataset};
+
+#[derive(Debug, Clone, Default)]
+struct ClassStats {
+    log_prior: f64,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+/// Gaussian Naive Bayes binary classifier.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    pos: ClassStats,
+    neg: ClassStats,
+    fitted: bool,
+}
+
+impl NaiveBayes {
+    /// Unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fit_class(data: &Dataset, target: bool) -> (ClassStats, f64) {
+        let f = data.n_features();
+        let mut w_sum = 0.0f64;
+        let mut mean = vec![0.0f64; f];
+        for i in 0..data.len() {
+            if data.label(i) != target {
+                continue;
+            }
+            let w = data.weight(i) as f64;
+            w_sum += w;
+            for (m, &x) in mean.iter_mut().zip(data.row(i)) {
+                *m += w * x as f64;
+            }
+        }
+        if w_sum > 0.0 {
+            for m in mean.iter_mut() {
+                *m /= w_sum;
+            }
+        }
+        let mut var = vec![0.0f64; f];
+        for i in 0..data.len() {
+            if data.label(i) != target {
+                continue;
+            }
+            let w = data.weight(i) as f64;
+            for ((v, &x), m) in var.iter_mut().zip(data.row(i)).zip(&mean) {
+                let d = x as f64 - m;
+                *v += w * d * d;
+            }
+        }
+        for v in var.iter_mut() {
+            *v = if w_sum > 0.0 { *v / w_sum } else { 0.0 };
+            // Variance smoothing keeps degenerate features finite.
+            *v = v.max(1e-6);
+        }
+        (ClassStats { log_prior: 0.0, mean, var }, w_sum)
+    }
+
+    fn log_likelihood(stats: &ClassStats, row: &[f32]) -> f64 {
+        let mut ll = stats.log_prior;
+        for ((&x, m), v) in row.iter().zip(&stats.mean).zip(&stats.var) {
+            let d = x as f64 - m;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + d * d / v);
+        }
+        ll
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn fit(&mut self, data: &Dataset) {
+        let (mut pos, wp) = Self::fit_class(data, true);
+        let (mut neg, wn) = Self::fit_class(data, false);
+        let total = (wp + wn).max(1e-12);
+        pos.log_prior = ((wp + 1e-9) / total).ln();
+        neg.log_prior = ((wn + 1e-9) / total).ln();
+        self.pos = pos;
+        self.neg = neg;
+        self.fitted = true;
+    }
+
+    fn score(&self, row: &[f32]) -> f32 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let lp = Self::log_likelihood(&self.pos, row);
+        let ln = Self::log_likelihood(&self.neg, row);
+        // Softmax over the two log-posteriors.
+        (1.0 / (1.0 + (ln - lp).exp())) as f32
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict_all;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn gaussian_blobs(n: usize, sep: f32, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let label = rng.gen::<bool>();
+            let c = if label { sep } else { -sep };
+            let g = |r: &mut ChaCha8Rng| {
+                let u1: f32 = r.gen::<f32>().max(1e-7);
+                let u2: f32 = r.gen();
+                (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            };
+            d.push(&[c + g(&mut rng), c + g(&mut rng)], label);
+        }
+        d
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let train = gaussian_blobs(2000, 2.0, 1);
+        let test = gaussian_blobs(500, 2.0, 2);
+        let mut nb = NaiveBayes::new();
+        nb.fit(&train);
+        let acc = predict_all(&nb, &test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(p, y)| *p == *y)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.95, "blob accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let train = gaussian_blobs(500, 1.0, 3);
+        let mut nb = NaiveBayes::new();
+        nb.fit(&train);
+        for i in 0..train.len() {
+            let s = nb.score(train.row(i));
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn prior_shifts_scores() {
+        // 90% negative data: uninformative feature rows score < 0.5.
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[0.0], i < 10);
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d);
+        assert!(nb.score(&[0.0]) < 0.5);
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let nb = NaiveBayes::new();
+        assert_eq!(nb.score(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push(&[i as f32, 1.0], true);
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&d);
+        let s = nb.score(&[5.0, 1.0]);
+        assert!(s > 0.5 && s.is_finite());
+    }
+}

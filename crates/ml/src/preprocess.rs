@@ -1,0 +1,124 @@
+//! Feature preprocessing: per-column standardisation (zero mean, unit
+//! variance), used by the distance/gradient-based classifiers (KNN,
+//! logistic regression, MLP).
+
+use crate::Dataset;
+
+/// Per-column affine transform `(x - mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit column statistics on a dataset. Constant columns get `std = 1`
+    /// so they map to zero instead of dividing by zero.
+    pub fn fit(data: &Dataset) -> Self {
+        let f = data.n_features();
+        let n = data.len().max(1) as f64;
+        let mut mean = vec![0.0f64; f];
+        for i in 0..data.len() {
+            for (m, &v) in mean.iter_mut().zip(data.row(i)) {
+                *m += v as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; f];
+        for i in 0..data.len() {
+            for ((v, &x), m) in var.iter_mut().zip(data.row(i)).zip(&mean) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-9 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self { mean: mean.iter().map(|&m| m as f32).collect(), std }
+    }
+
+    /// Transform a row in place.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a borrowed row into a fresh vector.
+    pub fn transformed(&self, row: &[f32]) -> Vec<f32> {
+        let mut out = row.to_vec();
+        self.transform_row(&mut out);
+        out
+    }
+
+    /// Transform a whole dataset, preserving labels and weights.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.n_features());
+        let mut row = Vec::with_capacity(data.n_features());
+        for i in 0..data.len() {
+            row.clear();
+            row.extend_from_slice(data.row(i));
+            self.transform_row(&mut row);
+            out.push_weighted(&row, data.label(i), data.weight(i));
+        }
+        out
+    }
+
+    /// Number of columns the transform covers.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            d.push(&[i as f32, 5.0 + 2.0 * (i % 10) as f32], i % 2 == 0);
+        }
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        for col in 0..2 {
+            let mean: f64 = (0..t.len()).map(|i| t.row(i)[col] as f64).sum::<f64>() / 100.0;
+            let var: f64 =
+                (0..t.len()).map(|i| (t.row(i)[col] as f64 - mean).powi(2)).sum::<f64>() / 100.0;
+            assert!(mean.abs() < 1e-5, "col {col} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "col {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let mut d = Dataset::new(1);
+        for _ in 0..10 {
+            d.push(&[7.0], true);
+        }
+        let s = Standardizer::fit(&d);
+        assert_eq!(s.transformed(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn labels_and_weights_preserved() {
+        let mut d = Dataset::new(1);
+        d.push_weighted(&[1.0], true, 2.5);
+        d.push_weighted(&[3.0], false, 0.5);
+        let t = Standardizer::fit(&d).transform(&d);
+        assert!(t.label(0) && !t.label(1));
+        assert_eq!(t.weight(0), 2.5);
+        assert_eq!(t.weight(1), 0.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Popularity-distribution analysis.
+//!
+//! The paper's related work (§6.2, citing Breslau et al. \[4\]) notes that
+//! cloud object access patterns are Zipf-like or Pareto. This module
+//! extracts the rank–frequency curve of a trace and fits the Zipf exponent
+//! `alpha` (`freq(rank) ∝ rank^{-alpha}`) by least squares in log–log
+//! space, so synthetic workloads can be checked against that expectation
+//! and external traces can be characterised the same way.
+
+use crate::types::Trace;
+
+/// Rank–frequency summary of a trace's object popularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopularityProfile {
+    /// Access counts in descending order (rank 1 first).
+    pub frequencies: Vec<u32>,
+    /// Fitted Zipf exponent over the head of the distribution.
+    pub zipf_alpha: f64,
+    /// Coefficient of determination of the log–log fit.
+    pub r_squared: f64,
+    /// Share of all accesses captured by the top 1 % of objects.
+    pub top_1pct_share: f64,
+    /// Share of all accesses captured by the top 10 % of objects.
+    pub top_10pct_share: f64,
+}
+
+/// Least-squares line fit; returns (slope, intercept, r²).
+fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return (0.0, mean_y, 0.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = (sxy * sxy) / (sxx * syy);
+    (slope, intercept, r2)
+}
+
+/// Analyse a trace's popularity distribution.
+///
+/// The Zipf fit uses ranks 1..=min(head, n) where `head` excludes the
+/// one-time tail (counts of 1 form a plateau that is not Zipf-distributed
+/// and would bias the fit).
+pub fn analyze(trace: &Trace) -> PopularityProfile {
+    let mut counts = vec![0u32; trace.meta.len()];
+    for r in &trace.requests {
+        counts[r.object.0 as usize] += 1;
+    }
+    let mut frequencies: Vec<u32> = counts.into_iter().filter(|&c| c > 0).collect();
+    frequencies.sort_unstable_by(|a, b| b.cmp(a));
+
+    let total: u64 = frequencies.iter().map(|&c| c as u64).sum();
+    let share_of_top = |fraction: f64| -> f64 {
+        if total == 0 || frequencies.is_empty() {
+            return 0.0;
+        }
+        let k = ((frequencies.len() as f64 * fraction).ceil() as usize).max(1);
+        let head: u64 = frequencies.iter().take(k).map(|&c| c as u64).sum();
+        head as f64 / total as f64
+    };
+
+    // Fit over the multi-access head.
+    let head_len = frequencies.iter().take_while(|&&c| c > 1).count().max(2).min(frequencies.len());
+    let (alpha, r2) = if head_len >= 2 {
+        let xs: Vec<f64> = (1..=head_len).map(|r| (r as f64).ln()).collect();
+        let ys: Vec<f64> = frequencies[..head_len].iter().map(|&c| (c as f64).ln()).collect();
+        let (slope, _, r2) = linear_fit(&xs, &ys);
+        (-slope, r2)
+    } else {
+        (0.0, 0.0)
+    };
+
+    PopularityProfile {
+        top_1pct_share: share_of_top(0.01),
+        top_10pct_share: share_of_top(0.10),
+        frequencies,
+        zipf_alpha: alpha,
+        r_squared: r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+    use crate::types::{ObjectId, Owner, OwnerId, PhotoMeta, PhotoType, Request, Terminal};
+
+    /// Build a trace with an exact count per object.
+    fn trace_with_counts(counts: &[u32]) -> Trace {
+        let meta = counts
+            .iter()
+            .map(|_| PhotoMeta { owner: OwnerId(0), ptype: PhotoType::L5, size: 1, upload_ts: 0 })
+            .collect();
+        let mut requests = Vec::new();
+        let mut ts = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                requests.push(Request {
+                    ts,
+                    object: ObjectId(i as u32),
+                    terminal: Terminal::Pc,
+                });
+                ts += 1;
+            }
+        }
+        Trace { requests, meta, owners: vec![Owner { activity: 0.5, active_friends: 0 }] }
+    }
+
+    #[test]
+    fn recovers_exact_zipf_exponent() {
+        // counts(rank) = round(1000 * rank^-1) for ranks 1..100.
+        let counts: Vec<u32> =
+            (1..=100).map(|r| (1000.0 / r as f64).round().max(2.0) as u32).collect();
+        let p = analyze(&trace_with_counts(&counts));
+        assert!((p.zipf_alpha - 1.0).abs() < 0.1, "alpha {}", p.zipf_alpha);
+        assert!(p.r_squared > 0.98, "r2 {}", p.r_squared);
+    }
+
+    #[test]
+    fn frequencies_are_sorted_descending() {
+        let p = analyze(&trace_with_counts(&[3, 1, 7, 2]));
+        assert_eq!(p.frequencies, vec![7, 3, 2, 1]);
+    }
+
+    #[test]
+    fn top_shares_are_monotone_and_bounded() {
+        let t = generate(&TraceConfig { n_objects: 5_000, seed: 13, ..Default::default() });
+        let p = analyze(&t);
+        assert!(p.top_1pct_share > 0.0 && p.top_1pct_share <= p.top_10pct_share);
+        assert!(p.top_10pct_share <= 1.0);
+        // Social workloads are head-heavy: top 10% of objects should carry
+        // well over their proportional share of accesses.
+        assert!(p.top_10pct_share > 0.25, "top 10% share {}", p.top_10pct_share);
+    }
+
+    #[test]
+    fn synthetic_trace_is_zipf_like() {
+        let t = generate(&TraceConfig { n_objects: 20_000, seed: 4, ..Default::default() });
+        let p = analyze(&t);
+        assert!(p.zipf_alpha > 0.2, "alpha {}", p.zipf_alpha);
+        assert!(p.r_squared > 0.7, "log-log fit r2 {}", p.r_squared);
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_alpha() {
+        let p = analyze(&trace_with_counts(&[5; 50]));
+        assert!(p.zipf_alpha.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_stable() {
+        let p = analyze(&Trace::default());
+        assert!(p.frequencies.is_empty());
+        assert_eq!(p.top_1pct_share, 0.0);
+    }
+}

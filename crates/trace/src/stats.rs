@@ -1,0 +1,160 @@
+//! Trace characterisation — the numbers of §2.2 and Figure 3.
+
+use crate::diurnal::DAY;
+use crate::types::{PhotoType, Trace, ALL_PHOTO_TYPES};
+
+/// Summary statistics of a trace, mirroring the paper's published trace
+/// characterisation (§2.2, Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total requests.
+    pub accesses: u64,
+    /// Distinct objects observed.
+    pub objects: u64,
+    /// Objects accessed exactly once.
+    pub one_time_objects: u64,
+    /// Fraction of objects accessed exactly once (paper: 61.5 %).
+    pub one_time_object_fraction: f64,
+    /// Fraction of accesses that go to one-time objects (paper reports
+    /// 25.5 %; by construction this also equals `one_time_objects/accesses`).
+    pub one_time_access_fraction: f64,
+    /// Upper bound on hit rate with an infinite cache:
+    /// `(accesses − objects) / accesses` (paper: capped at 74.5 %).
+    pub max_hit_rate: f64,
+    /// Mean accesses per object.
+    pub mean_accesses_per_object: f64,
+    /// Request share per photo type, in [`ALL_PHOTO_TYPES`] order (Figure 3).
+    pub request_share_by_type: [f64; 12],
+    /// Requests per hour-of-day (diurnal profile, §4.4.3).
+    pub requests_per_hour: [u64; 24],
+    /// Mean object size in bytes over distinct accessed objects.
+    pub mean_object_size: f64,
+}
+
+impl Trace {
+    /// Compute [`TraceStats`] over this trace.
+    pub fn characterize(&self) -> TraceStats {
+        let mut counts = vec![0u32; self.meta.len()];
+        let mut by_type = [0u64; 12];
+        let mut per_hour = [0u64; 24];
+        for r in &self.requests {
+            counts[r.object.0 as usize] += 1;
+            by_type[self.photo(r.object).ptype as usize] += 1;
+            per_hour[((r.ts % DAY) / 3600) as usize] += 1;
+        }
+        let accesses = self.requests.len() as u64;
+        let objects = counts.iter().filter(|&&c| c > 0).count() as u64;
+        let one_time = counts.iter().filter(|&&c| c == 1).count() as u64;
+        let (mut size_sum, mut size_n) = (0u64, 0u64);
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                size_sum += self.meta[i].size as u64;
+                size_n += 1;
+            }
+        }
+        let mut shares = [0.0f64; 12];
+        if accesses > 0 {
+            for (i, &n) in by_type.iter().enumerate() {
+                shares[i] = n as f64 / accesses as f64;
+            }
+        }
+        let div = |a: u64, b: u64| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        TraceStats {
+            accesses,
+            objects,
+            one_time_objects: one_time,
+            one_time_object_fraction: div(one_time, objects),
+            one_time_access_fraction: div(one_time, accesses),
+            max_hit_rate: div(accesses.saturating_sub(objects), accesses),
+            mean_accesses_per_object: div(accesses, objects),
+            request_share_by_type: shares,
+            requests_per_hour: per_hour,
+            mean_object_size: div(size_sum, size_n),
+        }
+    }
+}
+
+impl TraceStats {
+    /// Render the Figure-3 style per-type request shares as `(label, share)`
+    /// pairs in type order.
+    pub fn type_share_rows(&self) -> Vec<(&'static str, f64)> {
+        ALL_PHOTO_TYPES
+            .iter()
+            .map(|t| (t.label(), self.request_share_by_type[*t as usize]))
+            .collect()
+    }
+
+    /// The most-requested photo type (paper: `l5`).
+    pub fn dominant_type(&self) -> PhotoType {
+        let mut best = PhotoType::A0;
+        let mut best_share = -1.0;
+        for t in ALL_PHOTO_TYPES {
+            if self.request_share_by_type[t as usize] > best_share {
+                best_share = self.request_share_by_type[t as usize];
+                best = t;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+    use crate::types::{ObjectId, Owner, OwnerId, PhotoMeta, Request, Terminal};
+
+    #[test]
+    fn stats_on_handmade_trace() {
+        let meta = vec![
+            PhotoMeta { owner: OwnerId(0), ptype: PhotoType::L5, size: 10, upload_ts: 0 },
+            PhotoMeta { owner: OwnerId(0), ptype: PhotoType::A0, size: 20, upload_ts: 0 },
+            PhotoMeta { owner: OwnerId(0), ptype: PhotoType::A0, size: 30, upload_ts: 0 },
+        ];
+        let req = |ts, o| Request { ts, object: ObjectId(o), terminal: Terminal::Pc };
+        let t = Trace {
+            requests: vec![req(0, 0), req(1, 1), req(2, 0), req(3, 0)],
+            meta,
+            owners: vec![Owner { activity: 0.5, active_friends: 0 }],
+        };
+        let s = t.characterize();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.objects, 2); // object 2 never accessed
+        assert_eq!(s.one_time_objects, 1);
+        assert!((s.one_time_object_fraction - 0.5).abs() < 1e-12);
+        assert!((s.one_time_access_fraction - 0.25).abs() < 1e-12);
+        assert!((s.max_hit_rate - 0.5).abs() < 1e-12);
+        assert!((s.mean_accesses_per_object - 2.0).abs() < 1e-12);
+        assert!((s.mean_object_size - 15.0).abs() < 1e-12);
+        assert_eq!(s.dominant_type(), PhotoType::L5);
+    }
+
+    #[test]
+    fn synthetic_trace_matches_paper_marginals() {
+        let t = generate(&TraceConfig { n_objects: 20_000, seed: 11, ..Default::default() });
+        let s = t.characterize();
+        assert!((s.one_time_object_fraction - 0.615).abs() < 0.06);
+        assert!(s.max_hit_rate > 0.6 && s.max_hit_rate < 0.85);
+        assert_eq!(s.dominant_type(), PhotoType::L5);
+        // Shares sum to 1.
+        let sum: f64 = s.request_share_by_type.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = Trace::default().characterize();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.objects, 0);
+        assert_eq!(s.max_hit_rate, 0.0);
+        assert_eq!(s.mean_accesses_per_object, 0.0);
+    }
+
+    #[test]
+    fn type_share_rows_are_labelled() {
+        let t = generate(&TraceConfig { n_objects: 2_000, seed: 1, ..Default::default() });
+        let rows = t.characterize().type_share_rows();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[9].0, "l5");
+    }
+}

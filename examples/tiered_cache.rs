@@ -1,0 +1,56 @@
+//! Two-tier deployment: the paper's production topology (§2.1) with an
+//! Outside Cache (edge) in front of a Datacenter Cache, each with its own
+//! one-time-access-exclusion admission.
+//!
+//! Run with: `cargo run --release --example tiered_cache`
+
+use otae::core::tiered::{run_tiered, TierConfig, TieredConfig};
+use otae::core::{Mode, PolicyKind};
+use otae::device::LatencyModel;
+use otae::trace::{generate, TraceConfig};
+
+fn main() {
+    let trace = generate(&TraceConfig { n_objects: 25_000, seed: 3, ..Default::default() });
+    let unique = trace.unique_bytes();
+    println!(
+        "workload: {} requests, {:.1} GB unique bytes; OC = {:.0} MB edge cache, DC = {:.0} MB datacenter cache\n",
+        trace.len(),
+        unique as f64 / 1e9,
+        unique as f64 / 300.0 / 1e6,
+        unique as f64 / 30.0 / 1e6,
+    );
+
+    println!(
+        "{:<12} {:<12} {:>8} {:>10} {:>9} {:>13} {:>12}",
+        "OC admit", "DC admit", "OC hit", "OC+DC hit", "backend", "latency (us)", "SSD written"
+    );
+    println!("{}", "-".repeat(82));
+    for (oc_mode, dc_mode) in [
+        (Mode::Original, Mode::Original),
+        (Mode::Proposal, Mode::Proposal),
+        (Mode::Ideal, Mode::Ideal),
+    ] {
+        let cfg = TieredConfig {
+            oc: TierConfig { policy: PolicyKind::Lru, mode: oc_mode, capacity: unique / 300 },
+            dc: TierConfig { policy: PolicyKind::Lru, mode: dc_mode, capacity: unique / 30 },
+            wan_hop_us: 10_000.0, // 10 ms user->datacenter hop avoided on OC hits
+            latency: LatencyModel::default(),
+        };
+        let r = run_tiered(&trace, &cfg);
+        println!(
+            "{:<12} {:<12} {:>8.4} {:>10.4} {:>9.4} {:>13.1} {:>9.2} GB",
+            oc_mode.name(),
+            dc_mode.name(),
+            r.oc_hit_rate,
+            r.combined_hit_rate,
+            r.backend_fetch_rate,
+            r.mean_latency_us,
+            r.total_bytes_written as f64 / 1e9,
+        );
+    }
+    println!(
+        "\nThe OC (300x smaller than the working set) benefits most: excluding one-time\n\
+         photos multiplies its effective capacity, which shows up directly as end-user\n\
+         latency because OC hits skip the WAN hop."
+    );
+}

@@ -1,0 +1,60 @@
+//! Trace explorer: generate a workload, characterise it against the paper's
+//! published statistics, apply the §5.1 1:100 object sampling, and round-trip
+//! the binary codec.
+//!
+//! Run with: `cargo run --release --example trace_explorer`
+
+use otae::trace::codec::{from_bytes, to_bytes};
+use otae::trace::{analyze_popularity, generate, sample_objects, TraceConfig};
+
+fn main() {
+    let trace = generate(&TraceConfig { n_objects: 40_000, seed: 2024, ..Default::default() });
+    let stats = trace.characterize();
+
+    println!("== workload vs the paper's published statistics ==");
+    println!("requests              {:>10}", stats.accesses);
+    println!("objects               {:>10}", stats.objects);
+    println!("one-time objects      {:>9.1}%  (paper: 61.5%)", stats.one_time_object_fraction * 100.0);
+    println!("max hit rate          {:>9.1}%  (paper: 74.5%)", stats.max_hit_rate * 100.0);
+    println!("mean accesses/object  {:>10.2}  (paper: 3.95)", stats.mean_accesses_per_object);
+    println!("mean object size      {:>7.1} KB  (paper: ~32 KB)", stats.mean_object_size / 1024.0);
+
+    println!("\nrequest share by photo type (Figure 3; l5 dominates):");
+    for (label, share) in stats.type_share_rows() {
+        let bar = "#".repeat((share * 100.0).round() as usize);
+        println!("  {label}  {:>5.1}%  {bar}", share * 100.0);
+    }
+
+    println!("\nrequests per hour (20:00 peak / 05:00 trough):");
+    let max = *stats.requests_per_hour.iter().max().unwrap() as f64;
+    for (h, &n) in stats.requests_per_hour.iter().enumerate() {
+        let bar = "#".repeat((n as f64 / max * 40.0).round() as usize);
+        println!("  {h:02}  {bar}");
+    }
+
+    // §5.1 sampling: 1:100 over objects, preserving per-object access counts.
+    let sampled = sample_objects(&trace, 0.01, 1);
+    let sstats = sampled.characterize();
+    println!(
+        "\n1:100 sample: {} objects, {} requests (one-time fraction {:.1}% vs full {:.1}%)",
+        sstats.objects,
+        sstats.accesses,
+        sstats.one_time_object_fraction * 100.0,
+        stats.one_time_object_fraction * 100.0
+    );
+
+    // Popularity law (related work [4]: Zipf-like).
+    let pop = analyze_popularity(&trace);
+    println!(
+        "\npopularity: zipf alpha {:.2} (r^2 {:.2}); top 1% of objects = {:.1}% of accesses",
+        pop.zipf_alpha,
+        pop.r_squared,
+        pop.top_1pct_share * 100.0
+    );
+
+    // Codec round trip.
+    let bytes = to_bytes(&trace);
+    let back = from_bytes(&bytes).expect("own output must parse");
+    assert_eq!(back, trace);
+    println!("\nbinary codec: {} bytes, round-trip OK", bytes.len());
+}

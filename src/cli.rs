@@ -1,0 +1,395 @@
+//! Command-line interface logic for the `otae` binary.
+//!
+//! Subcommands:
+//!
+//! * `generate` — produce a calibrated synthetic trace (binary codec);
+//! * `stats` — characterise a trace (§2.2 numbers, Figure-3 type shares);
+//! * `sample` — the paper's 1:100 object sampling (§5.1);
+//! * `simulate` — run a policy × admission-mode simulation on a trace;
+//! * `convert` — export the binary trace as line-per-request text.
+//!
+//! Parsing is hand-rolled (no CLI crate on the offline allowlist) and lives
+//! here, separated from `main.rs`, so it is unit-testable.
+
+use otae_core::{run, Mode, PolicyKind, RunConfig};
+use otae_trace::codec::{read_binary, read_text, write_binary, write_text};
+use otae_trace::{generate, sample_objects, Trace, TraceConfig};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// CLI failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+otae — one-time-access-exclusion SSD cache simulator (ICPP 2018 reproduction)
+
+USAGE:
+  otae generate --out <trace.bin> [--objects N] [--seed S] [--days D] [--text <trace.txt>]
+  otae stats <trace.bin>
+  otae sample <trace.bin> --out <sampled.bin> [--rate R] [--seed S]
+  otae simulate <trace.bin> [--policy lru|fifo|lfu|s3lru|arc|lirs|2q|gdsf|belady]
+                            [--mode original|proposal|ideal]
+                            [--capacity-frac F | --capacity-mb MB]
+  otae convert <trace.bin> --out <trace.txt>
+  otae import <trace.txt> --out <trace.bin>
+
+Defaults: objects=50000, seed=42, days=9, rate=0.01, policy=lru,
+mode=proposal, capacity-frac=0.02 (fraction of unique bytes).";
+
+/// Simple `--key value` argument map with positional support.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("--{key} requires a value")))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| err(format!("missing required --{key}")))
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    read_binary(BufReader::new(file)).map_err(|e| err(format!("cannot parse {path}: {e}")))
+}
+
+fn save_trace(trace: &Trace, path: &str) -> Result<(), CliError> {
+    let file = File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
+    write_binary(trace, BufWriter::new(file)).map_err(|e| err(format!("cannot write {path}: {e}")))
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "lru" => PolicyKind::Lru,
+        "fifo" => PolicyKind::Fifo,
+        "lfu" => PolicyKind::Lfu,
+        "s3lru" => PolicyKind::S3Lru,
+        "arc" => PolicyKind::Arc,
+        "lirs" => PolicyKind::Lirs,
+        "2q" | "twoq" => PolicyKind::TwoQ,
+        "gdsf" => PolicyKind::Gdsf,
+        "belady" => PolicyKind::Belady,
+        other => return Err(err(format!("unknown policy: {other}"))),
+    })
+}
+
+fn parse_mode(s: &str) -> Result<Mode, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "original" => Mode::Original,
+        "proposal" => Mode::Proposal,
+        "ideal" => Mode::Ideal,
+        other => return Err(err(format!("unknown mode: {other}"))),
+    })
+}
+
+/// Execute a CLI invocation (without the program name). Returns the text to
+/// print on success.
+pub fn execute(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = Args::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&rest),
+        "stats" => cmd_stats(&rest),
+        "sample" => cmd_sample(&rest),
+        "simulate" => cmd_simulate(&rest),
+        "convert" => cmd_convert(&rest),
+        "import" => cmd_import(&rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let out = args.require("out")?;
+    let cfg = TraceConfig {
+        n_objects: args.get_parsed("objects", 50_000usize)?,
+        seed: args.get_parsed("seed", 42u64)?,
+        days: args.get_parsed("days", 9u32)?,
+        ..Default::default()
+    };
+    let trace = generate(&cfg);
+    save_trace(&trace, out)?;
+    if let Some(text_path) = args.get("text") {
+        let file =
+            File::create(text_path).map_err(|e| err(format!("cannot create {text_path}: {e}")))?;
+        write_text(&trace, BufWriter::new(file))
+            .map_err(|e| err(format!("cannot write {text_path}: {e}")))?;
+    }
+    Ok(format!(
+        "generated {} requests over {} objects ({} days, seed {}) -> {out}",
+        trace.len(),
+        trace.meta.len(),
+        cfg.days,
+        cfg.seed
+    ))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("stats needs a trace path"))?;
+    let trace = load_trace(path)?;
+    let s = trace.characterize();
+    let mut out = String::new();
+    let _ = writeln!(out, "requests              {}", s.accesses);
+    let _ = writeln!(out, "distinct objects      {}", s.objects);
+    let _ = writeln!(out, "one-time objects      {:.1}%", s.one_time_object_fraction * 100.0);
+    let _ = writeln!(out, "max hit rate          {:.1}%", s.max_hit_rate * 100.0);
+    let _ = writeln!(out, "mean accesses/object  {:.2}", s.mean_accesses_per_object);
+    let _ = writeln!(out, "mean object size      {:.1} KB", s.mean_object_size / 1024.0);
+    let _ = writeln!(out, "dominant type         {}", s.dominant_type().label());
+    let _ = writeln!(out, "type shares:");
+    for (label, share) in s.type_share_rows() {
+        let _ = writeln!(out, "  {label}  {:.1}%", share * 100.0);
+    }
+    Ok(out)
+}
+
+fn cmd_sample(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("sample needs a trace path"))?;
+    let out = args.require("out")?;
+    let rate: f64 = args.get_parsed("rate", 0.01)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(err("--rate must be in [0,1]"));
+    }
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let trace = load_trace(path)?;
+    let sampled = sample_objects(&trace, rate, seed);
+    let n = sampled.requests.len();
+    save_trace(&sampled, out)?;
+    Ok(format!("sampled {}/{} requests at rate {rate} -> {out}", n, trace.len()))
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("simulate needs a trace path"))?;
+    let trace = load_trace(path)?;
+    if trace.is_empty() {
+        return Err(err("trace has no requests"));
+    }
+    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
+    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+    let capacity = if let Some(mb) = args.get("capacity-mb") {
+        let mb: f64 =
+            mb.parse().map_err(|_| err(format!("invalid value for --capacity-mb: {mb}")))?;
+        (mb * 1e6) as u64
+    } else {
+        let frac: f64 = args.get_parsed("capacity-frac", 0.02)?;
+        (trace.unique_bytes() as f64 * frac) as u64
+    };
+    if capacity == 0 {
+        return Err(err("capacity must be positive"));
+    }
+    let result = run(&trace, &RunConfig::new(policy, mode, capacity));
+    let mut out = String::new();
+    let _ = writeln!(out, "policy            {}", policy.name());
+    let _ = writeln!(out, "admission         {}", mode.name());
+    let _ = writeln!(out, "capacity          {:.1} MB", capacity as f64 / 1e6);
+    let _ = writeln!(out, "one-time M        {}", result.criteria.m);
+    let _ = writeln!(out, "file hit rate     {:.4}", result.stats.file_hit_rate());
+    let _ = writeln!(out, "byte hit rate     {:.4}", result.stats.byte_hit_rate());
+    let _ = writeln!(out, "file write rate   {:.4}", result.stats.file_write_rate());
+    let _ = writeln!(out, "byte write rate   {:.4}", result.stats.byte_write_rate());
+    let _ = writeln!(out, "ssd bytes written {}", result.stats.bytes_written);
+    let _ = writeln!(out, "mean latency      {:.1} us", result.mean_latency_us);
+    if let Some(report) = &result.classifier {
+        let _ = writeln!(
+            out,
+            "classifier        precision {:.3}, recall {:.3}, accuracy {:.3} ({} trainings)",
+            report.overall.precision(),
+            report.overall.recall(),
+            report.overall.accuracy(),
+            report.trainings
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_import(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("import needs a text trace path"))?;
+    let out = args.require("out")?;
+    let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    let trace = read_text(BufReader::new(file))
+        .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    save_trace(&trace, out)?;
+    Ok(format!("imported {} requests over {} objects -> {out}", trace.len(), trace.meta.len()))
+}
+
+fn cmd_convert(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("convert needs a trace path"))?;
+    let out = args.require("out")?;
+    let trace = load_trace(path)?;
+    let file = File::create(out).map_err(|e| err(format!("cannot create {out}: {e}")))?;
+    write_text(&trace, BufWriter::new(file)).map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    Ok(format!("wrote {} text lines -> {out}", trace.len()))
+}
+
+/// Helper for tests: a unique temp path.
+#[cfg(test)]
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("otae-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{name}-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[cfg(test)]
+pub(crate) fn exists(path: &str) -> bool {
+    std::path::Path::new(path).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        execute(&owned)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let e = run_cli(&[]).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run_cli(&["frobnicate"]).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_cli(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_stats_sample_simulate_round_trip() {
+        let bin = temp_path("trace.bin");
+        let out = run_cli(&["generate", "--out", &bin, "--objects", "2000", "--seed", "7"])
+            .expect("generate");
+        assert!(out.contains("2000 objects") || out.contains("objects"));
+        assert!(exists(&bin));
+
+        let stats = run_cli(&["stats", &bin]).expect("stats");
+        assert!(stats.contains("one-time objects"));
+        assert!(stats.contains("l5"));
+
+        let sampled = temp_path("sampled.bin");
+        let s = run_cli(&["sample", &bin, "--out", &sampled, "--rate", "0.5"]).expect("sample");
+        assert!(s.contains("sampled"));
+        assert!(exists(&sampled));
+
+        let sim = run_cli(&[
+            "simulate",
+            &bin,
+            "--policy",
+            "lru",
+            "--mode",
+            "ideal",
+            "--capacity-frac",
+            "0.02",
+        ])
+        .expect("simulate");
+        assert!(sim.contains("file hit rate"));
+        assert!(sim.contains("one-time M"));
+
+        let text = temp_path("trace.txt");
+        let c = run_cli(&["convert", &bin, "--out", &text]).expect("convert");
+        assert!(c.contains("text lines"));
+        assert!(exists(&text));
+    }
+
+    #[test]
+    fn import_round_trips_through_text() {
+        let bin = temp_path("imp.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "800"]).expect("generate");
+        let text = temp_path("imp.txt");
+        run_cli(&["convert", &bin, "--out", &text]).expect("convert");
+        let back = temp_path("imp2.bin");
+        let msg = run_cli(&["import", &text, "--out", &back]).expect("import");
+        assert!(msg.contains("imported"));
+        // Imported trace simulates fine.
+        let sim = run_cli(&["simulate", &back, "--mode", "ideal"]).expect("simulate");
+        assert!(sim.contains("file hit rate"));
+    }
+
+    #[test]
+    fn simulate_reports_classifier_in_proposal_mode() {
+        let bin = temp_path("trace2.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "3000"]).expect("generate");
+        let sim = run_cli(&["simulate", &bin, "--mode", "proposal"]).expect("simulate");
+        assert!(sim.contains("classifier"), "proposal mode must report classifier metrics");
+    }
+
+    #[test]
+    fn invalid_policy_and_mode_are_rejected() {
+        let bin = temp_path("trace3.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "500"]).expect("generate");
+        assert!(run_cli(&["simulate", &bin, "--policy", "bogus"]).is_err());
+        assert!(run_cli(&["simulate", &bin, "--mode", "bogus"]).is_err());
+        assert!(run_cli(&["sample", &bin, "--out", "/tmp/x", "--rate", "2.0"]).is_err());
+    }
+
+    #[test]
+    fn missing_files_and_flags_are_reported() {
+        assert!(run_cli(&["stats", "/nonexistent/trace.bin"]).is_err());
+        assert!(run_cli(&["generate"]).unwrap_err().0.contains("--out"));
+        assert!(run_cli(&["generate", "--out"]).unwrap_err().0.contains("requires a value"));
+        assert!(run_cli(&["sample"]).is_err());
+    }
+
+    #[test]
+    fn flag_values_parse_or_fail_loudly() {
+        let e = run_cli(&["generate", "--out", "/tmp/x.bin", "--objects", "many"]).unwrap_err();
+        assert!(e.0.contains("invalid value"));
+    }
+}

@@ -1,0 +1,21 @@
+//! `otae` — command-line front end of the reproduction. See `otae help`.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match otae::cli::execute(&args) {
+        Ok(output) => {
+            // A closed pipe (e.g. `otae stats … | head`) is a normal way for
+            // the consumer to stop reading, not an error.
+            let mut stdout = std::io::stdout().lock();
+            if writeln!(stdout, "{output}").is_err() || stdout.flush().is_err() {
+                std::process::exit(0);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Codec interop: traces survive serialisation and produce bit-identical
+//! simulation results afterwards.
+
+use otae::core::{run, Mode, PolicyKind, RunConfig};
+use otae::trace::codec::{from_bytes, read_binary, to_bytes, write_binary, write_text};
+use otae::trace::{generate, TraceConfig};
+
+#[test]
+fn simulation_results_survive_binary_round_trip() {
+    let trace = generate(&TraceConfig { n_objects: 3_000, seed: 55, ..Default::default() });
+    let back = from_bytes(&to_bytes(&trace)).expect("round trip");
+    assert_eq!(trace, back);
+
+    let cap = trace.unique_bytes() / 50;
+    let cfg = RunConfig::new(PolicyKind::Lirs, Mode::Proposal, cap);
+    let a = run(&trace, &cfg);
+    let b = run(&back, &cfg);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.criteria.m, b.criteria.m);
+}
+
+#[test]
+fn binary_writer_reader_round_trip_through_io() {
+    let trace = generate(&TraceConfig { n_objects: 1_000, seed: 9, ..Default::default() });
+    let mut buf = Vec::new();
+    write_binary(&trace, &mut buf).expect("write");
+    let back = read_binary(&buf[..]).expect("read");
+    assert_eq!(trace, back);
+}
+
+#[test]
+fn text_export_is_line_per_request_and_parseable() {
+    let trace = generate(&TraceConfig { n_objects: 500, seed: 3, ..Default::default() });
+    let mut out = Vec::new();
+    write_text(&trace, &mut out).expect("write text");
+    let text = String::from_utf8(out).expect("utf8");
+    assert_eq!(text.lines().count(), trace.len());
+    // Timestamps in column 0 are non-decreasing integers.
+    let mut prev = 0u64;
+    for line in text.lines() {
+        let ts: u64 = line.split_whitespace().next().expect("ts").parse().expect("integer ts");
+        assert!(ts >= prev);
+        prev = ts;
+    }
+}
+
+#[test]
+fn corrupted_streams_are_rejected_not_misparsed() {
+    let trace = generate(&TraceConfig { n_objects: 300, seed: 4, ..Default::default() });
+    let bytes = to_bytes(&trace);
+    // Flip the object id of some request to an out-of-range value.
+    let mut broken = bytes.to_vec();
+    let len = broken.len();
+    broken[len - 5] = 0xFF;
+    broken[len - 4] = 0xFF;
+    broken[len - 3] = 0xFF;
+    broken[len - 2] = 0xFF;
+    assert!(from_bytes(&broken).is_err(), "out-of-range object id must not parse");
+}

@@ -1,0 +1,104 @@
+//! Integration coverage of the extension surfaces through the public `otae`
+//! facade: tiered topology, cluster fleet, online learning, FTL observer
+//! wiring, and the second-hit baseline — guarding the re-exports a
+//! downstream user would reach for.
+
+use otae::core::cluster::{run_cluster, ClusterConfig};
+use otae::core::online::{run_online_with, OnlineModelKind};
+use otae::core::pipeline::{run_with_observer, CacheEvent};
+use otae::core::reaccess::ReaccessIndex;
+use otae::core::tiered::{run_tiered_with_index, TierConfig, TieredConfig};
+use otae::core::{Mode, PolicyKind, RunConfig};
+use otae::device::{FtlConfig, FtlSim, LatencyModel};
+use otae::trace::{generate, Trace, TraceConfig};
+
+fn setup() -> (Trace, ReaccessIndex) {
+    let t = generate(&TraceConfig { n_objects: 5_000, seed: 2026, ..Default::default() });
+    let i = ReaccessIndex::build(&t);
+    (t, i)
+}
+
+#[test]
+fn tiered_topology_runs_and_conserves_requests() {
+    let (t, i) = setup();
+    let unique = t.unique_bytes();
+    let cfg = TieredConfig {
+        oc: TierConfig { policy: PolicyKind::Lru, mode: Mode::Proposal, capacity: unique / 200 },
+        dc: TierConfig { policy: PolicyKind::Arc, mode: Mode::Proposal, capacity: unique / 30 },
+        wan_hop_us: 10_000.0,
+        latency: LatencyModel::default(),
+    };
+    let r = run_tiered_with_index(&t, &i, &cfg);
+    let total = r.oc_hit_rate + (r.combined_hit_rate - r.oc_hit_rate) + r.backend_fetch_rate;
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(r.total_bytes_written > 0);
+}
+
+#[test]
+fn cluster_with_second_hit_admission_runs() {
+    let (t, i) = setup();
+    let cap = t.unique_bytes() / 100;
+    let r = run_cluster(&t, &i, &ClusterConfig::new(4, cap / 4, Mode::SecondHit));
+    assert_eq!(r.total.accesses as usize, t.len());
+    assert!(r.total.bypasses > 0, "doorkeeper must bypass first sightings");
+}
+
+#[test]
+fn online_learners_consume_delayed_labels() {
+    let (t, i) = setup();
+    let cap = t.unique_bytes() / 100;
+    for kind in [OnlineModelKind::Logistic, OnlineModelKind::Hoeffding] {
+        let r = run_online_with(&t, &i, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap), kind);
+        assert!(r.labels_consumed > 500, "{}: labels {}", kind.name(), r.labels_consumed);
+        assert_eq!(r.stats.accesses as usize, t.len());
+    }
+}
+
+#[test]
+fn observer_stream_reconciles_with_stats_and_drives_the_ftl() {
+    let (t, i) = setup();
+    let cap = t.unique_bytes() / 100;
+    let mut ftl = FtlSim::new(FtlConfig {
+        page_size: 4096,
+        pages_per_block: 128,
+        blocks: ((cap as f64 * 1.3) as u64).div_ceil(4096 * 128).max(8) as u32 + 4,
+        op_blocks: 4,
+        gc_threshold: 3,
+    });
+    let (mut inserts, mut evicts) = (0u64, 0u64);
+    let r = run_with_observer(
+        &t,
+        &i,
+        &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap),
+        &mut |event| match event {
+            CacheEvent::Insert { object, size } => {
+                inserts += 1;
+                ftl.write_object(object.0 as u64, size).expect("sized with headroom");
+            }
+            CacheEvent::Evict { object, .. } => {
+                evicts += 1;
+                ftl.invalidate_object(object.0 as u64);
+            }
+        },
+    );
+    assert_eq!(inserts, r.stats.files_written, "observer sees every SSD write");
+    assert_eq!(evicts, r.stats.evictions, "observer sees every eviction");
+    // The FTL's live bytes equal the cache's resident bytes, rounded up to
+    // whole pages per object — so bounded by used + one page per object.
+    let resident = r.stats.bytes_written - r.stats.bytes_evicted;
+    assert!(ftl.live_bytes() >= resident, "pages round up");
+    assert!(ftl.stats().write_amplification() >= 1.0);
+}
+
+#[test]
+fn per_day_timeline_covers_the_whole_window() {
+    let (t, i) = setup();
+    let cap = t.unique_bytes() / 100;
+    let r = otae::core::pipeline::run_with_index(
+        &t,
+        &i,
+        &RunConfig::new(PolicyKind::S3Lru, Mode::Original, cap),
+    );
+    assert_eq!(r.per_day_hit_rate.len(), 9);
+    assert!(r.latency_p25_us <= r.latency_p50_us && r.latency_p50_us <= r.latency_p99_us);
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core invariants: cache capacity
+//! accounting across random access streams, criteria monotonicity, sampling
+//! semantics, and metric bounds.
+
+use otae::cache::{ArcCache, Belady, Cache, Evicted, Fifo, Gdsf, Lfu, Lirs, Lru, S3Lru, TwoQ};
+use otae::core::reaccess::ReaccessIndex;
+use otae::core::solve_criteria;
+use otae::ml::metrics::roc_curve;
+use otae::ml::roc_auc;
+use otae::trace::{generate, sample_objects, TraceConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random (key, size) access streams with skewed reuse.
+fn access_streams() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..64, 1u64..5000), 1..400)
+}
+
+/// Drive a cache and check accounting invariants at every step.
+fn check_policy<C: Cache<u64>>(mut cache: C, accesses: &[(u64, u64)]) {
+    let mut evicted: Vec<Evicted<u64>> = Vec::new();
+    let mut resident: HashMap<u64, u64> = HashMap::new();
+    for (now, &(k, s)) in accesses.iter().enumerate() {
+        if cache.contains(&k) {
+            cache.on_hit(&k, now as u64);
+        } else {
+            evicted.clear();
+            cache.insert(k, s, now as u64, &mut evicted);
+            // Tentatively resident; policies may evict the inserted object
+            // itself (Belady for never-reused keys, S3LRU under demotion
+            // pressure), and oversized inserts are no-ops.
+            resident.insert(k, s);
+            for e in &evicted {
+                let size = resident.remove(&e.key);
+                assert_eq!(size, Some(e.size), "evicted entry must have been resident");
+            }
+            if !cache.contains(&k) {
+                resident.remove(&k);
+            }
+        }
+        assert!(cache.used() <= cache.capacity(), "used exceeds capacity");
+        let model_bytes: u64 = resident.values().sum();
+        assert_eq!(cache.used(), model_bytes, "byte accounting diverged from model");
+        assert_eq!(cache.len(), resident.len(), "entry count diverged from model");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(Lru::new(cap), &accesses);
+    }
+
+    #[test]
+    fn fifo_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(Fifo::new(cap), &accesses);
+    }
+
+    #[test]
+    fn lfu_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(Lfu::new(cap), &accesses);
+    }
+
+    #[test]
+    fn s3lru_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(S3Lru::new(cap), &accesses);
+    }
+
+    #[test]
+    fn arc_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(ArcCache::new(cap), &accesses);
+    }
+
+    #[test]
+    fn lirs_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(Lirs::new(cap), &accesses);
+    }
+
+    #[test]
+    fn twoq_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(TwoQ::new(cap), &accesses);
+    }
+
+    #[test]
+    fn gdsf_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        check_policy(Gdsf::new(cap), &accesses);
+    }
+
+    #[test]
+    fn belady_capacity_invariants(accesses in access_streams(), cap in 1000u64..50_000) {
+        let keys: Vec<u64> = accesses.iter().map(|a| a.0).collect();
+        check_policy(Belady::new(cap, &keys), &accesses);
+    }
+
+    #[test]
+    fn belady_never_loses_to_lru(accesses in access_streams(), cap in 1000u64..50_000) {
+        let keys: Vec<u64> = accesses.iter().map(|a| a.0).collect();
+        let hits = |cache: &mut dyn Cache<u64>| {
+            let mut evicted = Vec::new();
+            let mut n = 0u64;
+            for (now, &(k, s)) in accesses.iter().enumerate() {
+                if cache.contains(&k) {
+                    cache.on_hit(&k, now as u64);
+                    n += 1;
+                } else {
+                    evicted.clear();
+                    cache.insert(k, s, now as u64, &mut evicted);
+                }
+            }
+            n
+        };
+        let hb = hits(&mut Belady::new(cap, &keys));
+        let hl = hits(&mut Lru::new(cap));
+        prop_assert!(hb >= hl, "Belady {} < LRU {}", hb, hl);
+    }
+
+    #[test]
+    fn one_time_fraction_is_monotone_in_m(seed in 0u64..50) {
+        let trace = generate(&TraceConfig { n_objects: 400, seed, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let mut prev = 1.0f64;
+        for m in [0u64, 1, 10, 100, 1_000, 10_000, u64::MAX - 1] {
+            let p = index.one_time_fraction(m);
+            prop_assert!(p <= prev + 1e-12, "p must not grow with m");
+            prop_assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn criteria_m_is_monotone_in_capacity(seed in 0u64..20) {
+        let trace = generate(&TraceConfig { n_objects: 600, seed, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let s = trace.avg_object_size().max(1.0);
+        let mut prev = 0u64;
+        for cap in [1u64 << 18, 1 << 20, 1 << 22, 1 << 24] {
+            let sol = solve_criteria(&index, cap, s, 3);
+            prop_assert!(sol.m >= prev, "M must grow with capacity");
+            prev = sol.m;
+        }
+    }
+
+    #[test]
+    fn sampling_preserves_counts_and_order(seed in 0u64..30, rate in 0.05f64..0.9) {
+        let trace = generate(&TraceConfig { n_objects: 500, seed, ..Default::default() });
+        let sampled = sample_objects(&trace, rate, seed ^ 0xABCD);
+        prop_assert!(sampled.is_time_ordered());
+        let mut full: HashMap<u32, u32> = HashMap::new();
+        for r in &trace.requests {
+            *full.entry(r.object.0).or_insert(0) += 1;
+        }
+        let mut sub: HashMap<u32, u32> = HashMap::new();
+        for r in &sampled.requests {
+            *sub.entry(r.object.0).or_insert(0) += 1;
+        }
+        for (k, v) in &sub {
+            prop_assert_eq!(full[k], *v, "per-object counts preserved");
+        }
+    }
+
+    #[test]
+    fn auc_is_bounded_and_flip_invariant(
+        scores in proptest::collection::vec(0.0f32..1.0, 2..200),
+        flip in any::<u64>(),
+    ) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| (flip >> (i % 64)) & 1 == 1).collect();
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc), "auc {}", auc);
+        // Inverting labels mirrors the AUC around 0.5 (when both classes exist).
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if n_pos > 0 && n_pos < labels.len() {
+            let inverted: Vec<bool> = labels.iter().map(|&l| !l).collect();
+            let mirrored = roc_auc(&scores, &inverted);
+            prop_assert!((auc + mirrored - 1.0).abs() < 1e-9);
+        }
+        // The ROC curve stays within the unit square and is monotone.
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+            prop_assert!((0.0..=1.0).contains(&w[1].0) && (0.0..=1.0).contains(&w[1].1));
+        }
+    }
+}
