@@ -8,11 +8,7 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("generate_20k_objects", |b| {
         b.iter(|| {
-            generate(black_box(&TraceConfig {
-                n_objects: 20_000,
-                seed: 42,
-                ..Default::default()
-            }))
+            generate(black_box(&TraceConfig { n_objects: 20_000, seed: 42, ..Default::default() }))
         })
     });
     let trace = generate(&TraceConfig { n_objects: 20_000, seed: 42, ..Default::default() });

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure; CSVs land in results/.
 use otae_bench::experiments::{
-    ablations, baselines, cluster, drift, fig2, fig5, figures, ftl_wear, online, table1, tails,
-    tiered, trace_stats,
+    ablations, baselines, cluster, drift, fig2, fig5, figures, ftl_wear, online, serve, table1,
+    tails, tiered, trace_stats,
 };
 
 fn main() {
@@ -36,5 +36,6 @@ fn main() {
     drift::run();
     cluster::run();
     tails::run();
+    serve::run();
     println!("all experiments done in {:?}", t0.elapsed());
 }

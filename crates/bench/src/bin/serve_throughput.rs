@@ -1,0 +1,4 @@
+//! Extension: sharded concurrent service throughput and latency tails.
+fn main() {
+    otae_bench::experiments::serve::run();
+}

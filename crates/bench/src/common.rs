@@ -15,10 +15,7 @@ pub const PAPER_GBS: [f64; 10] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18
 /// Number of objects in the standard experiment trace (override with
 /// `OTAE_OBJECTS`).
 pub fn standard_objects() -> usize {
-    std::env::var("OTAE_OBJECTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60_000)
+    std::env::var("OTAE_OBJECTS").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000)
 }
 
 /// The standard 9-day experiment trace (deterministic, seed 42).
@@ -114,14 +111,10 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         std::fs::write(dir.join(format!("{name}.csv")), out)
     }

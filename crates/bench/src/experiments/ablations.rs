@@ -21,8 +21,7 @@ pub fn cost_matrix() {
     );
     for gb in [4.0, 16.0] {
         for v in [1.0f32, 2.0, 3.0, 5.0] {
-            let mut cfg =
-                RunConfig::new(PolicyKind::Lru, Mode::Proposal, gb_to_bytes(&trace, gb));
+            let mut cfg = RunConfig::new(PolicyKind::Lru, Mode::Proposal, gb_to_bytes(&trace, gb));
             cfg.training.cost = CostPolicy::Fixed(v);
             let r = run_with_index(&trace, &index, &cfg);
             let report = r.classifier.expect("proposal run");
@@ -49,8 +48,7 @@ pub fn history_table() {
     );
     for gb in [4.0, 10.0] {
         for use_history in [true, false] {
-            let mut cfg =
-                RunConfig::new(PolicyKind::Lru, Mode::Proposal, gb_to_bytes(&trace, gb));
+            let mut cfg = RunConfig::new(PolicyKind::Lru, Mode::Proposal, gb_to_bytes(&trace, gb));
             cfg.training.use_history = use_history;
             let r = run_with_index(&trace, &index, &cfg);
             let report = r.classifier.expect("proposal run");
@@ -71,10 +69,8 @@ pub fn features() {
     let trace = standard_trace();
     let data = build_dataset(&trace, 10.0, 16_000);
 
-    let mut gains = Table::new(
-        "Feature information gain (§3.2.2)",
-        &["feature", "information gain (bits)"],
-    );
+    let mut gains =
+        Table::new("Feature information gain (§3.2.2)", &["feature", "information gain (bits)"]);
     let mut ranked: Vec<(usize, f64)> =
         (0..data.n_features()).map(|c| (c, information_gain(&data, c, 16))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gain not NaN"));
@@ -88,9 +84,7 @@ pub fn features() {
         "Forward feature selection (paper picks avg_views, recency, age, access_time, type)",
         &["step", "feature", "CV accuracy"],
     );
-    for (step, (&col, &score)) in
-        selection.selected.iter().zip(&selection.scores).enumerate()
-    {
+    for (step, (&col, &score)) in selection.selected.iter().zip(&selection.scores).enumerate() {
         sel.push_row(vec![(step + 1).to_string(), FEATURE_NAMES[col].to_string(), f4(score)]);
     }
     sel.emit("feature_forward_selection");
@@ -150,9 +144,8 @@ pub fn ensemble_tradeoff() {
         &["model", "accuracy", "train time (ms)"],
     );
     let accuracy = |clf: &dyn Classifier| {
-        let correct = (0..test.len())
-            .filter(|&i| clf.predict(test.row(i)) == test.label(i))
-            .count();
+        let correct =
+            (0..test.len()).filter(|&i| clf.predict(test.row(i)) == test.label(i)).count();
         correct as f64 / test.len() as f64
     };
     let mut tree = DecisionTree::new(TreeParams::default());
@@ -165,11 +158,7 @@ pub fn ensemble_tradeoff() {
         let t0 = std::time::Instant::now();
         boost.fit(&train);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        t.push_row(vec![
-            format!("AdaBoost ({rounds})"),
-            f4(accuracy(&boost)),
-            format!("{ms:.1}"),
-        ]);
+        t.push_row(vec![format!("AdaBoost ({rounds})"), f4(accuracy(&boost)), format!("{ms:.1}")]);
     }
     t.emit("ablation_ensemble_tradeoff");
 }

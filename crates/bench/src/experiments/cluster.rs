@@ -28,11 +28,8 @@ pub fn run() {
                 );
                 (r.stats.file_hit_rate(), r.stats.file_write_rate(), 1.0)
             } else {
-                let r = run_cluster(
-                    &trace,
-                    &index,
-                    &ClusterConfig::new(n, total_cap / n as u64, mode),
-                );
+                let r =
+                    run_cluster(&trace, &index, &ClusterConfig::new(n, total_cap / n as u64, mode));
                 (r.total.file_hit_rate(), r.total.file_write_rate(), r.load_imbalance)
             };
             t.push_row(vec![

@@ -47,19 +47,12 @@ pub fn run() {
                 f4(b.confusion.accuracy()),
             ]);
         }
-        t.push_row(vec![
-            "all".into(),
-            f4(dr.overall.accuracy()),
-            f4(or.overall.accuracy()),
-        ]);
+        t.push_row(vec!["all".into(), f4(dr.overall.accuracy()), f4(or.overall.accuracy())]);
         t.push_row(vec![
             "hit rate".into(),
             f4(daily.stats.file_hit_rate()),
             f4(once.stats.file_hit_rate()),
         ]);
-        t.emit(&format!(
-            "ablation_drift_{}",
-            if drift == 0.0 { "stationary" } else { "drifting" }
-        ));
+        t.emit(&format!("ablation_drift_{}", if drift == 0.0 { "stationary" } else { "drifting" }));
     }
 }

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod figures;
 pub mod ftl_wear;
 pub mod online;
+pub mod serve;
 pub mod table1;
 pub mod tails;
 pub mod tiered;

@@ -15,7 +15,15 @@ pub fn run() {
 
     let mut t = Table::new(
         "Online vs daily-batch training (§4.4.3's unmeasured alternative)",
-        &["cache (GB)", "admission", "hit rate", "write rate", "precision", "recall", "latency (us)"],
+        &[
+            "cache (GB)",
+            "admission",
+            "hit rate",
+            "write rate",
+            "precision",
+            "recall",
+            "latency (us)",
+        ],
     );
     for gb in [2.0, 10.0] {
         let cap = gb_to_bytes(&trace, gb);

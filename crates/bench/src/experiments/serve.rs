@@ -1,0 +1,84 @@
+//! Extension: throughput scaling of the sharded concurrent service
+//! (`otae-serve`) — requests/second and modeled latency tails as the
+//! shard × worker topology grows, for the paper's Proposal admission and
+//! the Original (admit-everything) baseline.
+
+use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use otae_core::pipeline::{Mode, PolicyKind};
+use otae_core::ReaccessIndex;
+use otae_serve::{serve_trace_with_index, LoadConfig, ServeConfig, TrainerMode};
+
+/// Shard × worker topologies swept (clients scale with workers).
+const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
+
+/// Run the serve-throughput sweep and emit `results/serve_throughput.csv`.
+pub fn run() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    let capacity = gb_to_bytes(&trace, 10.0);
+
+    let mut table = Table::new(
+        "serve throughput — sharded service, unthrottled replay (10 GB paper-equivalent)",
+        &[
+            "mode",
+            "shards",
+            "workers",
+            "throughput_rps",
+            "file_hit_rate",
+            "file_write_rate",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "swaps",
+        ],
+    );
+    for mode in [Mode::Original, Mode::Proposal] {
+        for (shards, workers) in TOPOLOGIES {
+            let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+            cfg.shards = shards;
+            cfg.workers = workers;
+            cfg.trainer = TrainerMode::Background;
+            let load = LoadConfig { clients: workers.min(4), target_qps: 0.0, duration: None };
+            let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+            let s = &r.snapshot.stats;
+            table.push_row(vec![
+                mode.name().to_string(),
+                shards.to_string(),
+                workers.to_string(),
+                format!("{:.0}", r.throughput_rps),
+                f4(s.file_hit_rate()),
+                f4(s.file_write_rate()),
+                format!("{:.1}", r.latency_p50_us),
+                format!("{:.1}", r.latency_p99_us),
+                format!("{:.1}", r.latency_p999_us),
+                r.model_swaps.to_string(),
+            ]);
+        }
+    }
+    table.emit("serve_throughput");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_trace::{generate, TraceConfig};
+
+    #[test]
+    fn four_worker_topology_reports_throughput_and_p99() {
+        let trace = generate(&TraceConfig { n_objects: 2_000, seed: 5, ..Default::default() });
+        let index = ReaccessIndex::build(&trace);
+        let mut cfg = ServeConfig::new(
+            PolicyKind::Lru,
+            Mode::Proposal,
+            (trace.unique_bytes() as f64 * 0.02) as u64,
+        );
+        cfg.shards = 4;
+        cfg.workers = 4;
+        cfg.trainer = TrainerMode::Background;
+        let load = LoadConfig { clients: 2, target_qps: 0.0, duration: None };
+        let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+        assert_eq!(r.replayed as usize, trace.len());
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.latency_p99_us > 0.0);
+    }
+}

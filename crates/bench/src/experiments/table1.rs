@@ -42,11 +42,7 @@ pub fn build_dataset(trace: &Trace, gb: f64, max_rows: usize) -> Dataset {
 }
 
 /// Evaluate one classifier; returns (precision, recall, accuracy, auc).
-pub fn evaluate(
-    clf: &mut dyn Classifier,
-    train: &Dataset,
-    test: &Dataset,
-) -> (f64, f64, f64, f64) {
+pub fn evaluate(clf: &mut dyn Classifier, train: &Dataset, test: &Dataset) -> (f64, f64, f64, f64) {
     clf.fit(train);
     let preds = predict_all(clf, test);
     let scores = score_all(clf, test);
@@ -107,10 +103,9 @@ pub fn run() {
     // §3.1.2: tree shape under the 30-split budget.
     let mut tree = DecisionTree::new(TreeParams::default());
     tree.fit(&train);
-    let mean_path: f64 = (0..test.len().min(2000))
-        .map(|i| tree.decision_path_len(test.row(i)) as f64)
-        .sum::<f64>()
-        / test.len().min(2000) as f64;
+    let mean_path: f64 =
+        (0..test.len().min(2000)).map(|i| tree.decision_path_len(test.row(i)) as f64).sum::<f64>()
+            / test.len().min(2000) as f64;
     let mut shape = Table::new(
         "Tree shape (§3.1.2: <=30 splits, height ~5, <=5 comparisons typical)",
         &["metric", "value"],

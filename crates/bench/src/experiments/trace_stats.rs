@@ -43,10 +43,8 @@ pub fn run() {
     f3.emit("fig3_photo_types");
 
     let pop = otae_trace::analyze_popularity(&trace);
-    let mut z = Table::new(
-        "Popularity profile (related work [4]: Zipf-like)",
-        &["metric", "value"],
-    );
+    let mut z =
+        Table::new("Popularity profile (related work [4]: Zipf-like)", &["metric", "value"]);
     z.push_row(vec!["zipf alpha (head fit)".into(), f4(pop.zipf_alpha)]);
     z.push_row(vec!["log-log fit r^2".into(), f4(pop.r_squared)]);
     z.push_row(vec!["top 1% objects' access share".into(), pct(pop.top_1pct_share)]);

@@ -308,7 +308,7 @@ mod tests {
         c.on_hit(&1, 1);
         c.insert(2u64, 10, 2, &mut ev);
         c.insert(3u64, 10, 3, &mut ev); // evicts 1? depends on p=0 -> prefer t2? p=0 -> t1_bytes(10)>0 -> evict t1 (2)
-        // Force 1 out of T2 by more pressure with hits.
+                                        // Force 1 out of T2 by more pressure with hits.
         c.insert(4u64, 10, 4, &mut ev);
         c.insert(5u64, 10, 5, &mut ev);
         // Find whether 1 became a B2 ghost; if so re-access shrinks p.

@@ -42,13 +42,7 @@ impl<K: Key> Belady<K> {
             }
             last_seen.insert(*key, i as u64);
         }
-        Self {
-            capacity,
-            used: 0,
-            next_occurrence,
-            order: BTreeSet::new(),
-            map: HashMap::new(),
-        }
+        Self { capacity, used: 0, next_occurrence, order: BTreeSet::new(), map: HashMap::new() }
     }
 
     /// Build directly from a precomputed next-occurrence array (shared across
@@ -58,10 +52,7 @@ impl<K: Key> Belady<K> {
     }
 
     fn next_of(&self, now: u64) -> u64 {
-        self.next_occurrence
-            .get(now as usize)
-            .copied()
-            .unwrap_or(NEVER)
+        self.next_occurrence.get(now as usize).copied().unwrap_or(NEVER)
     }
 }
 

@@ -35,9 +35,9 @@ mod lirs;
 pub mod list;
 mod lru;
 mod s3lru;
-mod twoq;
 pub mod sim;
 pub mod stats;
+mod twoq;
 
 pub use arc::ArcCache;
 pub use belady::Belady;
@@ -47,9 +47,9 @@ pub use lfu::Lfu;
 pub use lirs::Lirs;
 pub use lru::Lru;
 pub use s3lru::S3Lru;
-pub use twoq::TwoQ;
 pub use sim::run_always_admit;
 pub use stats::CacheStats;
+pub use twoq::TwoQ;
 
 use std::hash::Hash;
 

@@ -192,17 +192,11 @@ impl<K: Key> Cache<K> for Lirs<K> {
     }
 
     fn len(&self) -> usize {
-        self.map
-            .values()
-            .filter(|s| matches!(s.state, State::Lir | State::HirResident))
-            .count()
+        self.map.values().filter(|s| matches!(s.state, State::Lir | State::HirResident)).count()
     }
 
     fn contains(&self, key: &K) -> bool {
-        matches!(
-            self.map.get(key),
-            Some(Slot { state: State::Lir | State::HirResident, .. })
-        )
+        matches!(self.map.get(key), Some(Slot { state: State::Lir | State::HirResident, .. }))
     }
 
     fn on_hit(&mut self, key: &K, _now: u64) {

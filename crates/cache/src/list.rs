@@ -319,6 +319,9 @@ mod tests {
             }
             assert_eq!(l.len(), model.len());
         }
-        assert_eq!(l.iter().copied().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            l.iter().copied().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
     }
 }

@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn segment_accounting_consistent() {
         let mut c = S3Lru::new(90);
-        let accesses: Vec<(u64, u64)> =
-            (0..200).map(|i| ((i * 7) % 23, 5 + (i % 4) * 3)).collect();
+        let accesses: Vec<(u64, u64)> = (0..200).map(|i| ((i * 7) % 23, 5 + (i % 4) * 3)).collect();
         drive(&mut c, &accesses);
         let sum: u64 = c.seg_used.iter().sum();
         assert_eq!(sum, c.used());

@@ -137,4 +137,55 @@ mod tests {
         assert_eq!(a.bytes_accessed, 30);
         assert_eq!(a.files_written, 1);
     }
+
+    /// Merge must cover every field: distinct primes per field in both
+    /// operands, so any dropped or double-counted field breaks the exact
+    /// sums. Guards the sharded service's snapshot aggregation.
+    #[test]
+    fn merge_covers_every_field_exactly_once() {
+        let a = CacheStats {
+            accesses: 2,
+            hits: 3,
+            bytes_accessed: 5,
+            bytes_hit: 7,
+            files_written: 11,
+            bytes_written: 13,
+            bypasses: 17,
+            evictions: 19,
+            bytes_evicted: 23,
+        };
+        let b = CacheStats {
+            accesses: 29,
+            hits: 31,
+            bytes_accessed: 37,
+            bytes_hit: 41,
+            files_written: 43,
+            bytes_written: 47,
+            bypasses: 53,
+            evictions: 59,
+            bytes_evicted: 61,
+        };
+        let mut m = a;
+        m.merge(&b);
+        let expected = CacheStats {
+            accesses: 31,
+            hits: 34,
+            bytes_accessed: 42,
+            bytes_hit: 48,
+            files_written: 54,
+            bytes_written: 60,
+            bypasses: 70,
+            evictions: 78,
+            bytes_evicted: 84,
+        };
+        assert_eq!(m, expected);
+
+        // Merging an empty block is the identity; merge is commutative.
+        let mut id = a;
+        id.merge(&CacheStats::default());
+        assert_eq!(id, a);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ba, m);
+    }
 }

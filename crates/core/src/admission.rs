@@ -58,23 +58,54 @@ impl ClassifierAdmission {
     /// Decide a miss: returns `true` to admit. `truth` is the offline label
     /// (used only for metric accounting, never for the decision).
     pub fn decide(&mut self, obj: ObjectId, features: &[f32], now: u64, truth: bool) -> bool {
-        let Some(model) = &self.model else {
-            return true; // untrained: admit everything
-        };
-        let predicted_one_time = model.predict(features);
-        self.confusion.record(truth, predicted_one_time);
-        if !predicted_one_time {
-            return true;
-        }
-        if !self.use_history {
-            return false;
-        }
-        if self.history.check_and_rectify(obj, now, self.m) {
-            return true; // §4.4.2: fast return rectifies the judgement
-        }
-        self.history.record_one_time(obj, now);
-        false
+        classifier_decide(
+            self.model.as_ref(),
+            &mut self.history,
+            &mut self.confusion,
+            self.use_history,
+            self.m,
+            obj,
+            features,
+            now,
+            truth,
+        )
     }
+}
+
+/// The Proposal admission decision with its state borrowed piecewise.
+///
+/// This is [`ClassifierAdmission::decide`] exposed for callers that keep the
+/// model somewhere other than inside the struct — e.g. a sharded service
+/// whose shards each own a history table and confusion matrix but share one
+/// hot-swappable model behind an `Arc`.
+#[allow(clippy::too_many_arguments)]
+pub fn classifier_decide(
+    model: Option<&DecisionTree>,
+    history: &mut HistoryTable,
+    confusion: &mut ConfusionMatrix,
+    use_history: bool,
+    m: u64,
+    obj: ObjectId,
+    features: &[f32],
+    now: u64,
+    truth: bool,
+) -> bool {
+    let Some(model) = model else {
+        return true; // untrained: admit everything
+    };
+    let predicted_one_time = model.predict(features);
+    confusion.record(truth, predicted_one_time);
+    if !predicted_one_time {
+        return true;
+    }
+    if !use_history {
+        return false;
+    }
+    if history.check_and_rectify(obj, now, m) {
+        return true; // §4.4.2: fast return rectifies the judgement
+    }
+    history.record_one_time(obj, now);
+    false
 }
 
 /// Runtime admission policy driven by the pipeline.

@@ -176,7 +176,7 @@ mod tests {
         let mut a = SecondHitAdmission::new(1000, 2, 9);
         assert!(!a.decide(ObjectId(1)));
         assert!(!a.decide(ObjectId(2))); // triggers reset at 2 misses
-        // History wiped: object 1 is "new" again.
+                                         // History wiped: object 1 is "new" again.
         assert!(!a.decide(ObjectId(1)));
     }
 

@@ -160,16 +160,17 @@ pub fn run_cluster(trace: &Trace, index: &ReaccessIndex, cfg: &ClusterConfig) ->
             admission: match cfg.mode {
                 Mode::Original => AdmissionPolicy::Always,
                 Mode::Ideal => AdmissionPolicy::Oracle { index, m },
-                Mode::Proposal => AdmissionPolicy::Classifier(Box::new(
-                    ClassifierAdmission::new(m, criteria.history_table_capacity()),
-                )),
-                Mode::SecondHit => AdmissionPolicy::SecondHit(
-                    crate::baseline::SecondHitAdmission::new(
+                Mode::Proposal => AdmissionPolicy::Classifier(Box::new(ClassifierAdmission::new(
+                    m,
+                    criteria.history_table_capacity(),
+                ))),
+                Mode::SecondHit => {
+                    AdmissionPolicy::SecondHit(crate::baseline::SecondHitAdmission::new(
                         trace.meta.len().max(1024) / cfg.n_nodes as usize,
                         2 * m,
                         0x5EED,
-                    ),
-                ),
+                    ))
+                }
             },
             trainer: DailyTrainer::new(cfg.training.clone(), v),
             sampler: MinuteSampler::new(cfg.training.records_per_minute),
@@ -242,11 +243,8 @@ pub fn run_cluster(trace: &Trace, index: &ReaccessIndex, cfg: &ClusterConfig) ->
     let mean = surviving.iter().map(|n| n.stats.accesses as f64).sum::<f64>()
         / surviving.len().max(1) as f64;
     let max = surviving.iter().map(|n| n.stats.accesses as f64).fold(0.0, f64::max);
-    let post_failure_hit_rate = if post_total > 0 {
-        post_hits as f64 / post_total as f64
-    } else {
-        total.file_hit_rate()
-    };
+    let post_failure_hit_rate =
+        if post_total > 0 { post_hits as f64 / post_total as f64 } else { total.file_hit_rate() };
     ClusterResult {
         per_node: nodes.into_iter().map(|n| n.stats).collect(),
         total,
@@ -326,8 +324,7 @@ mod tests {
         let total_cap = t.unique_bytes() / 50;
         let single =
             run_with_index(&t, &i, &RunConfig::new(PolicyKind::Lru, Mode::Original, total_cap));
-        let cluster =
-            run_cluster(&t, &i, &ClusterConfig::new(8, total_cap / 8, Mode::Original));
+        let cluster = run_cluster(&t, &i, &ClusterConfig::new(8, total_cap / 8, Mode::Original));
         // Partitioning can only lose (no shared capacity), but not by much
         // with a balanced ring.
         assert!(cluster.total.file_hit_rate() <= single.stats.file_hit_rate() + 0.01);

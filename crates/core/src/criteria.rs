@@ -29,10 +29,7 @@ impl CriteriaSolution {
     /// is the LIR-stack share of the cache.
     pub fn for_lirs(&self, stack_ratio: f64) -> CriteriaSolution {
         assert!((0.0..=1.0).contains(&stack_ratio));
-        CriteriaSolution {
-            m: ((self.m as f64 * stack_ratio) as u64).max(1),
-            ..*self
-        }
+        CriteriaSolution { m: ((self.m as f64 * stack_ratio) as u64).max(1), ..*self }
     }
 
     /// History-table capacity per §4.4.2: `M(1−h)p × 0.05` entries

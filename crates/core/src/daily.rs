@@ -140,11 +140,8 @@ pub fn train_tree(samples: &[Sample], v: f32, max_splits: usize) -> Option<Decis
     if data.positive_fraction() == 0.0 || data.positive_fraction() == 1.0 {
         return None;
     }
-    let mut tree = DecisionTree::new(TreeParams {
-        max_splits,
-        cost_fp: v,
-        ..TreeParams::default()
-    });
+    let mut tree =
+        DecisionTree::new(TreeParams { max_splits, cost_fp: v, ..TreeParams::default() });
     tree.fit(&data);
     Some(tree)
 }

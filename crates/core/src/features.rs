@@ -124,7 +124,12 @@ mod tests {
         Trace {
             requests: vec![],
             meta: vec![
-                PhotoMeta { owner: OwnerId(0), ptype: PhotoType::L5, size: 32 * 1024, upload_ts: 0 },
+                PhotoMeta {
+                    owner: OwnerId(0),
+                    ptype: PhotoType::L5,
+                    size: 32 * 1024,
+                    upload_ts: 0,
+                },
                 PhotoMeta {
                     owner: OwnerId(0),
                     ptype: PhotoType::A0,

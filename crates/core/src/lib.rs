@@ -40,13 +40,13 @@ pub mod criteria;
 pub mod daily;
 pub mod features;
 pub mod history;
-pub mod pipeline;
 pub mod online;
+pub mod pipeline;
 pub mod reaccess;
 pub mod sweep;
 pub mod tiered;
 
-pub use admission::{AdmissionKind, AdmissionPolicy};
+pub use admission::{classifier_decide, AdmissionKind, AdmissionPolicy, ClassifierAdmission};
 pub use baseline::{BloomFilter, SecondHitAdmission};
 pub use cluster::{run_cluster, ClusterConfig, ClusterResult, HashRing};
 pub use criteria::{solve_criteria, CriteriaSolution};

@@ -195,8 +195,7 @@ impl OnlineLogistic {
         self.standardizer.update(&label.features);
         let x = self.standardizer.transform(&label.features);
         let p = {
-            let z: f32 =
-                self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f32>() + self.bias;
+            let z: f32 = self.weights.iter().zip(&x).map(|(w, v)| w * v).sum::<f32>() + self.bias;
             1.0 / (1.0 + (-z).exp())
         };
         let y = if label.one_time { 1.0 } else { 0.0 };
@@ -284,11 +283,8 @@ pub fn run_online_with(
     assert_eq!(index.len(), trace.len());
     let avg = trace.avg_object_size().max(1.0);
     let base = solve_criteria(index, cfg.capacity, avg, cfg.criteria_iterations);
-    let criteria = if cfg.policy == PolicyKind::Lirs {
-        base.for_lirs(cfg.policy.stack_ratio())
-    } else {
-        base
-    };
+    let criteria =
+        if cfg.policy == PolicyKind::Lirs { base.for_lirs(cfg.policy.stack_ratio()) } else { base };
     let m = cfg.m_override.unwrap_or(criteria.m);
     let v = cfg.training.cost.resolve(cfg.capacity, trace.unique_bytes());
 
@@ -459,7 +455,8 @@ mod tests {
         let costly = train(4.0);
         // Count positive predictions over a grid: the costly model must be
         // more conservative.
-        let pos = |m: &OnlineLogistic| (0..100).filter(|i| m.predict(&row(*i as f32 / 100.0))).count();
+        let pos =
+            |m: &OnlineLogistic| (0..100).filter(|i| m.predict(&row(*i as f32 / 100.0))).count();
         assert!(pos(&costly) <= pos(&neutral));
     }
 
@@ -468,7 +465,8 @@ mod tests {
         let trace = generate(&TraceConfig { n_objects: 8_000, seed: 99, ..Default::default() });
         let index = ReaccessIndex::build(&trace);
         let cap = (trace.unique_bytes() as f64 * 0.02) as u64;
-        let online = run_online(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap));
+        let online =
+            run_online(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap));
         let orig =
             run_with_index(&trace, &index, &RunConfig::new(PolicyKind::Lru, Mode::Original, cap));
         assert!(online.labels_consumed > 1_000, "delayed labels must flow");

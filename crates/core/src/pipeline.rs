@@ -72,7 +72,11 @@ impl PolicyKind {
         }
     }
 
-    pub(crate) fn build(&self, capacity: u64, trace: &Trace) -> Box<dyn Cache<ObjectId>> {
+    /// Build the policy's cache over `capacity` bytes. The trace is needed
+    /// only by Belady (future-knowledge next-access table). The trait object
+    /// is `Send` so sharded services can move per-shard caches across
+    /// worker threads.
+    pub fn build(&self, capacity: u64, trace: &Trace) -> Box<dyn Cache<ObjectId> + Send> {
         match self {
             PolicyKind::Lru => Box::new(Lru::new(capacity)),
             PolicyKind::Fifo => Box::new(Fifo::new(capacity)),
@@ -254,11 +258,8 @@ pub fn run_with_observer(
     assert_eq!(index.len(), trace.len(), "index must match the trace");
     let avg_size = trace.avg_object_size().max(1.0);
     let base = solve_criteria(index, cfg.capacity, avg_size, cfg.criteria_iterations);
-    let criteria = if cfg.policy == PolicyKind::Lirs {
-        base.for_lirs(cfg.policy.stack_ratio())
-    } else {
-        base
-    };
+    let criteria =
+        if cfg.policy == PolicyKind::Lirs { base.for_lirs(cfg.policy.stack_ratio()) } else { base };
     let m = cfg.m_override.unwrap_or(criteria.m);
 
     let mut cache = cfg.policy.build(cfg.capacity, trace);

@@ -77,10 +77,7 @@ pub fn sweep(
     })
     .expect("sweep worker panicked");
 
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every point completed"))
-        .collect()
+    results.into_iter().map(|m| m.into_inner().expect("every point completed")).collect()
 }
 
 #[cfg(test)]
@@ -96,7 +93,10 @@ mod tests {
             &[100, 200, 300],
         );
         assert_eq!(g.len(), 12);
-        assert_eq!(g[0], SweepPoint { policy: PolicyKind::Lru, mode: Mode::Original, capacity: 100 });
+        assert_eq!(
+            g[0],
+            SweepPoint { policy: PolicyKind::Lru, mode: Mode::Original, capacity: 100 }
+        );
     }
 
     #[test]

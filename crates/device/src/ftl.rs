@@ -33,16 +33,20 @@ pub struct FtlConfig {
 impl Default for FtlConfig {
     fn default() -> Self {
         // A small simulated device: 256 MiB visible + 7% OP at 16 KiB pages.
-        Self { page_size: 16 * 1024, pages_per_block: 64, blocks: 275, op_blocks: 19, gc_threshold: 4 }
+        Self {
+            page_size: 16 * 1024,
+            pages_per_block: 64,
+            blocks: 275,
+            op_blocks: 19,
+            gc_threshold: 4,
+        }
     }
 }
 
 impl FtlConfig {
     /// Host-visible capacity in bytes.
     pub fn visible_bytes(&self) -> u64 {
-        (self.blocks - self.op_blocks) as u64
-            * self.pages_per_block as u64
-            * self.page_size as u64
+        (self.blocks - self.op_blocks) as u64 * self.pages_per_block as u64 * self.page_size as u64
     }
 }
 
@@ -193,8 +197,7 @@ impl FtlSim {
                 .iter()
                 .enumerate()
                 .filter(|(i, b)| {
-                    *i as u32 != self.active
-                        && b.write_ptr == self.cfg.pages_per_block
+                    *i as u32 != self.active && b.write_ptr == self.cfg.pages_per_block
                 })
                 .min_by_key(|(_, b)| b.valid)
                 .map(|(i, _)| i as u32);
@@ -242,16 +245,14 @@ impl FtlSim {
         self.invalidate_object(object);
         let pages = self.pages_for(size);
         // Reject writes that cannot fit even after perfect cleaning.
-        let usable = (self.cfg.blocks - self.cfg.gc_threshold) as u64
-            * self.cfg.pages_per_block as u64;
+        let usable =
+            (self.cfg.blocks - self.cfg.gc_threshold) as u64 * self.cfg.pages_per_block as u64;
         if self.live_pages + pages > usable {
             return Err(FtlError::DeviceFull);
         }
         self.objects.insert(object, Vec::with_capacity(pages as usize));
         for _ in 0..pages {
-            let step = self
-                .maybe_gc()
-                .and_then(|()| self.program_page(object, true));
+            let step = self.maybe_gc().and_then(|()| self.program_page(object, true));
             match step {
                 Ok(loc) => {
                     self.objects.get_mut(&object).expect("registered above").push(loc);
@@ -291,7 +292,13 @@ mod tests {
     use super::*;
 
     fn small() -> FtlConfig {
-        FtlConfig { page_size: 4096, pages_per_block: 16, blocks: 40, op_blocks: 8, gc_threshold: 3 }
+        FtlConfig {
+            page_size: 4096,
+            pages_per_block: 16,
+            blocks: 40,
+            op_blocks: 8,
+            gc_threshold: 3,
+        }
     }
 
     #[test]

@@ -38,8 +38,8 @@ impl Default for LatencyModel {
             t_ssd_read_us: 100.0,
             t_hdd_read_us: 3000.0,
             reference_size: 32 * 1024,
-            ssd_bandwidth: 500.0,  // 500 MB/s ≈ 500 bytes/µs
-            hdd_bandwidth: 150.0,  // 150 MB/s
+            ssd_bandwidth: 500.0, // 500 MB/s ≈ 500 bytes/µs
+            hdd_bandwidth: 150.0, // 150 MB/s
         }
     }
 }

@@ -159,8 +159,7 @@ impl Dataset {
             let lo = self.len() * fold / k;
             let hi = self.len() * (fold + 1) / k;
             let test: Vec<usize> = idx[lo..hi].to_vec();
-            let train: Vec<usize> =
-                idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+            let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
             out.push((self.subset(&train), self.subset(&test)));
         }
         out

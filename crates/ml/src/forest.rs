@@ -114,12 +114,10 @@ mod tests {
         let test = xor_dataset(600, 2);
         let mut rf = RandomForest::new(20, 7);
         rf.fit(&train);
-        let acc = predict_all(&rf, &test)
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
-            / test.len() as f64;
+        let acc =
+            predict_all(&rf, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
         assert!(acc > 0.88, "forest accuracy {acc}");
         assert_eq!(rf.n_fitted(), 20);
     }
@@ -145,8 +143,7 @@ mod tests {
         let mut b = RandomForest::new(8, 2);
         a.fit(&train);
         b.fit(&train);
-        let same =
-            (0..train.len()).all(|i| a.score(train.row(i)) == b.score(train.row(i)));
+        let same = (0..train.len()).all(|i| a.score(train.row(i)) == b.score(train.row(i)));
         assert!(!same);
     }
 

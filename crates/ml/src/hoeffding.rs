@@ -67,18 +67,8 @@ impl FeatureStats {
 
 #[derive(Debug, Clone)]
 enum HNode {
-    Leaf {
-        counts: [f64; 2],
-        feats: Vec<FeatureStats>,
-        since_check: u64,
-        depth: u32,
-    },
-    Split {
-        feature: u16,
-        threshold: f32,
-        left: u32,
-        right: u32,
-    },
+    Leaf { counts: [f64; 2], feats: Vec<FeatureStats>, since_check: u64, depth: u32 },
+    Split { feature: u16, threshold: f32, left: u32, right: u32 },
 }
 
 /// Incremental Hoeffding decision tree for binary classification.
@@ -389,9 +379,7 @@ mod tests {
         };
         let neutral = train(1.0);
         let costly = train(4.0);
-        let pos = |t: &HoeffdingTree| {
-            (0..100).filter(|i| t.predict(&[*i as f32 / 100.0])).count()
-        };
+        let pos = |t: &HoeffdingTree| (0..100).filter(|i| t.predict(&[*i as f32 / 100.0])).count();
         assert!(pos(&costly) <= pos(&neutral));
     }
 

@@ -105,12 +105,10 @@ mod tests {
         let test = ring_dataset(300, 2);
         let mut knn = Knn::new(7);
         knn.fit(&train);
-        let acc = predict_all(&knn, &test)
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
-            / test.len() as f64;
+        let acc =
+            predict_all(&knn, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
         assert!(acc > 0.9, "ring accuracy {acc}");
     }
 

@@ -34,8 +34,7 @@ impl LogisticRegression {
     }
 
     fn raw_score(&self, row: &[f32]) -> f32 {
-        let z: f32 =
-            self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f32>() + self.bias;
+        let z: f32 = self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f32>() + self.bias;
         Self::sigmoid(z)
     }
 }
@@ -109,12 +108,10 @@ mod tests {
         let test = linear_dataset(500, 2);
         let mut lr = LogisticRegression::new();
         lr.fit(&train);
-        let acc = predict_all(&lr, &test)
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
-            / test.len() as f64;
+        let acc =
+            predict_all(&lr, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
         assert!(acc > 0.95, "linear accuracy {acc}");
     }
 

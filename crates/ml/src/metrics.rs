@@ -146,7 +146,10 @@ pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<(f64, f64)> {
             }
             j += 1;
         }
-        out.push((if n_neg > 0.0 { fp / n_neg } else { 0.0 }, if n_pos > 0.0 { tp / n_pos } else { 0.0 }));
+        out.push((
+            if n_neg > 0.0 { fp / n_neg } else { 0.0 },
+            if n_pos > 0.0 { tp / n_pos } else { 0.0 },
+        ));
         i = j;
     }
     out

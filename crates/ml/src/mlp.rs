@@ -72,12 +72,9 @@ impl Classifier for Mlp {
         self.n_features = f;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let scale = (1.0 / (f as f32 + 1.0)).sqrt();
-        self.w1 = (0..self.hidden * (f + 1))
-            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
-            .collect();
-        self.w2 = (0..self.hidden + 1)
-            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
-            .collect();
+        self.w1 =
+            (0..self.hidden * (f + 1)).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect();
+        self.w2 = (0..self.hidden + 1).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect();
         self.standardizer = Some(st);
         if t.is_empty() {
             return;
@@ -143,12 +140,10 @@ mod tests {
         mlp.epochs = 80;
         mlp.lr = 0.3;
         mlp.fit(&train);
-        let acc = predict_all(&mlp, &test)
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
-            / test.len() as f64;
+        let acc =
+            predict_all(&mlp, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
         assert!(acc > 0.85, "XOR accuracy {acc}");
     }
 
@@ -171,8 +166,8 @@ mod tests {
         let mut b = Mlp::new(8, 6);
         a.fit(&train);
         b.fit(&train);
-        let same = (0..train.len())
-            .all(|i| (a.score(train.row(i)) - b.score(train.row(i))).abs() < 1e-9);
+        let same =
+            (0..train.len()).all(|i| (a.score(train.row(i)) - b.score(train.row(i))).abs() < 1e-9);
         assert!(!same);
     }
 

@@ -130,12 +130,10 @@ mod tests {
         let test = gaussian_blobs(500, 2.0, 2);
         let mut nb = NaiveBayes::new();
         nb.fit(&train);
-        let acc = predict_all(&nb, &test)
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
-            / test.len() as f64;
+        let acc =
+            predict_all(&nb, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
         assert!(acc > 0.95, "blob accuracy {acc}");
     }
 

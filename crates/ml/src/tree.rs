@@ -477,11 +477,7 @@ mod tests {
         let mut tree = DecisionTree::new(TreeParams::default());
         tree.fit(&train);
         let preds = predict_all(&tree, &test);
-        let acc = preds
-            .iter()
-            .zip(test.labels())
-            .filter(|(p, y)| *p == *y)
-            .count() as f64
+        let acc = preds.iter().zip(test.labels()).filter(|(p, y)| *p == *y).count() as f64
             / test.len() as f64;
         assert!(acc > 0.9, "XOR accuracy {acc}");
     }
@@ -498,11 +494,8 @@ mod tests {
     #[test]
     fn depth_cap_respected() {
         let train = xor_dataset(3000, 4);
-        let mut tree = DecisionTree::new(TreeParams {
-            max_depth: 2,
-            max_splits: 100,
-            ..Default::default()
-        });
+        let mut tree =
+            DecisionTree::new(TreeParams { max_depth: 2, max_splits: 100, ..Default::default() });
         tree.fit(&train);
         assert!(tree.depth() <= 2);
     }

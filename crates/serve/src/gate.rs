@@ -1,0 +1,117 @@
+//! The shared admission-model slot (hot-swap seam).
+
+use otae_ml::DecisionTree;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared slot holding the current admission classifier.
+///
+/// Request workers take a read lock only long enough to clone the `Arc`
+/// (nanoseconds), then classify against their private reference, so a
+/// retrainer swapping in a freshly trained tree never stalls the request
+/// path: in-flight requests finish against the model they resolved, new
+/// requests see the new one.
+#[derive(Debug, Default)]
+pub struct AdmissionGate {
+    model: RwLock<Option<Arc<DecisionTree>>>,
+    swaps: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// Empty gate: no model installed, every miss is admitted (cold-start
+    /// behaves like the paper's Original mode).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the current model (cheap: read-lock + `Arc` clone).
+    pub fn current(&self) -> Option<Arc<DecisionTree>> {
+        self.model.read().clone()
+    }
+
+    /// Install a freshly trained model, replacing the previous one.
+    pub fn install(&self, model: DecisionTree) {
+        self.install_arc(Arc::new(model));
+    }
+
+    /// Install an already-shared model.
+    pub fn install_arc(&self, model: Arc<DecisionTree>) {
+        *self.model.write() = Some(model);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of models installed so far (0 = still cold).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// True once a model has been installed.
+    pub fn is_warm(&self) -> bool {
+        self.swaps() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_ml::{Classifier, Dataset, TreeParams};
+
+    fn tree(threshold: f32) -> DecisionTree {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f32 / 100.0;
+            d.push(&[x], x > threshold);
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        t
+    }
+
+    #[test]
+    fn starts_cold_and_warms_on_install() {
+        let gate = AdmissionGate::new();
+        assert!(gate.current().is_none());
+        assert!(!gate.is_warm());
+        gate.install(tree(0.5));
+        assert!(gate.is_warm());
+        assert_eq!(gate.swaps(), 1);
+        let m = gate.current().expect("installed");
+        assert!(m.predict(&[0.9]));
+        assert!(!m.predict(&[0.1]));
+    }
+
+    #[test]
+    fn swap_replaces_model_but_keeps_old_snapshots_alive() {
+        let gate = AdmissionGate::new();
+        gate.install(tree(0.5));
+        let old = gate.current().expect("first");
+        gate.install(tree(0.2));
+        let new = gate.current().expect("second");
+        assert_eq!(gate.swaps(), 2);
+        // The old snapshot still classifies with the old boundary.
+        assert!(!old.predict(&[0.4]));
+        assert!(new.predict(&[0.4]));
+    }
+
+    #[test]
+    fn concurrent_readers_see_some_installed_model() {
+        let gate = std::sync::Arc::new(AdmissionGate::new());
+        gate.install(tree(0.5));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let gate = std::sync::Arc::clone(&gate);
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        assert!(gate.current().is_some());
+                    }
+                });
+            }
+            for t in [0.3f32, 0.6, 0.8] {
+                gate.install(tree(t));
+            }
+        })
+        .unwrap();
+        assert_eq!(gate.swaps(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! # otae-serve — sharded concurrent cache service with hot-swappable admission models
+//!
+//! The simulator crates answer *what* the paper's admission policy does to
+//! hit and write rates; this crate answers whether the design *serves*: a
+//! shard-per-core cache service where N independent shards (each a mutex
+//! around an [`otae_cache::Cache`] policy, a slice of the §4.4.2 history
+//! table, and its own counters) process requests drained from a bounded
+//! queue by K worker threads, while a background retrainer hot-swaps the
+//! daily-trained admission tree through a shared [`AdmissionGate`] without
+//! stalling the request path.
+//!
+//! ```text
+//!   trace ──prepare──▶ [PreparedRequest…]          AdmissionGate
+//!   (features, labels,       │                    (RwLock<Arc<tree>>)
+//!    model stamps)     M client threads                  ▲ install
+//!                            │ paced @ QPS         retrainer thread
+//!                      bounded channel             (samples ⇒ daily train)
+//!                            │
+//!                      K worker threads ──hash(object)──▶ shard mutex
+//!                                                         ┌─────────┐
+//!                                                         │ cache   │ ×N
+//!                                                         │ history │
+//!                                                         │ stats   │
+//!                                                         └─────────┘
+//! ```
+//!
+//! Two training deliveries are supported ([`TrainerMode`]): *Inline*
+//! stamps each request with the model current at its enqueue point, which
+//! makes a 1-shard/1-worker replay bit-identical to the single-threaded
+//! [`otae_core::pipeline::run`] (the cross-check tests assert this);
+//! *Background* resolves models at dispatch time from the gate — the
+//! production path, exercised by the hot-swap tests.
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod loadgen;
+pub mod request;
+pub mod retrainer;
+pub mod service;
+pub mod shard;
+
+pub use gate::AdmissionGate;
+pub use loadgen::LoadConfig;
+pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
+pub use retrainer::{run_retrainer, TrainMsg};
+pub use service::{serve_trace, serve_trace_with_index, ServeConfig, ServeReport, TrainerMode};
+pub use shard::{ShardedCache, Snapshot};
+
+/// Compile-time thread-safety guarantees for everything the service moves
+/// across or shares between threads. A regression (e.g. an `Rc` slipping
+/// into a cache policy or the trained tree) fails compilation here rather
+/// than at a distant spawn site.
+#[allow(dead_code)]
+mod thread_safety_assertions {
+    use super::*;
+
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+
+    const _: () = {
+        // Work items crossing the client ⇒ worker channel.
+        assert_send::<PreparedRequest>();
+        assert_send::<TrainMsg>();
+        // Shared service state read by every worker.
+        assert_send_sync::<AdmissionGate>();
+        assert_send_sync::<ShardedCache>();
+        // Classifier state moved into shards and the retrainer.
+        assert_send_sync::<otae_ml::DecisionTree>();
+        assert_send_sync::<otae_core::HistoryTable>();
+        assert_send_sync::<otae_core::ClassifierAdmission>();
+        assert_send_sync::<otae_core::baseline::SecondHitAdmission>();
+        assert_send_sync::<otae_cache::CacheStats>();
+        assert_send_sync::<otae_device::ResponseTime>();
+        // Every replacement policy must build into a Send trait object.
+        assert_send::<Box<dyn otae_cache::Cache<otae_trace::ObjectId> + Send>>();
+        // The admission policy enum itself (its Oracle variant borrows the
+        // reaccess index, so Send requires the index to be Sync).
+        assert_send::<otae_core::AdmissionPolicy<'static>>();
+        assert_sync::<otae_core::ReaccessIndex>();
+    };
+}

@@ -1,0 +1,91 @@
+//! The background retrainer thread (the production training path).
+//!
+//! Client threads forward one [`TrainMsg`] per submitted request; the
+//! retrainer owns the minute-capped sampler and the daily-training
+//! schedule, and installs each freshly fitted tree into the shared
+//! [`AdmissionGate`](crate::AdmissionGate) — a hot swap the request
+//! workers observe without ever blocking on training.
+
+use crate::gate::AdmissionGate;
+use crossbeam::channel::Receiver;
+use otae_core::daily::{DailyTrainer, MinuteSampler};
+use otae_core::{TrainingConfig, N_FEATURES};
+
+/// One observed request, as forwarded to the retrainer.
+#[derive(Debug, Clone)]
+pub struct TrainMsg {
+    /// Request timestamp (seconds since trace start).
+    pub ts: u64,
+    /// Feature row extracted for the request.
+    pub features: [f32; N_FEATURES],
+    /// Offline one-time-access label.
+    pub one_time: bool,
+}
+
+/// Drain `rx` until every sender hangs up, sampling records and retraining
+/// at each daily boundary. Returns the number of completed trainings.
+///
+/// With several client threads the forwarded stream is only approximately
+/// time-ordered (each client submits its own stride in order); the sampler
+/// and trainer tolerate the small interleaving skew, which matches how a
+/// production log tailer would behave.
+pub fn run_retrainer(
+    rx: Receiver<TrainMsg>,
+    gate: &AdmissionGate,
+    training: &TrainingConfig,
+    v: f32,
+) -> u32 {
+    let mut trainer = DailyTrainer::new(training.clone(), v);
+    let mut sampler = MinuteSampler::new(training.records_per_minute);
+    for msg in rx.iter() {
+        if let Some(model) = trainer.maybe_retrain(msg.ts, &mut sampler) {
+            gate.install(model);
+        }
+        sampler.offer(msg.ts, msg.features, msg.one_time);
+    }
+    trainer.trainings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use otae_trace::diurnal::DAY;
+
+    #[test]
+    fn trains_at_daily_boundaries_and_installs() {
+        let (tx, rx) = unbounded();
+        let gate = AdmissionGate::new();
+        let cfg = TrainingConfig::default();
+        // Two days of separable samples: x > 0.5 means one-time.
+        for day in 0..2u64 {
+            for i in 0..600u64 {
+                let ts = day * DAY + i * 120;
+                let mut features = [0.0f32; N_FEATURES];
+                features[0] = (i % 100) as f32 / 100.0;
+                tx.send(TrainMsg { ts, features, one_time: (i % 100) >= 50 }).unwrap();
+            }
+        }
+        drop(tx);
+        let trainings = run_retrainer(rx, &gate, &cfg, 2.0);
+        assert_eq!(trainings, 1, "day-1 boundary fires once within 2 days");
+        assert_eq!(gate.swaps(), 1);
+        let model = gate.current().expect("model installed");
+        use otae_ml::Classifier;
+        let mut hi = [0.0f32; N_FEATURES];
+        hi[0] = 0.95;
+        let mut lo = [0.0f32; N_FEATURES];
+        lo[0] = 0.05;
+        assert!(model.predict(&hi));
+        assert!(!model.predict(&lo));
+    }
+
+    #[test]
+    fn empty_stream_never_trains() {
+        let (tx, rx) = unbounded::<TrainMsg>();
+        drop(tx);
+        let gate = AdmissionGate::new();
+        assert_eq!(run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0), 0);
+        assert!(!gate.is_warm());
+    }
+}

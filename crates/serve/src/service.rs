@@ -1,0 +1,416 @@
+//! The service orchestrator: prepare → (clients ⇒ queue ⇒ workers) →
+//! snapshot, with an optional background retrainer hot-swapping the
+//! admission model mid-replay.
+
+use crate::gate::AdmissionGate;
+use crate::loadgen::{replay_client, LoadConfig};
+use crate::request::{prepare, ModelSource, PreparedRequest};
+use crate::retrainer::run_retrainer;
+use crate::shard::{Params, ShardedCache, Snapshot};
+use crossbeam::channel::{bounded, unbounded, Receiver};
+use otae_core::baseline::SecondHitAdmission;
+use otae_core::pipeline::{Mode, PolicyKind};
+use otae_core::{solve_criteria, CriteriaSolution, ReaccessIndex, TrainingConfig};
+use otae_device::LatencyModel;
+use otae_ml::DecisionTree;
+use otae_trace::Trace;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How Proposal-mode models are trained and delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainerMode {
+    /// The prepare pass drives the daily trainer and stamps each request
+    /// with the model current at its enqueue point. Deterministic: a
+    /// 1-shard/1-worker replay reproduces the single-threaded simulator
+    /// exactly, regardless of queue depth or scheduling.
+    Inline,
+    /// A dedicated retrainer thread samples forwarded requests, trains at
+    /// daily boundaries, and hot-swaps the shared gate; workers resolve
+    /// the model at dispatch time. This is the production path.
+    Background,
+}
+
+/// Full configuration of a serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of independent cache shards.
+    pub shards: usize,
+    /// Number of request-processing worker threads.
+    pub workers: usize,
+    /// Bound of the ingestion queue (requests buffered between clients and
+    /// workers).
+    pub queue_depth: usize,
+    /// Replacement policy (each shard runs its own instance).
+    pub policy: PolicyKind,
+    /// Admission mode (the paper's Original/Proposal/Ideal/SecondHit).
+    pub mode: Mode,
+    /// Training delivery for Proposal mode (ignored otherwise).
+    pub trainer: TrainerMode,
+    /// Total cache capacity in bytes, split evenly across shards.
+    pub capacity: u64,
+    /// Classifier training configuration (Proposal only).
+    pub training: TrainingConfig,
+    /// Device latency model for service-time accounting.
+    pub latency: LatencyModel,
+    /// Criteria fixed-point rounds (§4.3; paper uses 3).
+    pub criteria_iterations: usize,
+    /// Override the computed one-time-access threshold `M`.
+    pub m_override: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Config with single-shard/single-worker topology and paper-default
+    /// training, latency and criteria settings.
+    pub fn new(policy: PolicyKind, mode: Mode, capacity: u64) -> Self {
+        Self {
+            shards: 1,
+            workers: 1,
+            queue_depth: 1024,
+            policy,
+            mode,
+            trainer: TrainerMode::Inline,
+            capacity,
+            training: TrainingConfig::default(),
+            latency: LatencyModel::default(),
+            criteria_iterations: 3,
+            m_override: None,
+        }
+    }
+}
+
+/// Outcome of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Final merged + per-shard statistics.
+    pub snapshot: Snapshot,
+    /// Criteria solution used for labels/admission.
+    pub criteria: CriteriaSolution,
+    /// Requests actually submitted (equals the trace length unless a
+    /// duration cap cut the replay short).
+    pub replayed: u64,
+    /// Wall-clock time of the replay phase (excludes prepare).
+    pub wall: Duration,
+    /// Requests processed per wall-clock second.
+    pub throughput_rps: f64,
+    /// Admission models installed into the gate over the run.
+    pub model_swaps: u64,
+    /// Completed daily trainings.
+    pub trainings: u32,
+    /// Mean modeled service latency (µs).
+    pub mean_latency_us: f64,
+    /// Median modeled service latency (µs).
+    pub latency_p50_us: f64,
+    /// 99th-percentile modeled service latency (µs).
+    pub latency_p99_us: f64,
+    /// 99.9th-percentile modeled service latency (µs).
+    pub latency_p999_us: f64,
+}
+
+/// Replay a trace through the sharded service, building the reaccess index
+/// internally. For repeated runs share the index via
+/// [`serve_trace_with_index`].
+pub fn serve_trace(trace: &Trace, cfg: &ServeConfig, load: &LoadConfig) -> ServeReport {
+    let index = ReaccessIndex::build(trace);
+    serve_trace_with_index(trace, &index, cfg, load)
+}
+
+/// Replay a trace through the sharded service against a precomputed
+/// reaccess index.
+pub fn serve_trace_with_index(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    cfg: &ServeConfig,
+    load: &LoadConfig,
+) -> ServeReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(load.clients > 0, "need at least one client");
+    assert_eq!(index.len(), trace.len(), "index must match the trace");
+
+    // Criteria resolution mirrors the single-threaded pipeline exactly.
+    let avg_size = trace.avg_object_size().max(1.0);
+    let base = solve_criteria(index, cfg.capacity, avg_size, cfg.criteria_iterations);
+    let criteria =
+        if cfg.policy == PolicyKind::Lirs { base.for_lirs(cfg.policy.stack_ratio()) } else { base };
+    let m = cfg.m_override.unwrap_or(criteria.m);
+    let v = cfg.training.cost.resolve(cfg.capacity, trace.unique_bytes());
+
+    let gate = AdmissionGate::new();
+    let prepared = prepare(trace, index, cfg, &gate, m, v);
+
+    let second_hit = (cfg.mode == Mode::SecondHit).then(|| {
+        SecondHitAdmission::new(
+            trace.meta.len().max(1024),
+            2 * m.min(u64::MAX / 2),
+            cfg.training.max_splits as u64 ^ 0x5EED,
+        )
+    });
+    let params = Params {
+        latency: cfg.latency,
+        mode: cfg.mode,
+        classified: cfg.mode != Mode::Original,
+        use_history: cfg.training.use_history,
+        m,
+    };
+    let sharded = ShardedCache::new(
+        cfg.shards,
+        cfg.policy,
+        cfg.capacity,
+        criteria.history_table_capacity(),
+        trace,
+        params,
+        second_hit,
+    );
+
+    let background = cfg.mode == Mode::Proposal && cfg.trainer == TrainerMode::Background;
+    let (req_tx, req_rx) = bounded::<PreparedRequest>(cfg.queue_depth.max(1));
+    let (sample_tx, sample_rx) = if background {
+        let (tx, rx) = unbounded();
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
+
+    let mut replayed = 0u64;
+    let mut background_trainings = 0u32;
+    let start = Instant::now();
+    crossbeam::thread::scope(|s| {
+        let retrainer = sample_rx.map(|rx| {
+            let gate = &gate;
+            let training = &cfg.training;
+            s.spawn(move |_| run_retrainer(rx, gate, training, v))
+        });
+        let workers: Vec<_> = (0..cfg.workers)
+            .map(|_| {
+                let rx = req_rx.clone();
+                let sharded = &sharded;
+                let gate = &gate;
+                s.spawn(move |_| run_worker(rx, sharded, gate))
+            })
+            .collect();
+        drop(req_rx);
+
+        let clients: Vec<_> = (0..load.clients)
+            .map(|c| {
+                let tx = req_tx.clone();
+                let stx = sample_tx.clone();
+                let prepared = &prepared.requests;
+                s.spawn(move |_| {
+                    replay_client(c, load.clients, prepared, load, start, &tx, stx.as_ref())
+                })
+            })
+            .collect();
+        drop(req_tx);
+        drop(sample_tx);
+
+        replayed = clients.into_iter().map(|h| h.join().expect("client thread")).sum();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        if let Some(r) = retrainer {
+            background_trainings = r.join().expect("retrainer thread");
+        }
+    })
+    .expect("serve scope");
+    let wall = start.elapsed();
+
+    let snapshot = sharded.snapshot();
+    let response = snapshot.response.clone();
+    ServeReport {
+        snapshot,
+        criteria,
+        replayed,
+        wall,
+        throughput_rps: replayed as f64 / wall.as_secs_f64().max(1e-9),
+        model_swaps: gate.swaps(),
+        trainings: if background { background_trainings } else { prepared.trainings },
+        mean_latency_us: response.mean_us(),
+        latency_p50_us: response.percentile_us(0.5),
+        latency_p99_us: response.percentile_us(0.99),
+        latency_p999_us: response.percentile_us(0.999),
+    }
+}
+
+/// Drain the request queue into the sharded cache until every client hangs
+/// up, resolving each request's admission model per its [`ModelSource`].
+fn run_worker(rx: Receiver<PreparedRequest>, sharded: &ShardedCache, gate: &AdmissionGate) {
+    for req in rx.iter() {
+        let model: Option<Arc<DecisionTree>> = match &req.model {
+            ModelSource::Stamped(model) => model.clone(),
+            ModelSource::Gate => gate.current(),
+        };
+        sharded.process(&req, model.as_deref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_ml::{Classifier, Dataset, TreeParams};
+    use otae_trace::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(&TraceConfig { n_objects: 4_000, seed: 17, ..Default::default() })
+    }
+
+    fn cap(t: &Trace) -> u64 {
+        (t.unique_bytes() as f64 * 0.02) as u64
+    }
+
+    #[test]
+    fn original_mode_serves_whole_trace() {
+        let t = trace();
+        let cfg = ServeConfig::new(PolicyKind::Lru, Mode::Original, cap(&t));
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert_eq!(r.replayed as usize, t.len());
+        assert_eq!(r.snapshot.stats.accesses as usize, t.len());
+        assert_eq!(r.snapshot.stats.bypasses, 0);
+        assert!(r.throughput_rps > 0.0);
+        assert_eq!(r.model_swaps, 0);
+        assert!(r.latency_p999_us >= r.latency_p99_us);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+    }
+
+    #[test]
+    fn sharded_multiworker_conserves_accesses() {
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Ideal, cap(&t));
+        cfg.shards = 4;
+        cfg.workers = 4;
+        let load = LoadConfig { clients: 2, target_qps: 0.0, duration: None };
+        let r = serve_trace(&t, &cfg, &load);
+        assert_eq!(r.snapshot.stats.accesses as usize, t.len());
+        let s = &r.snapshot.stats;
+        assert_eq!(s.accesses, s.hits + s.files_written + s.bypasses);
+        assert!(s.bypasses > 0, "ideal mode must bypass one-time objects");
+    }
+
+    #[test]
+    fn background_trainer_swaps_models_in() {
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Proposal, cap(&t));
+        cfg.trainer = TrainerMode::Background;
+        cfg.shards = 2;
+        cfg.workers = 2;
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert_eq!(r.snapshot.stats.accesses as usize, t.len());
+        assert!(r.trainings >= 7, "9-day trace retrains daily: {}", r.trainings);
+        assert_eq!(r.model_swaps, r.trainings as u64);
+    }
+
+    #[test]
+    fn second_hit_mode_is_served() {
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::SecondHit, cap(&t));
+        cfg.shards = 2;
+        cfg.workers = 2;
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert_eq!(r.snapshot.stats.accesses as usize, t.len());
+        assert!(r.snapshot.stats.bypasses > 0, "doorkeeper must bypass first-timers");
+    }
+
+    #[test]
+    fn duration_cap_stops_early() {
+        let t = trace();
+        let cfg = ServeConfig::new(PolicyKind::Lru, Mode::Original, cap(&t));
+        let load = LoadConfig {
+            clients: 1,
+            target_qps: 200.0,
+            duration: Some(Duration::from_millis(100)),
+        };
+        let r = serve_trace(&t, &cfg, &load);
+        assert!(r.replayed > 0);
+        assert!((r.replayed as usize) < t.len(), "cap must stop the replay");
+        assert_eq!(r.snapshot.stats.accesses, r.replayed);
+    }
+
+    fn tree(threshold: f32) -> DecisionTree {
+        let mut d = Dataset::new(otae_core::N_FEATURES);
+        for i in 0..100 {
+            let mut row = [0.0f32; otae_core::N_FEATURES];
+            row[0] = i as f32 / 100.0;
+            d.push(&row, row[0] > threshold);
+        }
+        let mut m = DecisionTree::new(TreeParams::default());
+        m.fit(&d);
+        m
+    }
+
+    /// The ISSUE's hot-swap acceptance test: four workers replay a stream
+    /// resolving the model from the gate per request while the main thread
+    /// keeps swapping fresh models in; the replay must complete (no
+    /// blocking) and the workers must observe installed models.
+    #[test]
+    fn hot_swap_mid_replay_never_blocks_workers() {
+        let t = trace();
+        let index = ReaccessIndex::build(&t);
+        let m = 1000u64;
+        let params = Params {
+            latency: LatencyModel::default(),
+            mode: Mode::Proposal,
+            classified: true,
+            use_history: true,
+            m,
+        };
+        let sharded = ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None);
+        let gate = AdmissionGate::new();
+        gate.install(tree(0.5)); // warm before replay so every decision consults a model
+        let n = 40_000.min(t.len());
+        let reqs: Vec<PreparedRequest> = t.requests[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut features = [0.0f32; otae_core::N_FEATURES];
+                features[0] = (i % 100) as f32 / 100.0;
+                PreparedRequest {
+                    idx: i as u64,
+                    ts: req.ts,
+                    object: req.object,
+                    size: t.photo(req.object).size as u64,
+                    features,
+                    truth: index.is_one_time(i, m),
+                    model: ModelSource::Gate,
+                }
+            })
+            .collect();
+
+        let (tx, rx) = bounded::<PreparedRequest>(256);
+        let swaps_target = 50u64;
+        crossbeam::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let sharded = &sharded;
+                    let gate = &gate;
+                    s.spawn(move |_| run_worker(rx, sharded, gate))
+                })
+                .collect();
+            drop(rx);
+            let producer = {
+                let reqs = &reqs;
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for r in reqs {
+                        tx.send(r.clone()).unwrap();
+                    }
+                })
+            };
+            drop(tx);
+            // Swap models while the replay is in flight.
+            for i in 0..swaps_target {
+                gate.install(tree(0.2 + 0.6 * (i % 10) as f32 / 10.0));
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            producer.join().expect("producer");
+            for w in workers {
+                w.join().expect("worker");
+            }
+        })
+        .expect("scope");
+
+        assert_eq!(gate.swaps(), swaps_target + 1);
+        let snap = sharded.snapshot();
+        assert_eq!(snap.stats.accesses as usize, n, "every request must be served");
+        assert!(snap.confusion.total() > 0, "workers must have consulted the models");
+    }
+}

@@ -1,0 +1,271 @@
+//! The sharded cache: N independent single-threaded caches behind mutexes.
+//!
+//! Each shard owns a replacement policy, its slice of the history table,
+//! and its own counters, so the only cross-shard state on the request path
+//! is the admission model `Arc` (and, for the SecondHit baseline, its
+//! doorkeeper filter). Objects map to shards by id hash, so a shard's
+//! state evolves exactly like a small single-threaded simulator over the
+//! subsequence of requests routed to it.
+
+use crate::request::PreparedRequest;
+use otae_cache::{Cache, CacheStats, Evicted};
+use otae_core::baseline::SecondHitAdmission;
+use otae_core::classifier_decide;
+use otae_core::pipeline::{Mode, PolicyKind};
+use otae_core::HistoryTable;
+use otae_device::{LatencyModel, ResponseTime};
+use otae_ml::{ConfusionMatrix, DecisionTree};
+use otae_trace::{ObjectId, Trace};
+use parking_lot::Mutex;
+
+/// Mode-invariant parameters shared by every shard.
+#[derive(Debug, Clone)]
+pub(crate) struct Params {
+    pub latency: LatencyModel,
+    pub mode: Mode,
+    pub classified: bool,
+    pub use_history: bool,
+    pub m: u64,
+}
+
+/// One shard's private state (guarded by its mutex).
+pub(crate) struct ShardState {
+    cache: Box<dyn Cache<ObjectId> + Send>,
+    history: HistoryTable,
+    stats: CacheStats,
+    response: ResponseTime,
+    confusion: ConfusionMatrix,
+    evicted: Vec<Evicted<ObjectId>>,
+}
+
+impl ShardState {
+    /// Drive one request through this shard, mirroring the single-threaded
+    /// pipeline's per-request sequence exactly.
+    fn process(
+        &mut self,
+        req: &PreparedRequest,
+        model: Option<&DecisionTree>,
+        p: &Params,
+        second_hit: Option<&Mutex<SecondHitAdmission>>,
+    ) {
+        let now = req.idx;
+        if self.cache.contains(&req.object) {
+            self.cache.on_hit(&req.object, now);
+            self.stats.record_hit(req.size);
+            self.response.record(p.latency.request_latency_us(true, req.size, p.classified));
+            return;
+        }
+        let admit = match p.mode {
+            Mode::Original => true,
+            Mode::Ideal => !req.truth,
+            Mode::Proposal => classifier_decide(
+                model,
+                &mut self.history,
+                &mut self.confusion,
+                p.use_history,
+                p.m,
+                req.object,
+                &req.features,
+                now,
+                req.truth,
+            ),
+            Mode::SecondHit => second_hit
+                .expect("SecondHit mode must carry its doorkeeper")
+                .lock()
+                .decide(req.object),
+        };
+        if admit {
+            self.evicted.clear();
+            self.cache.insert(req.object, req.size, now, &mut self.evicted);
+            self.stats.record_admitted_miss(req.size);
+            for e in &self.evicted {
+                self.stats.record_eviction(e.size);
+            }
+        } else {
+            self.cache.on_bypass(&req.object, req.size, now);
+            self.stats.record_bypassed_miss(req.size);
+        }
+        self.response.record(p.latency.request_latency_us(false, req.size, p.classified));
+    }
+}
+
+/// Merged view of the whole service at one point in time, plus the
+/// per-shard breakdown. Because every counter is additive, the merged
+/// block is cross-checkable against a single-threaded simulator run.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All shards' cache counters, merged.
+    pub stats: CacheStats,
+    /// All shards' latency accumulators, merged.
+    pub response: ResponseTime,
+    /// All shards' classifier decisions, merged (Proposal mode).
+    pub confusion: ConfusionMatrix,
+    /// History-table rectifications across all shards (§4.4.2).
+    pub rectifications: u64,
+    /// Per-shard cache counters, indexed by shard.
+    pub per_shard: Vec<CacheStats>,
+}
+
+/// N independent cache shards keyed by object-id hash.
+pub struct ShardedCache {
+    shards: Vec<Mutex<ShardState>>,
+    params: Params,
+    second_hit: Option<Mutex<SecondHitAdmission>>,
+}
+
+impl ShardedCache {
+    /// Build `n_shards` shards of `policy`, splitting `capacity` (and the
+    /// history-table budget) evenly across them.
+    pub(crate) fn new(
+        n_shards: usize,
+        policy: PolicyKind,
+        capacity: u64,
+        history_capacity: usize,
+        trace: &Trace,
+        params: Params,
+        second_hit: Option<SecondHitAdmission>,
+    ) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        let shard_capacity = capacity / n_shards as u64;
+        let shard_history = history_capacity.div_ceil(n_shards).max(1);
+        let shards = (0..n_shards)
+            .map(|_| {
+                Mutex::new(ShardState {
+                    cache: policy.build(shard_capacity, trace),
+                    history: HistoryTable::new(shard_history),
+                    stats: CacheStats::default(),
+                    response: ResponseTime::default(),
+                    confusion: ConfusionMatrix::default(),
+                    evicted: Vec::new(),
+                })
+            })
+            .collect();
+        Self { shards, params, second_hit: second_hit.map(Mutex::new) }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard an object maps to (stable for the service's lifetime).
+    pub fn shard_of(&self, object: ObjectId) -> usize {
+        // SplitMix64 finalizer: cheap, and decorrelates the sequential ids
+        // synthetic traces use.
+        let mut z = object.0 as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    /// Route one request to its shard and process it under the shard lock.
+    pub(crate) fn process(&self, req: &PreparedRequest, model: Option<&DecisionTree>) {
+        let shard = &self.shards[self.shard_of(req.object)];
+        shard.lock().process(req, model, &self.params, self.second_hit.as_ref());
+    }
+
+    /// Capture a merged + per-shard statistics snapshot. Shards are locked
+    /// one at a time, so a snapshot taken mid-replay is a slightly stale
+    /// but internally consistent per-shard view.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut stats = CacheStats::default();
+        let mut response = ResponseTime::default();
+        let mut confusion = ConfusionMatrix::default();
+        let mut rectifications = 0u64;
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let s = shard.lock();
+            stats.merge(&s.stats);
+            response.merge(&s.response);
+            confusion.tp += s.confusion.tp;
+            confusion.fp += s.confusion.fp;
+            confusion.fn_ += s.confusion.fn_;
+            confusion.tn += s.confusion.tn;
+            rectifications += s.history.rectifications();
+            per_shard.push(s.stats);
+        }
+        Snapshot { stats, response, confusion, rectifications, per_shard }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelSource;
+    use otae_trace::{generate, TraceConfig};
+
+    fn params(mode: Mode) -> Params {
+        Params {
+            latency: LatencyModel::default(),
+            mode,
+            classified: mode != Mode::Original,
+            use_history: true,
+            m: 100,
+        }
+    }
+
+    fn prepared(idx: u64, object: u32, size: u64, truth: bool) -> PreparedRequest {
+        PreparedRequest {
+            idx,
+            ts: idx,
+            object: ObjectId(object),
+            size,
+            features: [0.0; otae_core::N_FEATURES],
+            truth,
+            model: ModelSource::Stamped(None),
+        }
+    }
+
+    fn sharded(n: usize, mode: Mode) -> ShardedCache {
+        let trace = generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
+        ShardedCache::new(n, PolicyKind::Lru, 1 << 20, 64, &trace, params(mode), None)
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let c = sharded(4, Mode::Original);
+        for id in 0..1000u32 {
+            let s = c.shard_of(ObjectId(id));
+            assert!(s < 4);
+            assert_eq!(s, c.shard_of(ObjectId(id)), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_ids() {
+        let c = sharded(4, Mode::Original);
+        let mut counts = [0usize; 4];
+        for id in 0..4000u32 {
+            counts[c.shard_of(ObjectId(id))] += 1;
+        }
+        for &n in &counts {
+            assert!((600..=1400).contains(&n), "imbalanced shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_merged() {
+        let c = sharded(4, Mode::Original);
+        for i in 0..500u64 {
+            c.process(&prepared(i, (i % 37) as u32, 1000, false), None);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.stats.accesses, 500);
+        let mut sum = CacheStats::default();
+        for s in &snap.per_shard {
+            sum.merge(s);
+        }
+        assert_eq!(sum, snap.stats);
+        assert_eq!(snap.response.requests(), 500);
+    }
+
+    #[test]
+    fn ideal_mode_bypasses_one_time_objects() {
+        let c = sharded(2, Mode::Ideal);
+        c.process(&prepared(0, 1, 1000, true), None);
+        c.process(&prepared(1, 2, 1000, false), None);
+        let snap = c.snapshot();
+        assert_eq!(snap.stats.bypasses, 1);
+        assert_eq!(snap.stats.files_written, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-checks between the concurrent service and the single-threaded
+//! simulator, plus conservation properties under real concurrency.
+//!
+//! With one shard, one worker, one client and the inline trainer, the
+//! service is an elaborate way of running the simulator: same criteria,
+//! same feature stream, same model at every stream position, same cache
+//! clock. Every counter must therefore match `pipeline::run` **exactly**
+//! — not approximately — for every admission mode.
+
+use otae_core::pipeline::{run, Mode, PolicyKind, RunConfig};
+use otae_serve::{serve_trace, LoadConfig, ServeConfig, TrainerMode};
+use otae_trace::{generate, Trace, TraceConfig};
+use proptest::prelude::*;
+
+fn trace(seed: u64, n_objects: u32) -> Trace {
+    generate(&TraceConfig { n_objects: n_objects as usize, seed, ..Default::default() })
+}
+
+fn cap(t: &Trace, frac: f64) -> u64 {
+    (t.unique_bytes() as f64 * frac) as u64
+}
+
+fn assert_exact_match(t: &Trace, policy: PolicyKind, mode: Mode, capacity: u64) {
+    let sim = run(t, &RunConfig::new(policy, mode, capacity));
+    let cfg = ServeConfig::new(policy, mode, capacity);
+    let srv = serve_trace(t, &cfg, &LoadConfig::default());
+
+    assert_eq!(srv.replayed as usize, t.len());
+    assert_eq!(
+        srv.snapshot.stats, sim.stats,
+        "{policy:?}/{mode:?}: serve counters must equal the simulator's"
+    );
+    assert_eq!(srv.criteria.m, sim.criteria.m, "criteria must resolve identically");
+    if let Some(report) = &sim.classifier {
+        assert_eq!(
+            srv.snapshot.confusion, report.overall,
+            "classifier decisions must be identical"
+        );
+        assert_eq!(srv.snapshot.rectifications, report.rectifications);
+        assert_eq!(srv.trainings, report.trainings);
+    }
+    assert!(
+        (srv.mean_latency_us - sim.mean_latency_us).abs() < 1e-6,
+        "latency model must agree: {} vs {}",
+        srv.mean_latency_us,
+        sim.mean_latency_us
+    );
+}
+
+#[test]
+fn one_shard_one_worker_reproduces_pipeline_original() {
+    let t = trace(23, 4_000);
+    assert_exact_match(&t, PolicyKind::Lru, Mode::Original, cap(&t, 0.02));
+}
+
+#[test]
+fn one_shard_one_worker_reproduces_pipeline_ideal() {
+    let t = trace(23, 4_000);
+    assert_exact_match(&t, PolicyKind::Lru, Mode::Ideal, cap(&t, 0.02));
+}
+
+#[test]
+fn one_shard_one_worker_reproduces_pipeline_proposal() {
+    let t = trace(23, 4_000);
+    assert_exact_match(&t, PolicyKind::Lru, Mode::Proposal, cap(&t, 0.02));
+}
+
+#[test]
+fn one_shard_one_worker_reproduces_pipeline_second_hit() {
+    let t = trace(23, 4_000);
+    assert_exact_match(&t, PolicyKind::Lru, Mode::SecondHit, cap(&t, 0.02));
+}
+
+#[test]
+fn exactness_holds_across_policies() {
+    let t = trace(41, 3_000);
+    for policy in [PolicyKind::Fifo, PolicyKind::S3Lru, PolicyKind::Arc, PolicyKind::Lirs] {
+        assert_exact_match(&t, policy, Mode::Proposal, cap(&t, 0.02));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under 4 shards and 4 workers the interleaving is nondeterministic,
+    /// but the books must still balance: every request is counted exactly
+    /// once, every access is a hit, an admitted miss, or a bypass, bytes
+    /// follow files, and the per-shard blocks sum to the merged block.
+    #[test]
+    fn four_worker_aggregates_are_conserved(
+        seed in 0u64..20,
+        mode_sel in 0usize..3,
+        frac in 0.01f64..0.08,
+    ) {
+        let t = trace(seed, 2_000);
+        let mode = [Mode::Original, Mode::Ideal, Mode::Proposal][mode_sel];
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, cap(&t, frac));
+        cfg.shards = 4;
+        cfg.workers = 4;
+        cfg.trainer = TrainerMode::Background;
+        let load = LoadConfig { clients: 2, target_qps: 0.0, duration: None };
+        let r = serve_trace(&t, &cfg, &load);
+
+        let s = &r.snapshot.stats;
+        prop_assert_eq!(r.replayed as usize, t.len());
+        prop_assert_eq!(s.accesses as usize, t.len());
+        prop_assert_eq!(s.accesses, s.hits + s.files_written + s.bypasses);
+        prop_assert_eq!(s.bytes_written, {
+            let mut total = 0u64;
+            for ps in &r.snapshot.per_shard {
+                total += ps.bytes_written;
+            }
+            total
+        });
+        let mut sum = otae_cache::CacheStats::default();
+        for ps in &r.snapshot.per_shard {
+            sum.merge(ps);
+        }
+        prop_assert_eq!(sum, *s, "per-shard blocks must sum to the merged block");
+        prop_assert_eq!(r.snapshot.per_shard.len(), 4);
+        prop_assert_eq!(r.snapshot.response.requests(), s.accesses);
+        prop_assert!(s.bytes_hit <= s.bytes_accessed);
+        prop_assert!(s.hits <= s.accesses);
+        if mode == Mode::Original {
+            prop_assert_eq!(s.bypasses, 0);
+        }
+    }
+}

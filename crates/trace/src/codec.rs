@@ -4,9 +4,7 @@
 //! The binary layout is self-describing via a magic/version header so traces
 //! written by older builds fail loudly rather than parse as garbage.
 
-use crate::types::{
-    ObjectId, Owner, OwnerId, PhotoMeta, PhotoType, Request, Terminal, Trace,
-};
+use crate::types::{ObjectId, Owner, OwnerId, PhotoMeta, PhotoType, Request, Terminal, Trace};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 
@@ -356,11 +354,19 @@ mod tests {
         assert!(read_text("10 0 0 zz 100 0 1".as_bytes()).is_err(), "bad type");
         assert!(read_text("10 0 0 l5 100 0 7".as_bytes()).is_err(), "bad terminal");
         // Out-of-order timestamps.
-        assert!(read_text("20 0 0 l5 100 0 1
-10 0 0 l5 100 0 1".as_bytes()).is_err());
+        assert!(read_text(
+            "20 0 0 l5 100 0 1
+10 0 0 l5 100 0 1"
+                .as_bytes()
+        )
+        .is_err());
         // Inconsistent metadata for the same object.
-        assert!(read_text("10 0 0 l5 100 0 1
-20 0 0 l5 999 0 1".as_bytes()).is_err());
+        assert!(read_text(
+            "10 0 0 l5 100 0 1
+20 0 0 l5 999 0 1"
+                .as_bytes()
+        )
+        .is_err());
     }
 
     #[test]

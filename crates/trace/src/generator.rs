@@ -154,11 +154,7 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let warp = DiurnalWarp::new();
     let window = cfg.window();
-    let n_owners = if cfg.n_owners == 0 {
-        (cfg.n_objects / 20).max(1)
-    } else {
-        cfg.n_owners
-    };
+    let n_owners = if cfg.n_owners == 0 { (cfg.n_objects / 20).max(1) } else { cfg.n_owners };
 
     // --- Owners: latent activity, skewed toward low. -----------------------
     let owners: Vec<Owner> = (0..n_owners)

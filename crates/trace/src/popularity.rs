@@ -105,11 +105,7 @@ mod tests {
         let mut ts = 0u64;
         for (i, &c) in counts.iter().enumerate() {
             for _ in 0..c {
-                requests.push(Request {
-                    ts,
-                    object: ObjectId(i as u32),
-                    terminal: Terminal::Pc,
-                });
+                requests.push(Request { ts, object: ObjectId(i as u32), terminal: Terminal::Pc });
                 ts += 1;
             }
         }

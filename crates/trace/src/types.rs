@@ -83,9 +83,8 @@ impl PhotoType {
 
     /// Short label as used in the paper's Figure 3 (e.g. `"l5"`).
     pub fn label(self) -> &'static str {
-        const LABELS: [&str; 12] = [
-            "a0", "a5", "b0", "b5", "c0", "c5", "m0", "m5", "l0", "l5", "o0", "o5",
-        ];
+        const LABELS: [&str; 12] =
+            ["a0", "a5", "b0", "b5", "c0", "c5", "m0", "m5", "l0", "l5", "o0", "o5"];
         LABELS[self as usize]
     }
 }
@@ -172,10 +171,7 @@ impl Trace {
 
     /// Total bytes across all requests (each access counts its object size).
     pub fn total_accessed_bytes(&self) -> u64 {
-        self.requests
-            .iter()
-            .map(|r| self.photo(r.object).size as u64)
-            .sum()
+        self.requests.iter().map(|r| self.photo(r.object).size as u64).sum()
     }
 
     /// Sum of sizes over *unique* objects that appear in the request stream.

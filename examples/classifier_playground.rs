@@ -42,10 +42,14 @@ fn main() {
         Box::new(DecisionTree::new(TreeParams::default())),
         Box::new(RandomForest::new(20, 5)),
     ];
-    println!("\n{:<16} {:>10} {:>8} {:>10} {:>8}", "classifier", "precision", "recall", "accuracy", "AUC");
+    println!(
+        "\n{:<16} {:>10} {:>8} {:>10} {:>8}",
+        "classifier", "precision", "recall", "accuracy", "AUC"
+    );
     for clf in classifiers.iter_mut() {
         clf.fit(&train);
-        let cm = ConfusionMatrix::from_predictions(test.labels(), &predict_all(clf.as_ref(), &test));
+        let cm =
+            ConfusionMatrix::from_predictions(test.labels(), &predict_all(clf.as_ref(), &test));
         let auc = roc_auc(&score_all(clf.as_ref(), &test), test.labels());
         println!(
             "{:<16} {:>10.4} {:>8.4} {:>10.4} {:>8.4}",
@@ -73,5 +77,9 @@ fn main() {
 
     let mut tree = DecisionTree::new(TreeParams::default());
     tree.fit(&train);
-    println!("\nCART shape: {} splits, depth {} (paper: budget 30, height ~5)", tree.n_splits(), tree.depth());
+    println!(
+        "\nCART shape: {} splits, depth {} (paper: budget 30, height ~5)",
+        tree.n_splits(),
+        tree.depth()
+    );
 }

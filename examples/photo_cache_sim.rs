@@ -28,7 +28,10 @@ fn main() {
     let base = RunConfig::new(PolicyKind::Lru, Mode::Original, capacity);
     let results = sweep(&trace, &index, &points, &base, 0);
 
-    println!("{:<7} {:>10} {:>10} {:>12} {:>14}", "policy", "mode", "hit rate", "byte writes", "latency (us)");
+    println!(
+        "{:<7} {:>10} {:>10} {:>12} {:>14}",
+        "policy", "mode", "hit rate", "byte writes", "latency (us)"
+    );
     println!("{}", "-".repeat(58));
     for r in &results {
         println!(

@@ -14,7 +14,10 @@ fn main() {
     println!("== workload vs the paper's published statistics ==");
     println!("requests              {:>10}", stats.accesses);
     println!("objects               {:>10}", stats.objects);
-    println!("one-time objects      {:>9.1}%  (paper: 61.5%)", stats.one_time_object_fraction * 100.0);
+    println!(
+        "one-time objects      {:>9.1}%  (paper: 61.5%)",
+        stats.one_time_object_fraction * 100.0
+    );
     println!("max hit rate          {:>9.1}%  (paper: 74.5%)", stats.max_hit_rate * 100.0);
     println!("mean accesses/object  {:>10.2}  (paper: 3.95)", stats.mean_accesses_per_object);
     println!("mean object size      {:>7.1} KB  (paper: ~32 KB)", stats.mean_object_size / 1024.0);

@@ -6,12 +6,15 @@
 //! * `stats` — characterise a trace (§2.2 numbers, Figure-3 type shares);
 //! * `sample` — the paper's 1:100 object sampling (§5.1);
 //! * `simulate` — run a policy × admission-mode simulation on a trace;
+//! * `serve-bench` — replay a trace through the sharded concurrent service
+//!   (`otae-serve`) and report throughput and tail latency;
 //! * `convert` — export the binary trace as line-per-request text.
 //!
 //! Parsing is hand-rolled (no CLI crate on the offline allowlist) and lives
 //! here, separated from `main.rs`, so it is unit-testable.
 
 use otae_core::{run, Mode, PolicyKind, RunConfig};
+use otae_serve::{serve_trace, LoadConfig, ServeConfig, TrainerMode};
 use otae_trace::codec::{read_binary, read_text, write_binary, write_text};
 use otae_trace::{generate, sample_objects, Trace, TraceConfig};
 use std::fmt::Write as _;
@@ -43,13 +46,19 @@ USAGE:
   otae stats <trace.bin>
   otae sample <trace.bin> --out <sampled.bin> [--rate R] [--seed S]
   otae simulate <trace.bin> [--policy lru|fifo|lfu|s3lru|arc|lirs|2q|gdsf|belady]
-                            [--mode original|proposal|ideal]
+                            [--mode original|proposal|ideal|second-hit]
                             [--capacity-frac F | --capacity-mb MB]
+  otae serve-bench <trace.bin> [--shards N] [--workers K] [--clients M]
+                               [--qps Q] [--duration-s S]
+                               [--policy ...] [--mode ...]
+                               [--trainer inline|background]
+                               [--capacity-frac F | --capacity-mb MB]
   otae convert <trace.bin> --out <trace.txt>
   otae import <trace.txt> --out <trace.bin>
 
 Defaults: objects=50000, seed=42, days=9, rate=0.01, policy=lru,
-mode=proposal, capacity-frac=0.02 (fraction of unique bytes).";
+mode=proposal, capacity-frac=0.02 (fraction of unique bytes),
+shards=4, workers=4, clients=2, qps=0 (unthrottled), trainer=background.";
 
 /// Simple `--key value` argument map with positional support.
 struct Args {
@@ -64,9 +73,7 @@ impl Args {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| err(format!("--{key} requires a value")))?;
+                let value = it.next().ok_or_else(|| err(format!("--{key} requires a value")))?;
                 flags.push((key.to_string(), value.clone()));
             } else {
                 positional.push(a.clone());
@@ -76,11 +83,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
@@ -125,6 +128,7 @@ fn parse_mode(s: &str) -> Result<Mode, CliError> {
         "original" => Mode::Original,
         "proposal" => Mode::Proposal,
         "ideal" => Mode::Ideal,
+        "second-hit" | "secondhit" => Mode::SecondHit,
         other => return Err(err(format!("unknown mode: {other}"))),
     })
 }
@@ -141,6 +145,7 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_stats(&rest),
         "sample" => cmd_sample(&rest),
         "simulate" => cmd_simulate(&rest),
+        "serve-bench" => cmd_serve_bench(&rest),
         "convert" => cmd_convert(&rest),
         "import" => cmd_import(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -207,14 +212,9 @@ fn cmd_sample(args: &Args) -> Result<String, CliError> {
     Ok(format!("sampled {}/{} requests at rate {rate} -> {out}", n, trace.len()))
 }
 
-fn cmd_simulate(args: &Args) -> Result<String, CliError> {
-    let path = args.positional.first().ok_or_else(|| err("simulate needs a trace path"))?;
-    let trace = load_trace(path)?;
-    if trace.is_empty() {
-        return Err(err("trace has no requests"));
-    }
-    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
-    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+/// Resolve `--capacity-mb` / `--capacity-frac` against a trace (shared by
+/// `simulate` and `serve-bench`).
+fn parse_capacity(args: &Args, trace: &Trace) -> Result<u64, CliError> {
     let capacity = if let Some(mb) = args.get("capacity-mb") {
         let mb: f64 =
             mb.parse().map_err(|_| err(format!("invalid value for --capacity-mb: {mb}")))?;
@@ -226,6 +226,18 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if capacity == 0 {
         return Err(err("capacity must be positive"));
     }
+    Ok(capacity)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("simulate needs a trace path"))?;
+    let trace = load_trace(path)?;
+    if trace.is_empty() {
+        return Err(err("trace has no requests"));
+    }
+    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
+    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+    let capacity = parse_capacity(args, &trace)?;
     let result = run(&trace, &RunConfig::new(policy, mode, capacity));
     let mut out = String::new();
     let _ = writeln!(out, "policy            {}", policy.name());
@@ -251,12 +263,95 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or_else(|| err("serve-bench needs a trace path"))?;
+    let trace = load_trace(path)?;
+    if trace.is_empty() {
+        return Err(err("trace has no requests"));
+    }
+    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
+    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+    let capacity = parse_capacity(args, &trace)?;
+
+    let shards: usize = args.get_parsed("shards", 4)?;
+    if shards == 0 {
+        return Err(err("--shards must be at least 1"));
+    }
+    let workers: usize = args.get_parsed("workers", 4)?;
+    if workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    let clients: usize = args.get_parsed("clients", 2)?;
+    if clients == 0 {
+        return Err(err("--clients must be at least 1"));
+    }
+    let qps: f64 = args.get_parsed("qps", 0.0)?;
+    if !qps.is_finite() || qps < 0.0 {
+        return Err(err("--qps must be a non-negative number (0 = unthrottled)"));
+    }
+    let duration = match args.get("duration-s") {
+        None => None,
+        Some(v) => {
+            let secs: f64 =
+                v.parse().map_err(|_| err(format!("invalid value for --duration-s: {v}")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(err("--duration-s must be a positive number of seconds"));
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    let trainer = match args.get("trainer").unwrap_or("background").to_ascii_lowercase().as_str() {
+        "inline" => TrainerMode::Inline,
+        "background" => TrainerMode::Background,
+        other => return Err(err(format!("unknown trainer: {other} (inline|background)"))),
+    };
+
+    let mut cfg = ServeConfig::new(policy, mode, capacity);
+    cfg.shards = shards;
+    cfg.workers = workers;
+    cfg.trainer = trainer;
+    let load = LoadConfig { clients, target_qps: qps, duration };
+    let r = serve_trace(&trace, &cfg, &load);
+
+    let s = &r.snapshot.stats;
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "topology          {shards} shards x {workers} workers, {clients} clients");
+    let _ = writeln!(out, "policy            {}", policy.name());
+    let _ = writeln!(out, "admission         {}", mode.name());
+    let _ = writeln!(out, "capacity          {:.1} MB", capacity as f64 / 1e6);
+    let _ = writeln!(out, "one-time M        {}", r.criteria.m);
+    let _ =
+        writeln!(out, "replayed          {} requests in {:.3} s", r.replayed, r.wall.as_secs_f64());
+    let _ = writeln!(out, "throughput        {:.0} req/s", r.throughput_rps);
+    let _ = writeln!(out, "file hit rate     {:.4}", s.file_hit_rate());
+    let _ = writeln!(out, "byte hit rate     {:.4}", s.byte_hit_rate());
+    let _ = writeln!(out, "file write rate   {:.4}", s.file_write_rate());
+    let _ = writeln!(out, "byte write rate   {:.4}", s.byte_write_rate());
+    let _ = writeln!(out, "latency p50       {:.1} us", r.latency_p50_us);
+    let _ = writeln!(out, "latency p99       {:.1} us", r.latency_p99_us);
+    let _ = writeln!(out, "latency p999      {:.1} us", r.latency_p999_us);
+    let _ = writeln!(out, "model swaps       {}", r.model_swaps);
+    let _ = writeln!(out, "trainings         {}", r.trainings);
+    let _ = writeln!(out, "per-shard (accesses / hit rate / write rate):");
+    for (i, ps) in r.snapshot.per_shard.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  shard {i:>2}  {:>9}  {:.4}  {:.4}",
+            ps.accesses,
+            ps.file_hit_rate(),
+            ps.file_write_rate()
+        );
+    }
+    Ok(out)
+}
+
 fn cmd_import(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or_else(|| err("import needs a text trace path"))?;
     let out = args.require("out")?;
     let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
-    let trace = read_text(BufReader::new(file))
-        .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    let trace =
+        read_text(BufReader::new(file)).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
     save_trace(&trace, out)?;
     Ok(format!("imported {} requests over {} objects -> {out}", trace.len(), trace.meta.len()))
 }
@@ -266,7 +361,8 @@ fn cmd_convert(args: &Args) -> Result<String, CliError> {
     let out = args.require("out")?;
     let trace = load_trace(path)?;
     let file = File::create(out).map_err(|e| err(format!("cannot create {out}: {e}")))?;
-    write_text(&trace, BufWriter::new(file)).map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    write_text(&trace, BufWriter::new(file))
+        .map_err(|e| err(format!("cannot write {out}: {e}")))?;
     Ok(format!("wrote {} text lines -> {out}", trace.len()))
 }
 
@@ -275,9 +371,7 @@ fn cmd_convert(args: &Args) -> Result<String, CliError> {
 fn temp_path(name: &str) -> String {
     let dir = std::env::temp_dir().join("otae-cli-tests");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    dir.join(format!("{name}-{}", std::process::id()))
-        .to_string_lossy()
-        .into_owned()
+    dir.join(format!("{name}-{}", std::process::id())).to_string_lossy().into_owned()
 }
 
 #[cfg(test)]
@@ -391,5 +485,79 @@ mod tests {
     fn flag_values_parse_or_fail_loudly() {
         let e = run_cli(&["generate", "--out", "/tmp/x.bin", "--objects", "many"]).unwrap_err();
         assert!(e.0.contains("invalid value"));
+    }
+
+    #[test]
+    fn usage_documents_serve_bench() {
+        assert!(USAGE.contains("serve-bench"));
+        for flag in ["--shards", "--workers", "--qps", "--duration-s"] {
+            assert!(USAGE.contains(flag), "USAGE must document {flag}");
+        }
+    }
+
+    #[test]
+    fn serve_bench_replays_trace_and_reports() {
+        let bin = temp_path("serve.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "2000", "--seed", "9"])
+            .expect("generate");
+        let out = run_cli(&[
+            "serve-bench",
+            &bin,
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--clients",
+            "2",
+            "--mode",
+            "ideal",
+        ])
+        .expect("serve-bench");
+        assert!(out.contains("2 shards x 2 workers"));
+        assert!(out.contains("throughput"));
+        assert!(out.contains("latency p99"));
+        assert!(out.contains("shard  0"), "per-shard breakdown expected:\n{out}");
+        assert!(out.contains("shard  1"));
+    }
+
+    #[test]
+    fn serve_bench_duration_cap_and_qps_throttle() {
+        let bin = temp_path("serve2.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "1500", "--seed", "3"])
+            .expect("generate");
+        let out = run_cli(&[
+            "serve-bench",
+            &bin,
+            "--mode",
+            "original",
+            "--qps",
+            "500",
+            "--duration-s",
+            "0.05",
+        ])
+        .expect("serve-bench");
+        assert!(out.contains("replayed"));
+    }
+
+    #[test]
+    fn serve_bench_rejects_bad_topology_and_rates() {
+        let bin = temp_path("serve3.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "500"]).expect("generate");
+        let e = run_cli(&["serve-bench", &bin, "--shards", "0"]).unwrap_err();
+        assert!(e.0.contains("--shards"));
+        let e = run_cli(&["serve-bench", &bin, "--workers", "0"]).unwrap_err();
+        assert!(e.0.contains("--workers"));
+        let e = run_cli(&["serve-bench", &bin, "--clients", "0"]).unwrap_err();
+        assert!(e.0.contains("--clients"));
+        let e = run_cli(&["serve-bench", &bin, "--qps", "-5"]).unwrap_err();
+        assert!(e.0.contains("--qps"));
+        let e = run_cli(&["serve-bench", &bin, "--qps", "fast"]).unwrap_err();
+        assert!(e.0.contains("invalid value for --qps"));
+        let e = run_cli(&["serve-bench", &bin, "--duration-s", "0"]).unwrap_err();
+        assert!(e.0.contains("--duration-s"));
+        let e = run_cli(&["serve-bench", &bin, "--trainer", "psychic"]).unwrap_err();
+        assert!(e.0.contains("unknown trainer"));
+        assert!(run_cli(&["serve-bench", "/nonexistent.bin"]).is_err());
+        assert!(run_cli(&["serve-bench"]).unwrap_err().0.contains("trace path"));
     }
 }

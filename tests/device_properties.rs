@@ -93,7 +93,7 @@ proptest! {
         // Random single-byte corruption either still parses into a *valid*
         // tree (structure checks pass) or is rejected; it must never panic.
         let at = rng.gen_range(0..bytes.len());
-        bytes[at] ^= 1 << rng.gen_range(0..8);
+        bytes[at] ^= 1u8 << rng.gen_range(0..8);
         if let Ok(parsed) = DecisionTree::from_bytes(&bytes) {
             // Whatever parsed must be traversable without panicking.
             let _ = parsed.score(&[0.3, 0.7]);

@@ -99,7 +99,8 @@ fn belady_upper_bounds_every_online_policy() {
     let t = trace();
     let c = cap(&t, 0.02);
     let belady = run(&t, &RunConfig::new(PolicyKind::Belady, Mode::Original, c));
-    for policy in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::S3Lru, PolicyKind::Arc, PolicyKind::Lirs]
+    for policy in
+        [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::S3Lru, PolicyKind::Arc, PolicyKind::Lirs]
     {
         let r = run(&t, &RunConfig::new(policy, Mode::Original, c));
         assert!(

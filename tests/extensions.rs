@@ -48,7 +48,8 @@ fn online_learners_consume_delayed_labels() {
     let (t, i) = setup();
     let cap = t.unique_bytes() / 100;
     for kind in [OnlineModelKind::Logistic, OnlineModelKind::Hoeffding] {
-        let r = run_online_with(&t, &i, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap), kind);
+        let r =
+            run_online_with(&t, &i, &RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap), kind);
         assert!(r.labels_consumed > 500, "{}: labels {}", kind.name(), r.labels_consumed);
         assert_eq!(r.stats.accesses as usize, t.len());
     }

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple calibrated
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark prints one `name  time: <mean> per iter (<iters> iters)` line.
+//! When invoked by `cargo bench`/`cargo test` with harness args (e.g.
+//! `--bench`), unknown flags are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    fn render(&self) -> &str {
+        &self.name
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first calibrating an iteration count so the measured
+    /// window is long enough to be meaningful.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one batch takes >= 10ms.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || n >= self.iters {
+                self.elapsed = took;
+                self.iters = n;
+                return;
+            }
+            n = (n * 4).min(self.iters);
+        }
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    println!("{:<50} time: {:>12.3?} per iter ({} iters)", name, bencher.per_iter(), bencher.iters);
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: u64::MAX, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks; ids are rendered as `group/id`.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { iters: u64::MAX, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.render()), &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    criterion_group!(unit_benches, quick_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        unit_benches();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher { iters: u64::MAX, elapsed: Duration::ZERO };
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters >= 1);
+        assert!(b.per_iter() <= b.elapsed);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("LRU", 4096).render(), "LRU/4096");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+        assert_eq!(BenchmarkId::from(String::from("fmt")).render(), "fmt");
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `crossbeam`, providing the two facilities the
+//! workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API, implemented on top
+//!   of `std::thread::scope` (available since Rust 1.63);
+//! * [`channel`] — multi-producer **multi-consumer** bounded/unbounded
+//!   channels (std's mpsc is single-consumer, so this is a real
+//!   `Mutex<VecDeque>` + `Condvar` queue, which is plenty for shard-count
+//!   consumers).
+
+pub mod channel;
+pub mod thread;

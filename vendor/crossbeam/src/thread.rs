@@ -1,0 +1,84 @@
+//! Crossbeam-style scoped threads over `std::thread::scope`.
+
+use std::any::Any;
+
+/// Handle to a scope in which borrowed-data threads can be spawned.
+///
+/// Mirrors `crossbeam::thread::Scope`: `spawn` passes the scope back into
+/// the closure so spawned threads can spawn further threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// (crossbeam's signature); return the join handle.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let nested = Scope { inner: self.inner };
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&nested)) }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish, returning its result or panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope; all threads spawned in it are joined before this
+/// returns. Returns `Ok` with `f`'s result (panics in spawned threads
+/// propagate as panics, which is at least as strict as crossbeam's `Err`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let counter = &counter;
+        let out = super::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..8u64 {
+                handles.push(s.spawn(move |_| {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                    i * 2
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 28);
+        assert_eq!(out, 56);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

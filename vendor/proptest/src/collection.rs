@@ -1,0 +1,76 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A length specification for collection strategies: either a half-open
+/// range or an exact size.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { start: r.start, end: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { start: n, end: n + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_range() {
+        let mut rng = TestRng::for_test("len");
+        let strat = vec(0u64..10, 2..5);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen[v.len()] = true;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen[2] && seen[3] && seen[4]);
+    }
+
+    #[test]
+    fn exact_size_spec() {
+        let mut rng = TestRng::for_test("exact");
+        let strat = vec(any::<bool>(), 7);
+        assert_eq!(strat.sample(&mut rng).len(), 7);
+    }
+
+    use crate::strategy::any;
+}

@@ -1,0 +1,160 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! numeric ranges, tuples, `any::<T>()`, and `Just`.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// Unlike upstream proptest there is no value tree or shrinking — a
+/// strategy simply samples a fresh value from the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (uniform over the whole
+/// domain for ints, fair coin for bool).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_hits_full_span() {
+        let mut rng = TestRng::for_test("span");
+        let strat = 0u64..4;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_int_ranges_work() {
+        let mut rng = TestRng::for_test("neg");
+        for _ in 0..200 {
+            let v = (-10i64..-2).sample(&mut rng);
+            assert!((-10..-2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuple_and_just_compose() {
+        let mut rng = TestRng::for_test("tuple");
+        let (a, b, c) = (0u32..5, Just(7u8), any::<bool>()).sample(&mut rng);
+        assert!(a < 5);
+        assert_eq!(b, 7);
+        let _ = c;
+    }
+}

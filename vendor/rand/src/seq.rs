@@ -1,0 +1,69 @@
+//! Slice randomisation helpers (`SliceRandom`).
+
+use crate::Rng;
+
+/// Random operations on slices (Fisher–Yates shuffle, uniform choice).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffle the slice in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element (`None` on an empty slice).
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut Counter(42));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never is identity");
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut Counter(1)).is_none());
+        let one = [7u32];
+        assert_eq!(one.choose(&mut Counter(1)), Some(&7));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (its wire formats
+//! are hand-rolled in `otae-trace::codec`), so the traits here are empty
+//! markers and the derives (re-exported from the stand-in `serde_derive`)
+//! expand to nothing. If real serde serialization is ever needed, replace
+//! this vendored pair with the upstream crates.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
