@@ -1,0 +1,32 @@
+//! Split-engine comparison: exact sorted splitter vs histogram-binned
+//! engine on the acceptance dataset (50 k rows × 8 features) and smaller
+//! sizes. The binned engine must come out ≥ 3× faster at 50 k — the
+//! `train_throughput` experiment records the same ratio machine-readably.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_bench::experiments::train::synthetic_dataset;
+use otae_ml::{Classifier, DecisionTree, SplitEngine, TreeParams};
+
+fn fit_with(engine: SplitEngine, data: &otae_ml::Dataset) -> usize {
+    let mut tree = DecisionTree::new(TreeParams { engine, cost_fp: 2.0, ..TreeParams::default() });
+    tree.fit(data);
+    tree.n_splits()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_engines");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let data = synthetic_dataset(n, 42);
+        group.bench_function(format!("exact_{n}x8"), |b| {
+            b.iter(|| fit_with(SplitEngine::Exact, black_box(&data)))
+        });
+        group.bench_function(format!("binned_{n}x8"), |b| {
+            b.iter(|| fit_with(SplitEngine::default(), black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

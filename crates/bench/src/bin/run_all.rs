@@ -1,7 +1,7 @@
 //! Regenerate every table and figure; CSVs land in results/.
 use otae_bench::experiments::{
     ablations, baselines, cluster, drift, fig2, fig5, figures, ftl_wear, online, serve, table1,
-    tails, tiered, trace_stats,
+    tails, tiered, trace_stats, train,
 };
 
 fn main() {
@@ -37,5 +37,7 @@ fn main() {
     cluster::run();
     tails::run();
     serve::run();
+    println!("### Perf trajectory: training throughput\n");
+    train::run();
     println!("all experiments done in {:?}", t0.elapsed());
 }

@@ -1,0 +1,4 @@
+//! Training-throughput trajectory: exact vs histogram-binned split engine.
+fn main() {
+    otae_bench::experiments::train::run();
+}

@@ -119,11 +119,101 @@ impl Table {
         std::fs::write(dir.join(format!("{name}.csv")), out)
     }
 
-    /// Print to stdout and persist as CSV.
+    /// Print to stdout and persist as CSV (CSV skipped in smoke mode so
+    /// sanity runs never overwrite real results).
     pub fn emit(&self, csv_name: &str) {
         println!("{}", self.render());
+        if smoke_mode() {
+            println!("[smoke] skipping results/{csv_name}.csv");
+            return;
+        }
         if let Err(e) = self.write_csv(csv_name) {
             eprintln!("warning: failed to write results/{csv_name}.csv: {e}");
+        }
+    }
+}
+
+/// True when `OTAE_BENCH_SMOKE=1`: experiments shrink to seconds-scale
+/// sanity runs and skip writing the repo-root `BENCH_*.json` trajectory
+/// files (so CI smoke runs never clobber real numbers).
+pub fn smoke_mode() -> bool {
+    std::env::var("OTAE_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Machine-readable perf-trajectory artifact (`BENCH_*.json` at the repo
+/// root): named stages with wall time and an ops/s rate, plus free scalar
+/// metrics. Hand-rolled writer — no JSON crate on the offline allowlist.
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    benchmark: String,
+    stages: Vec<(String, f64, f64)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchJson {
+    /// New artifact for `benchmark`.
+    pub fn new(benchmark: &str) -> Self {
+        Self { benchmark: benchmark.to_string(), stages: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Record a stage's wall time (seconds) and throughput (ops/s).
+    pub fn stage(&mut self, name: &str, wall_s: f64, ops_per_s: f64) {
+        self.stages.push((name.to_string(), wall_s, ops_per_s));
+    }
+
+    /// Record a free-standing scalar metric (e.g. a speedup ratio).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"benchmark\": \"{}\",\n  \"stages\": [", esc(&self.benchmark));
+        for (i, (name, wall, ops)) in self.stages.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": \"{}\", \"wall_s\": {}, \"ops_per_s\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(name),
+                num(*wall),
+                num(*ops)
+            );
+        }
+        out.push_str("\n  ],\n  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {}",
+                if i == 0 { "" } else { "," },
+                esc(name),
+                num(*value)
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Write to `path` (skipped with a notice in smoke mode).
+    pub fn write(&self, path: &str) {
+        if smoke_mode() {
+            println!("[smoke] skipping {path}");
+            return;
+        }
+        if let Err(e) = std::fs::write(path, self.to_json()) {
+            eprintln!("warning: failed to write {path}: {e}");
+        } else {
+            println!("wrote {path}");
         }
     }
 }
@@ -174,5 +264,35 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f4(0.123456), "0.1235");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn bench_json_serializes_stages_and_metrics() {
+        let mut j = BenchJson::new("demo");
+        j.stage("tree_exact", 1.5, 2000.0);
+        j.stage("tree_binned", 0.25, 12000.0);
+        j.metric("speedup", 6.0);
+        let text = j.to_json();
+        assert!(text.contains("\"benchmark\": \"demo\""));
+        assert!(text.contains("\"name\": \"tree_exact\""));
+        assert!(text.contains("\"ops_per_s\": 12000.000000"));
+        assert!(text.contains("\"speedup\": 6.000000"));
+        // Hand-rolled JSON must stay balanced.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                text.matches(open).count(),
+                text.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_json_escapes_and_handles_nonfinite() {
+        let mut j = BenchJson::new("a\"b");
+        j.stage("s", f64::NAN, f64::INFINITY);
+        let text = j.to_json();
+        assert!(text.contains("a\\\"b"));
+        assert!(text.contains("\"wall_s\": null"));
     }
 }

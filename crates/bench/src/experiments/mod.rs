@@ -16,3 +16,4 @@ pub mod table1;
 pub mod tails;
 pub mod tiered;
 pub mod trace_stats;
+pub mod train;

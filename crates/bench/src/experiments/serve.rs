@@ -3,19 +3,24 @@
 //! shard × worker topology grows, for the paper's Proposal admission and
 //! the Original (admit-everything) baseline.
 
-use crate::common::{f4, gb_to_bytes, standard_trace, Table};
+use crate::common::{f4, gb_to_bytes, smoke_mode, standard_trace, BenchJson, Table};
 use otae_core::pipeline::{Mode, PolicyKind};
 use otae_core::ReaccessIndex;
 use otae_serve::{serve_trace_with_index, LoadConfig, ServeConfig, TrainerMode};
+use std::time::Instant;
 
 /// Shard × worker topologies swept (clients scale with workers).
 const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
 
-/// Run the serve-throughput sweep and emit `results/serve_throughput.csv`.
+/// Run the serve-throughput sweep; emits `results/serve_throughput.csv` and
+/// the machine-readable `BENCH_serve.json` perf trajectory at the repo
+/// root. `OTAE_BENCH_SMOKE=1` runs a single 1×1 tick and skips the JSON.
 pub fn run() {
+    let smoke = smoke_mode();
     let trace = standard_trace();
     let index = ReaccessIndex::build(&trace);
     let capacity = gb_to_bytes(&trace, 10.0);
+    let topologies: &[(usize, usize)] = if smoke { &TOPOLOGIES[..1] } else { &TOPOLOGIES };
 
     let mut table = Table::new(
         "serve throughput — sharded service, unthrottled replay (10 GB paper-equivalent)",
@@ -32,14 +37,22 @@ pub fn run() {
             "swaps",
         ],
     );
+    let mut json = BenchJson::new("serve_throughput");
     for mode in [Mode::Original, Mode::Proposal] {
-        for (shards, workers) in TOPOLOGIES {
+        for &(shards, workers) in topologies {
             let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
             cfg.shards = shards;
             cfg.workers = workers;
             cfg.trainer = TrainerMode::Background;
             let load = LoadConfig { clients: workers.min(4), target_qps: 0.0, duration: None };
+            let t0 = Instant::now();
             let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+            let wall = t0.elapsed().as_secs_f64();
+            json.stage(
+                &format!("{}_{}x{}", mode.name().to_lowercase(), shards, workers),
+                wall,
+                r.throughput_rps,
+            );
             let s = &r.snapshot.stats;
             table.push_row(vec![
                 mode.name().to_string(),
@@ -56,6 +69,7 @@ pub fn run() {
         }
     }
     table.emit("serve_throughput");
+    json.write("BENCH_serve.json");
 }
 
 #[cfg(test)]

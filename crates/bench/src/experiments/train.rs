@@ -1,0 +1,149 @@
+//! Perf trajectory: training throughput of the exact vs histogram-binned
+//! split engines, for a single cost-sensitive CART tree (the model the
+//! paper deploys), a random forest and AdaBoost (the Table-1 ensembles,
+//! which bin once and share codes across members).
+//!
+//! Emits `results/train_throughput.csv` and the machine-readable
+//! `BENCH_training.json` at the repo root so successive PRs can chart the
+//! trajectory. `OTAE_BENCH_SMOKE=1` shrinks the run to a sanity check and
+//! skips the root JSON.
+
+use crate::common::{smoke_mode, BenchJson, Table};
+use otae_ml::{AdaBoost, Classifier, Dataset, DecisionTree, RandomForest, SplitEngine, TreeParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Synthetic admission-style dataset: 8 features, mixed informative and
+/// noise columns, ~40 % positive class.
+pub fn synthetic_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut d = Dataset::new(8);
+    for _ in 0..n {
+        let mut row = [0.0f32; 8];
+        for v in row.iter_mut() {
+            *v = rng.gen();
+        }
+        let label = row[0] + 0.5 * row[3] + 0.3 * rng.gen::<f32>() > 0.9;
+        d.push(&row, label);
+    }
+    d
+}
+
+fn time_fit(engine: SplitEngine, data: &Dataset) -> f64 {
+    let mut tree = DecisionTree::new(TreeParams { engine, cost_fp: 2.0, ..TreeParams::default() });
+    let t0 = Instant::now();
+    tree.fit(data);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(tree.n_splits() > 0, "benchmark tree must actually split");
+    dt
+}
+
+fn time_forest(engine: SplitEngine, data: &Dataset, n_trees: usize) -> f64 {
+    let mut rf = RandomForest::new(n_trees, 7);
+    rf.engine = engine;
+    let t0 = Instant::now();
+    rf.fit(data);
+    t0.elapsed().as_secs_f64()
+}
+
+fn time_boost(engine: SplitEngine, data: &Dataset, rounds: usize) -> f64 {
+    let mut ab = AdaBoost::new(rounds);
+    ab.engine = engine;
+    let t0 = Instant::now();
+    ab.fit(data);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Run the training-throughput sweep.
+pub fn run() {
+    let smoke = smoke_mode();
+    // 50 k × 8 is the acceptance dataset; 144 k is the paper's day of
+    // samples at 100 records/minute.
+    let sizes: &[usize] = if smoke { &[2_000] } else { &[10_000, 50_000, 144_000] };
+    let (n_trees, rounds) = if smoke { (3, 3) } else { (10, 10) };
+
+    let mut table = Table::new(
+        "training throughput — exact vs histogram-binned split engine (8 features)",
+        &["model", "rows", "exact_s", "binned_s", "speedup", "binned_rows_per_s"],
+    );
+    let mut json = BenchJson::new("training_throughput");
+
+    for &n in sizes {
+        let data = synthetic_dataset(n, 42);
+        let exact_s = time_fit(SplitEngine::Exact, &data);
+        let binned_s = time_fit(SplitEngine::default(), &data);
+        json.stage(&format!("tree_exact_{n}x8"), exact_s, n as f64 / exact_s);
+        json.stage(&format!("tree_binned_{n}x8"), binned_s, n as f64 / binned_s);
+        json.metric(&format!("tree_speedup_{n}x8"), exact_s / binned_s);
+        table.push_row(vec![
+            "cart_tree".into(),
+            n.to_string(),
+            format!("{exact_s:.4}"),
+            format!("{binned_s:.4}"),
+            format!("{:.2}x", exact_s / binned_s),
+            format!("{:.0}", n as f64 / binned_s),
+        ]);
+    }
+
+    // Ensembles at the mid size: binned members share one BinnedDataset.
+    let n = if smoke { 2_000 } else { 50_000 };
+    let data = synthetic_dataset(n, 43);
+    let fe = time_forest(SplitEngine::Exact, &data, n_trees);
+    let fb = time_forest(SplitEngine::default(), &data, n_trees);
+    json.stage(&format!("forest{n_trees}_exact_{n}x8"), fe, n as f64 / fe);
+    json.stage(&format!("forest{n_trees}_binned_{n}x8"), fb, n as f64 / fb);
+    table.push_row(vec![
+        format!("forest_{n_trees}"),
+        n.to_string(),
+        format!("{fe:.4}"),
+        format!("{fb:.4}"),
+        format!("{:.2}x", fe / fb),
+        format!("{:.0}", n as f64 / fb),
+    ]);
+    let be = time_boost(SplitEngine::Exact, &data, rounds);
+    let bb = time_boost(SplitEngine::default(), &data, rounds);
+    json.stage(&format!("adaboost{rounds}_exact_{n}x8"), be, n as f64 / be);
+    json.stage(&format!("adaboost{rounds}_binned_{n}x8"), bb, n as f64 / bb);
+    table.push_row(vec![
+        format!("adaboost_{rounds}"),
+        n.to_string(),
+        format!("{be:.4}"),
+        format!("{bb:.4}"),
+        format!("{:.2}x", be / bb),
+        format!("{:.0}", n as f64 / bb),
+    ]);
+
+    table.emit("train_throughput");
+    json.write("BENCH_training.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otae_ml::predict_all;
+
+    #[test]
+    fn synthetic_dataset_is_learnable_and_two_class() {
+        let data = synthetic_dataset(3000, 1);
+        let frac = data.positive_fraction();
+        assert!(frac > 0.1 && frac < 0.9, "positive fraction {frac}");
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&data);
+        let test = synthetic_dataset(800, 2);
+        let acc =
+            predict_all(&tree, &test).iter().zip(test.labels()).filter(|(p, y)| *p == *y).count()
+                as f64
+                / test.len() as f64;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn engines_time_successfully_on_small_data() {
+        let data = synthetic_dataset(1500, 3);
+        assert!(time_fit(SplitEngine::Exact, &data) > 0.0);
+        assert!(time_fit(SplitEngine::default(), &data) > 0.0);
+        assert!(time_forest(SplitEngine::default(), &data, 2) > 0.0);
+        assert!(time_boost(SplitEngine::default(), &data, 2) > 0.0);
+    }
+}

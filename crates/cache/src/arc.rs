@@ -11,7 +11,7 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
@@ -42,7 +42,7 @@ pub struct ArcCache<K> {
     t2_bytes: u64,
     b1_bytes: u64,
     b2_bytes: u64,
-    map: HashMap<K, Slot>,
+    map: FxHashMap<K, Slot>,
 }
 
 impl<K: Key> ArcCache<K> {
@@ -59,7 +59,7 @@ impl<K: Key> ArcCache<K> {
             t2_bytes: 0,
             b1_bytes: 0,
             b2_bytes: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         }
     }
 

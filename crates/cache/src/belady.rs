@@ -9,7 +9,8 @@
 //! caching method" accounting (§5.3.3).
 
 use crate::{Cache, Evicted, Key};
-use std::collections::{BTreeSet, HashMap};
+use otae_fxhash::FxHashMap;
+use std::collections::BTreeSet;
 
 /// Position meaning "never accessed again".
 pub const NEVER: u64 = u64::MAX;
@@ -28,13 +29,13 @@ pub struct Belady<K> {
     next_occurrence: Vec<u64>,
     /// Victim order: (next access, key), largest first out.
     order: BTreeSet<(u64, K)>,
-    map: HashMap<K, (u64, u64)>, // key -> (next access, size)
+    map: FxHashMap<K, (u64, u64)>, // key -> (next access, size)
 }
 
 impl<K: Key> Belady<K> {
     /// Build from the future key sequence.
     pub fn new(capacity: u64, future: &[K]) -> Self {
-        let mut last_seen: HashMap<K, u64> = HashMap::new();
+        let mut last_seen: FxHashMap<K, u64> = FxHashMap::default();
         let mut next_occurrence = vec![NEVER; future.len()];
         for (i, key) in future.iter().enumerate().rev() {
             if let Some(&next) = last_seen.get(key) {
@@ -42,13 +43,25 @@ impl<K: Key> Belady<K> {
             }
             last_seen.insert(*key, i as u64);
         }
-        Self { capacity, used: 0, next_occurrence, order: BTreeSet::new(), map: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            next_occurrence,
+            order: BTreeSet::new(),
+            map: FxHashMap::default(),
+        }
     }
 
     /// Build directly from a precomputed next-occurrence array (shared across
     /// capacities when sweeping).
     pub fn from_next_occurrence(capacity: u64, next_occurrence: Vec<u64>) -> Self {
-        Self { capacity, used: 0, next_occurrence, order: BTreeSet::new(), map: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            next_occurrence,
+            order: BTreeSet::new(),
+            map: FxHashMap::default(),
+        }
     }
 
     fn next_of(&self, now: u64) -> u64 {

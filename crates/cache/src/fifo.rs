@@ -2,7 +2,7 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 /// Byte-capacity FIFO cache: eviction order is insertion order; hits do not
 /// refresh position.
@@ -12,13 +12,13 @@ pub struct Fifo<K> {
     used: u64,
     /// Insertion order, front = newest.
     order: DList<K>,
-    map: HashMap<K, (NodeId, u64)>,
+    map: FxHashMap<K, (NodeId, u64)>,
 }
 
 impl<K: Key> Fifo<K> {
     /// New FIFO cache holding at most `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, order: DList::new(), map: HashMap::new() }
+        Self { capacity, used: 0, order: DList::new(), map: FxHashMap::default() }
     }
 }
 

@@ -9,7 +9,8 @@
 //! orthogonally to one-time-access exclusion.
 
 use crate::{Cache, Evicted, Key};
-use std::collections::{BTreeSet, HashMap};
+use otae_fxhash::FxHashMap;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -27,7 +28,7 @@ pub struct Gdsf<K> {
     /// Inflation value L: floor priority for new insertions.
     inflation: f64,
     seq: u64,
-    map: HashMap<K, Entry>,
+    map: FxHashMap<K, Entry>,
     /// Victim order: lowest priority first. Keyed by (priority bits, seq, key).
     order: BTreeSet<(u64, u64, K)>,
 }
@@ -46,7 +47,7 @@ impl<K: Key> Gdsf<K> {
             used: 0,
             inflation: 0.0,
             seq: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: BTreeSet::new(),
         }
     }

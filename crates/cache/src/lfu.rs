@@ -1,7 +1,8 @@
 //! Least-Frequently-Used replacement (classical baseline; ties broken by age).
 
 use crate::{Cache, Evicted, Key};
-use std::collections::{BTreeSet, HashMap};
+use otae_fxhash::FxHashMap;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -17,7 +18,7 @@ pub struct Lfu<K> {
     capacity: u64,
     used: u64,
     seq: u64,
-    map: HashMap<K, Entry>,
+    map: FxHashMap<K, Entry>,
     /// Ordered victim set: (freq, seq, key).
     order: BTreeSet<(u64, u64, K)>,
 }
@@ -25,7 +26,7 @@ pub struct Lfu<K> {
 impl<K: Key> Lfu<K> {
     /// New LFU cache holding at most `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, seq: 0, map: HashMap::new(), order: BTreeSet::new() }
+        Self { capacity, used: 0, seq: 0, map: FxHashMap::default(), order: BTreeSet::new() }
     }
 }
 

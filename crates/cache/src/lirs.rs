@@ -11,7 +11,8 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::{HashMap, VecDeque};
+use otae_fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -41,7 +42,7 @@ pub struct Lirs<K> {
     s: DList<K>,
     /// Resident-HIR queue: front = eviction victim.
     q: DList<K>,
-    map: HashMap<K, Slot>,
+    map: FxHashMap<K, Slot>,
     /// Ghost insertion order for bounding stack growth.
     ghost_fifo: VecDeque<K>,
     ghosts: usize,
@@ -65,7 +66,7 @@ impl<K: Key> Lirs<K> {
             hir_bytes: 0,
             s: DList::new(),
             q: DList::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             ghost_fifo: VecDeque::new(),
             ghosts: 0,
         }

@@ -2,7 +2,7 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 /// Byte-capacity LRU cache.
 #[derive(Debug, Clone)]
@@ -11,13 +11,13 @@ pub struct Lru<K> {
     used: u64,
     /// Recency order, front = MRU.
     order: DList<K>,
-    map: HashMap<K, (NodeId, u64)>,
+    map: FxHashMap<K, (NodeId, u64)>,
 }
 
 impl<K: Key> Lru<K> {
     /// New LRU cache holding at most `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, order: DList::new(), map: HashMap::new() }
+        Self { capacity, used: 0, order: DList::new(), map: FxHashMap::default() }
     }
 
     fn evict_one(&mut self, evicted: &mut Vec<Evicted<K>>) {

@@ -9,7 +9,7 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 const SEGMENTS: usize = 3;
 
@@ -29,7 +29,7 @@ pub struct S3Lru<K> {
     used: u64,
     /// Per-segment recency lists, front = MRU.
     segs: [DList<K>; SEGMENTS],
-    map: HashMap<K, Slot>,
+    map: FxHashMap<K, Slot>,
 }
 
 impl<K: Key> S3Lru<K> {
@@ -43,7 +43,7 @@ impl<K: Key> S3Lru<K> {
             seg_used: [0; SEGMENTS],
             used: 0,
             segs: [DList::new(), DList::new(), DList::new()],
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         }
     }
 

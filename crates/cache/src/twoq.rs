@@ -10,7 +10,7 @@
 
 use crate::list::{DList, NodeId};
 use crate::{Cache, Evicted, Key};
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
@@ -43,7 +43,7 @@ pub struct TwoQ<K> {
     a1in_bytes: u64,
     a1out_bytes: u64,
     am_bytes: u64,
-    map: HashMap<K, Slot>,
+    map: FxHashMap<K, Slot>,
 }
 
 impl<K: Key> TwoQ<K> {
@@ -65,7 +65,7 @@ impl<K: Key> TwoQ<K> {
             a1in_bytes: 0,
             a1out_bytes: 0,
             am_bytes: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         }
     }
 

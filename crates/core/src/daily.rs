@@ -7,7 +7,7 @@
 //! sampled day takes well under a second at our scale.
 
 use crate::features::N_FEATURES;
-use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+use otae_ml::{Classifier, Dataset, DecisionTree, SplitEngine, TreeParams};
 use otae_trace::diurnal::DAY;
 
 /// Cost-matrix policy for Table 4's `v` (the false-positive cost).
@@ -54,6 +54,10 @@ pub struct TrainingConfig {
     /// Train once (first boundary) and never refresh — the static-model
     /// baseline §4.4.3 argues against (ablation knob; paper: false).
     pub train_once: bool,
+    /// Split-search engine for retraining. Defaults to the histogram-binned
+    /// engine, which keeps the §4.4.3 daily retrain off the serving hot
+    /// path's critical section for far less time than the exact splitter.
+    pub engine: SplitEngine,
 }
 
 impl Default for TrainingConfig {
@@ -65,6 +69,7 @@ impl Default for TrainingConfig {
             max_splits: 30,
             use_history: true,
             train_once: false,
+            engine: SplitEngine::default(),
         }
     }
 }
@@ -127,9 +132,21 @@ impl MinuteSampler {
     }
 }
 
-/// Train the paper's cost-sensitive CART tree on a sample window.
-/// Returns `None` when the window is empty or single-class.
+/// Train the paper's cost-sensitive CART tree on a sample window with the
+/// default (histogram-binned) split engine. Returns `None` when the window
+/// is empty or single-class.
 pub fn train_tree(samples: &[Sample], v: f32, max_splits: usize) -> Option<DecisionTree> {
+    train_tree_with(samples, v, max_splits, SplitEngine::default())
+}
+
+/// [`train_tree`] with an explicit split-search engine (the exact splitter
+/// remains available for equivalence testing and benchmarking).
+pub fn train_tree_with(
+    samples: &[Sample],
+    v: f32,
+    max_splits: usize,
+    engine: SplitEngine,
+) -> Option<DecisionTree> {
     if samples.is_empty() {
         return None;
     }
@@ -141,7 +158,7 @@ pub fn train_tree(samples: &[Sample], v: f32, max_splits: usize) -> Option<Decis
         return None;
     }
     let mut tree =
-        DecisionTree::new(TreeParams { max_splits, cost_fp: v, ..TreeParams::default() });
+        DecisionTree::new(TreeParams { max_splits, cost_fp: v, engine, ..TreeParams::default() });
     tree.fit(&data);
     Some(tree)
 }
@@ -181,7 +198,7 @@ impl DailyTrainer {
             self.next_retrain_ts += DAY;
         }
         let window = sampler.window(boundary.saturating_sub(DAY), boundary);
-        let tree = train_tree(window, self.v, self.cfg.max_splits);
+        let tree = train_tree_with(window, self.v, self.cfg.max_splits, self.cfg.engine);
         sampler.discard_before(boundary.saturating_sub(DAY));
         if tree.is_some() {
             self.trainings += 1;
@@ -273,6 +290,25 @@ mod tests {
         assert_eq!(trainer.trainings, 1);
         // Does not retrain again within the same day.
         assert!(trainer.maybe_retrain(DAY + 6 * 3600, &mut sampler).is_none());
+    }
+
+    #[test]
+    fn binned_and_exact_engines_agree_on_sampled_window() {
+        // Feature values are 200 distinct grid points, so the binned engine
+        // (256 bins) must reproduce the exact splitter's predictions.
+        let samples: Vec<Sample> = (0..400)
+            .map(|i| {
+                let (features, ts, one_time) =
+                    sample(i, (i % 200) as f32 / 200.0, (i % 200) >= 120);
+                Sample { ts, features, one_time }
+            })
+            .collect();
+        let exact = train_tree_with(&samples, 2.0, 30, SplitEngine::Exact).expect("trainable");
+        let binned = train_tree_with(&samples, 2.0, 30, SplitEngine::Binned { max_bins: 256 })
+            .expect("trainable");
+        for s in &samples {
+            assert_eq!(exact.predict(&s.features), binned.predict(&s.features));
+        }
     }
 
     #[test]

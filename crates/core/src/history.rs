@@ -7,15 +7,16 @@
 //! classification system toward admitting (a wrongly-bypassed photo costs a
 //! subsequent miss, which is dearer than one wasted write).
 
+use otae_fxhash::FxHashMap;
 use otae_trace::ObjectId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// FIFO-evicting table of recent one-time classifications.
 #[derive(Debug, Clone)]
 pub struct HistoryTable {
     capacity: usize,
     /// object → logical access index of the one-time judgement.
-    map: HashMap<ObjectId, u64>,
+    map: FxHashMap<ObjectId, u64>,
     fifo: VecDeque<ObjectId>,
     rectifications: u64,
 }
@@ -27,7 +28,7 @@ impl HistoryTable {
         assert!(capacity > 0, "history table needs capacity");
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             fifo: VecDeque::with_capacity(capacity),
             rectifications: 0,
         }

@@ -54,6 +54,7 @@ pub use daily::{DailyTrainer, MinuteSampler, TrainingConfig};
 pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
 pub use history::HistoryTable;
 pub use online::{run_online, run_online_with, OnlineModelKind};
+pub use otae_ml::SplitEngine;
 pub use pipeline::{run, CacheEvent, Mode, PolicyKind, RunConfig, RunResult};
 pub use reaccess::ReaccessIndex;
 pub use sweep::{sweep, SweepPoint};

@@ -7,7 +7,6 @@
 //! (in requests) to the next access of the same object.
 
 use otae_trace::Trace;
-use std::collections::HashMap;
 
 /// Distance marker for "never accessed again within the trace".
 pub const NEVER: u64 = u64::MAX;
@@ -24,20 +23,36 @@ pub struct ReaccessIndex {
 
 impl ReaccessIndex {
     /// Build the index with a single backward pass.
+    ///
+    /// Object ids are dense indices into `trace.meta`, so the next-position
+    /// map is a flat `Vec<u64>` ([`NEVER`] = unseen) and the first-access
+    /// set a bit vector — both O(1) with no hashing, turning the build into
+    /// two cache-friendly linear sweeps.
     pub fn build(trace: &Trace) -> Self {
         let n = trace.len();
+        let n_objects = trace
+            .requests
+            .iter()
+            .map(|r| r.object.0 as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(trace.meta.len());
         let mut dist = vec![NEVER; n];
-        let mut next_pos: HashMap<u32, u64> = HashMap::new();
+        let mut next_pos = vec![NEVER; n_objects];
         for (i, req) in trace.requests.iter().enumerate().rev() {
-            if let Some(&next) = next_pos.get(&req.object.0) {
-                dist[i] = next - i as u64;
+            let slot = &mut next_pos[req.object.0 as usize];
+            if *slot != NEVER {
+                dist[i] = *slot - i as u64;
             }
-            next_pos.insert(req.object.0, i as u64);
+            *slot = i as u64;
         }
         let mut first = vec![false; n];
-        let mut seen: HashMap<u32, ()> = HashMap::with_capacity(next_pos.len());
+        let mut seen = vec![0u64; n_objects.div_ceil(64)];
         for (i, req) in trace.requests.iter().enumerate() {
-            if seen.insert(req.object.0, ()).is_none() {
+            let id = req.object.0 as usize;
+            let (word, bit) = (id / 64, 1u64 << (id % 64));
+            if seen[word] & bit == 0 {
+                seen[word] |= bit;
                 first[i] = true;
             }
         }
@@ -167,5 +182,40 @@ mod tests {
         let idx = ReaccessIndex::build(&trace_of(&[]));
         assert!(idx.is_empty());
         assert_eq!(idx.one_time_fraction(10), 0.0);
+    }
+
+    /// The dense-array build must reproduce the straightforward hash-map
+    /// reference on a generated trace with skewed, gappy object ids.
+    #[test]
+    fn dense_build_matches_hashmap_reference() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        // Skewed popularity plus deliberate id gaps (ids are multiples of 3).
+        let keys: Vec<u32> = (0..5000)
+            .map(|_| {
+                let hot = rng.gen::<f32>() < 0.7;
+                let id: u32 = if hot { rng.gen_range(0..20) } else { rng.gen_range(0..800) };
+                id * 3
+            })
+            .collect();
+        let trace = trace_of(&keys);
+        let idx = ReaccessIndex::build(&trace);
+
+        let mut ref_dist = vec![NEVER; keys.len()];
+        let mut next_pos: HashMap<u32, u64> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate().rev() {
+            if let Some(&next) = next_pos.get(&k) {
+                ref_dist[i] = next - i as u64;
+            }
+            next_pos.insert(k, i as u64);
+        }
+        let mut seen: HashMap<u32, ()> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let ref_first = seen.insert(k, ()).is_none();
+            assert_eq!(idx.distance(i), ref_dist[i], "distance at {i}");
+            assert_eq!(idx.is_first_access(i), ref_first, "first flag at {i}");
+        }
     }
 }

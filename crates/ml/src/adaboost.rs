@@ -2,9 +2,12 @@
 //!
 //! The paper notes that boosting ~30 base learners buys only ≈1 % accuracy
 //! at ~30× the compute of a single tree (§3.1.1) — the ablation bench
-//! reproduces that trade-off.
+//! reproduces that trade-off. With the binned engine the dataset is
+//! quantized **once** and every round trains on the shared bin codes with a
+//! per-round weight override — no dataset clone, no per-round re-sorting.
 
-use crate::{Classifier, Dataset, DecisionTree, TreeParams};
+use crate::binning::BinnedDataset;
+use crate::{Classifier, Dataset, DecisionTree, SplitEngine, TreeParams};
 
 /// Discrete AdaBoost ensemble of depth-limited decision trees.
 #[derive(Debug, Clone)]
@@ -13,6 +16,8 @@ pub struct AdaBoost {
     pub rounds: usize,
     /// Split budget of each weak tree.
     pub weak_splits: usize,
+    /// Split-search engine every weak tree trains with.
+    pub engine: SplitEngine,
     stages: Vec<(DecisionTree, f32)>,
     alpha_sum: f32,
 }
@@ -20,7 +25,13 @@ pub struct AdaBoost {
 impl AdaBoost {
     /// New ensemble with `rounds` weak learners.
     pub fn new(rounds: usize) -> Self {
-        Self { rounds, weak_splits: 3, stages: Vec::new(), alpha_sum: 0.0 }
+        Self {
+            rounds,
+            weak_splits: 3,
+            engine: SplitEngine::default(),
+            stages: Vec::new(),
+            alpha_sum: 0.0,
+        }
     }
 
     /// Number of fitted stages (may stop early on a perfect learner).
@@ -40,25 +51,39 @@ impl Classifier for AdaBoost {
         // Boosting maintains its own weights on top of the dataset weights.
         let base: Vec<f32> = (0..n).map(|i| data.weight(i)).collect();
         let mut w: Vec<f32> = base.clone();
-        let mut working = data.clone();
+        // Bin once; each round only swaps the weight vector.
+        let binned = match self.engine {
+            SplitEngine::Binned { max_bins } => Some(BinnedDataset::build(data, max_bins)),
+            SplitEngine::Exact => None,
+        };
+        let mut working = match binned {
+            Some(_) => Dataset::new(data.n_features()),
+            None => data.clone(),
+        };
         for round in 0..self.rounds {
             let sum: f32 = w.iter().sum();
             if sum <= 0.0 {
                 break;
             }
             let norm: Vec<f32> = w.iter().map(|&x| x / sum).collect();
-            working.set_weights(norm.clone());
             let mut weak = DecisionTree::new(TreeParams {
                 max_splits: self.weak_splits,
                 max_depth: 3,
                 min_leaf_weight: 1e-4,
                 seed: round as u64,
+                engine: self.engine,
                 ..TreeParams::default()
             });
-            weak.fit(&working);
+            match &binned {
+                Some(b) => weak.fit_binned_on(b, None, Some(&norm)),
+                None => {
+                    working.set_weights(norm.clone());
+                    weak.fit_exact(&working);
+                }
+            }
             // Weighted error.
             let mut err = 0.0f64;
-            let preds: Vec<bool> = (0..n).map(|i| weak.predict(data.row(i))).collect();
+            let preds: Vec<bool> = weak.predict_batch(data);
             for i in 0..n {
                 if preds[i] != data.label(i) {
                     err += norm[i] as f64;

@@ -1,0 +1,273 @@
+//! Feature quantization for histogram-based tree training.
+//!
+//! The exact CART splitter re-sorts every feature column at every node —
+//! O(nodes × features × n log n), paid again for every ensemble member and
+//! every retraining cycle. [`BinnedDataset`] quantizes each feature column
+//! **once** per training set into at most [`MAX_BINS`] bins (quantile
+//! cut-points, `u8` codes); split search then reduces to accumulating a
+//! per-bin (weight, positive-weight) histogram in O(n_node × features) and
+//! scanning at most 256 boundaries per feature, with no per-node sorting.
+//!
+//! When a feature has ≤ `max_bins` distinct values, every distinct value
+//! gets its own bin and the recorded bin edges reproduce the exact
+//! splitter's mid-point thresholds — the binned engine is then
+//! *prediction-identical* to the exact one (see the equivalence tests).
+
+use crate::Dataset;
+
+/// Hard ceiling on bins per feature (bin codes are `u8`).
+pub const MAX_BINS: usize = 256;
+
+/// Per-feature bin metadata.
+#[derive(Debug, Clone)]
+struct FeatureBins {
+    /// Smallest raw value landing in each bin (ascending).
+    bin_min: Vec<f32>,
+    /// Largest raw value landing in each bin (ascending).
+    bin_max: Vec<f32>,
+}
+
+impl FeatureBins {
+    fn n_bins(&self) -> usize {
+        self.bin_min.len()
+    }
+
+    /// Threshold separating bins `b` and `b2` (`b < b2`, both occupied in
+    /// the node being split): the mid-point between the largest value at or
+    /// below the boundary and the smallest value above it. With one bin per
+    /// distinct value this is exactly the exact splitter's `(v + next_v)/2`.
+    fn threshold_between(&self, b: usize, b2: usize) -> f32 {
+        (self.bin_max[b] + self.bin_min[b2]) * 0.5
+    }
+}
+
+/// A dataset quantized for histogram split search: column-major `u8` bin
+/// codes plus per-bin value ranges, carrying labels and base weights so
+/// ensembles can bin once and train every member on the shared codes.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    n_rows: usize,
+    /// `codes[f * n_rows + i]` = bin of row `i` in feature `f`.
+    codes: Vec<u8>,
+    features: Vec<FeatureBins>,
+    labels: Vec<bool>,
+    weights: Vec<f32>,
+}
+
+impl BinnedDataset {
+    /// Quantize `data` into at most `max_bins` (≤ 256) bins per feature.
+    ///
+    /// Cut-points are value quantiles: the sorted distinct values of each
+    /// column are packed into bins of (weighted-by-occurrence) equal
+    /// population, so skewed columns keep resolution where the mass is.
+    pub fn build(data: &Dataset, max_bins: usize) -> Self {
+        let max_bins = max_bins.clamp(2, MAX_BINS);
+        let n_rows = data.len();
+        let n_features = data.n_features();
+        let mut codes = vec![0u8; n_rows * n_features];
+        let mut features = Vec::with_capacity(n_features);
+        // Scratch: (value, row) pairs of one column, sorted by value.
+        let mut col: Vec<(f32, u32)> = Vec::with_capacity(n_rows);
+        for f in 0..n_features {
+            col.clear();
+            for i in 0..n_rows {
+                let v = data.row(i)[f];
+                assert!(!v.is_nan(), "features must not be NaN");
+                col.push((v, i as u32));
+            }
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+            let distinct = count_distinct(&col);
+            let bins = Self::assign_bins(&col, distinct, max_bins);
+            let out = &mut codes[f * n_rows..(f + 1) * n_rows];
+            let mut bin_min = vec![f32::INFINITY; bins.n_bins];
+            let mut bin_max = vec![f32::NEG_INFINITY; bins.n_bins];
+            for (k, &(v, row)) in col.iter().enumerate() {
+                let b = bins.code_of[k] as usize;
+                out[row as usize] = bins.code_of[k];
+                if v < bin_min[b] {
+                    bin_min[b] = v;
+                }
+                if v > bin_max[b] {
+                    bin_max[b] = v;
+                }
+            }
+            if n_rows == 0 {
+                bin_min = vec![0.0];
+                bin_max = vec![0.0];
+            }
+            features.push(FeatureBins { bin_min, bin_max });
+        }
+        Self {
+            n_rows,
+            codes,
+            features,
+            labels: data.labels().to_vec(),
+            weights: (0..n_rows).map(|i| data.weight(i)).collect(),
+        }
+    }
+
+    /// Assign one bin code per sorted position. One bin per distinct value
+    /// when they fit; otherwise equal-population (quantile) packing that
+    /// never splits a run of equal values across bins.
+    fn assign_bins(col: &[(f32, u32)], distinct: usize, max_bins: usize) -> BinAssignment {
+        let n = col.len();
+        let mut code_of = vec![0u8; n];
+        if n == 0 {
+            return BinAssignment { code_of, n_bins: 1 };
+        }
+        if distinct <= max_bins {
+            let mut bin = 0usize;
+            for k in 0..n {
+                if k > 0 && col[k].0 != col[k - 1].0 {
+                    bin += 1;
+                }
+                code_of[k] = bin as u8;
+            }
+            return BinAssignment { code_of, n_bins: bin + 1 };
+        }
+        // Quantile packing: target n/max_bins samples per bin, advancing a
+        // bin only at value boundaries so equal values share a bin.
+        let per_bin = (n as f64 / max_bins as f64).max(1.0);
+        let mut bin = 0usize;
+        let mut next_cut = per_bin;
+        for k in 0..n {
+            if k > 0 && col[k].0 != col[k - 1].0 && k as f64 >= next_cut && bin + 1 < max_bins {
+                bin += 1;
+                next_cut = per_bin * (bin as f64 + 1.0);
+            }
+            code_of[k] = bin as u8;
+        }
+        BinAssignment { code_of, n_bins: bin + 1 }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Bins actually used by feature `f` (≤ [`MAX_BINS`]).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.features[f].n_bins()
+    }
+
+    /// Bin codes of feature `f`, indexed by row.
+    pub(crate) fn feature_codes(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Raw-value threshold separating occupied bins `b` and `b2` of
+    /// feature `f`.
+    pub(crate) fn threshold_between(&self, f: usize, b: usize, b2: usize) -> f32 {
+        self.features[f].threshold_between(b, b2)
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Base weight of row `i` (overridable per-fit for boosting).
+    pub fn weight(&self, i: usize) -> f32 {
+        self.weights[i]
+    }
+}
+
+struct BinAssignment {
+    code_of: Vec<u8>,
+    n_bins: usize,
+}
+
+fn count_distinct(sorted: &[(f32, u32)]) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[0].0 != w[1].0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_of(cols: &[&[f32]], labels: &[bool]) -> Dataset {
+        let n_features = cols.len();
+        let mut d = Dataset::new(n_features);
+        for i in 0..labels.len() {
+            let row: Vec<f32> = cols.iter().map(|c| c[i]).collect();
+            d.push(&row, labels[i]);
+        }
+        d
+    }
+
+    #[test]
+    fn distinct_values_get_one_bin_each() {
+        let d = dataset_of(&[&[3.0, 1.0, 2.0, 1.0, 3.0]], &[true; 5]);
+        let b = BinnedDataset::build(&d, 256);
+        assert_eq!(b.n_bins(0), 3);
+        // Codes follow value order: 1.0 -> 0, 2.0 -> 1, 3.0 -> 2.
+        assert_eq!(b.feature_codes(0), &[2, 0, 1, 0, 2]);
+        // Boundary thresholds are exact-splitter mid-points.
+        assert_eq!(b.threshold_between(0, 0, 1), 1.5);
+        assert_eq!(b.threshold_between(0, 1, 2), 2.5);
+        // Skipping an (in-node) empty bin still takes the right mid-point.
+        assert_eq!(b.threshold_between(0, 0, 2), 2.0);
+    }
+
+    #[test]
+    fn quantile_packing_caps_bins_and_keeps_equal_values_together() {
+        let values: Vec<f32> = (0..1000).map(|i| (i / 2) as f32).collect(); // 500 distinct
+        let labels = vec![false; 1000];
+        let d = dataset_of(&[&values], &labels);
+        let b = BinnedDataset::build(&d, 16);
+        assert!(b.n_bins(0) <= 16);
+        assert!(b.n_bins(0) >= 8, "quantile packing should use most bins");
+        // Equal raw values never straddle a bin boundary.
+        let codes = b.feature_codes(0);
+        for i in (0..1000).step_by(2) {
+            assert_eq!(codes[i], codes[i + 1], "pair {i} split across bins");
+        }
+    }
+
+    #[test]
+    fn constant_column_is_single_bin() {
+        let d = dataset_of(&[&[5.0; 20]], &[true; 20]);
+        let b = BinnedDataset::build(&d, 256);
+        assert_eq!(b.n_bins(0), 1);
+        assert!(b.feature_codes(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn labels_and_weights_are_carried() {
+        let mut d = Dataset::new(1);
+        d.push_weighted(&[1.0], true, 2.0);
+        d.push_weighted(&[2.0], false, 0.5);
+        let b = BinnedDataset::build(&d, 256);
+        assert_eq!(b.len(), 2);
+        assert!(b.label(0) && !b.label(1));
+        assert_eq!(b.weight(0), 2.0);
+        assert_eq!(b.weight(1), 0.5);
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let b = BinnedDataset::build(&Dataset::new(3), 256);
+        assert!(b.is_empty());
+        assert_eq!(b.n_features(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_features_are_rejected() {
+        let d = dataset_of(&[&[1.0, f32::NAN]], &[true, false]);
+        BinnedDataset::build(&d, 256);
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod adaboost;
+pub mod binning;
 pub mod dataset;
 pub mod feature_select;
 pub mod forest;
@@ -35,6 +36,7 @@ pub mod preprocess;
 pub mod tree;
 
 pub use adaboost::AdaBoost;
+pub use binning::{BinnedDataset, MAX_BINS};
 pub use dataset::Dataset;
 pub use forest::RandomForest;
 pub use hoeffding::{HoeffdingTree, OnlineClassifier};
@@ -44,7 +46,7 @@ pub use metrics::{optimal_threshold, roc_auc, ConfusionMatrix};
 pub use mlp::Mlp;
 pub use naive_bayes::NaiveBayes;
 pub use preprocess::Standardizer;
-pub use tree::{DecisionTree, TreeParams};
+pub use tree::{DecisionTree, SplitEngine, TreeParams};
 
 /// A trained (or trainable) binary classifier.
 ///
@@ -60,16 +62,26 @@ pub trait Classifier: Send + Sync {
     fn predict(&self, row: &[f32]) -> bool {
         self.score(row) >= 0.5
     }
+    /// Positive-class confidences for every row. The default delegates to
+    /// [`Classifier::score`] per row; models with a batch-friendly layout
+    /// (e.g. [`DecisionTree`]'s flattened node array) override it.
+    fn score_batch(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.len()).map(|i| self.score(data.row(i))).collect()
+    }
+    /// Hard decisions for every row at the 0.5 threshold.
+    fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
+        self.score_batch(data).into_iter().map(|s| s >= 0.5).collect()
+    }
     /// Display name (matches Table 1 rows).
     fn name(&self) -> &'static str;
 }
 
-/// Score every row of a dataset.
+/// Score every row of a dataset (batched).
 pub fn score_all<C: Classifier + ?Sized>(clf: &C, data: &Dataset) -> Vec<f32> {
-    (0..data.len()).map(|i| clf.score(data.row(i))).collect()
+    clf.score_batch(data)
 }
 
-/// Predict every row of a dataset.
+/// Predict every row of a dataset (batched).
 pub fn predict_all<C: Classifier + ?Sized>(clf: &C, data: &Dataset) -> Vec<bool> {
-    (0..data.len()).map(|i| clf.predict(data.row(i))).collect()
+    clf.predict_batch(data)
 }

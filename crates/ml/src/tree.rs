@@ -8,11 +8,41 @@
 //! meaningful: the 30 highest-gain splits anywhere in the tree are taken, so
 //! the resulting tree is shallow — the paper reports height ≈ 5, i.e. at most
 //! five comparisons per prediction.
+//!
+//! Two split-search engines are available (see [`SplitEngine`]): the
+//! reference **exact** splitter, which re-sorts every feature column at
+//! every node, and the default **binned** engine, which quantizes each
+//! column once into ≤ 256 bins ([`BinnedDataset`]) and finds splits by
+//! accumulating per-bin weight histograms — O(n_node × features) per node
+//! with no sorting, deriving the larger sibling's histograms by subtracting
+//! the smaller child's from the parent's.
 
+use crate::binning::{BinnedDataset, MAX_BINS};
 use crate::{Classifier, Dataset};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Which split-search implementation a tree trains with. Both engines use
+/// identical impurity, budget, cost and feature-subsampling logic; with one
+/// bin per distinct value they produce prediction-identical trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitEngine {
+    /// Per-node sorted scan over raw feature values. O(n log n) per node
+    /// per feature; kept as the equivalence reference.
+    Exact,
+    /// Histogram search over pre-quantized bin codes (≤ `max_bins` ≤ 256).
+    Binned {
+        /// Bins per feature (clamped to `[2, 256]`).
+        max_bins: usize,
+    },
+}
+
+impl Default for SplitEngine {
+    fn default() -> Self {
+        SplitEngine::Binned { max_bins: MAX_BINS }
+    }
+}
 
 /// Tree hyper-parameters.
 #[derive(Debug, Clone)]
@@ -30,6 +60,8 @@ pub struct TreeParams {
     pub max_features: Option<usize>,
     /// Seed for feature subsampling.
     pub seed: u64,
+    /// Split-search engine (default: binned histograms).
+    pub engine: SplitEngine,
 }
 
 impl Default for TreeParams {
@@ -41,6 +73,7 @@ impl Default for TreeParams {
             cost_fp: 1.0,
             max_features: None,
             seed: 0,
+            engine: SplitEngine::default(),
         }
     }
 }
@@ -350,8 +383,342 @@ impl DecisionTree {
     }
 }
 
-impl Classifier for DecisionTree {
-    fn fit(&mut self, data: &Dataset) {
+/// One bin of a node histogram: total effective weight, positive effective
+/// weight, and an exact sample count (the count makes histogram subtraction
+/// give an exact occupied/empty answer even when the weights carry
+/// floating-point dust).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct HBin {
+    w: f64,
+    wpos: f64,
+    n: u32,
+}
+
+impl HBin {
+    fn add(&mut self, weight: f64, positive: bool) {
+        self.w += weight;
+        self.n += 1;
+        if positive {
+            self.wpos += weight;
+        }
+    }
+
+    fn subtract(&mut self, other: &HBin) {
+        self.n -= other.n;
+        if self.n == 0 {
+            // Kill subtraction dust so empty bins are exactly empty.
+            self.w = 0.0;
+            self.wpos = 0.0;
+        } else {
+            self.w -= other.w;
+            self.wpos -= other.wpos;
+        }
+    }
+}
+
+/// The winning split of a histogram search.
+#[derive(Debug, Clone, Copy)]
+struct SplitFound {
+    feature: u16,
+    /// Highest bin code routed left.
+    split_bin: u8,
+    /// Raw-value threshold recorded in the tree node.
+    threshold: f32,
+    gain: f64,
+}
+
+/// A frontier node of the binned best-first builder: its sample rows, its
+/// full per-feature histogram (flattened), its weight totals, and the best
+/// split found for it.
+struct BinnedCandidate {
+    node: u32,
+    depth: usize,
+    rows: Vec<u32>,
+    hist: Vec<HBin>,
+    tot: HBin,
+    found: SplitFound,
+}
+
+/// Nodes at or above this many samples build their histograms with one
+/// crossbeam scoped thread per feature.
+const PARALLEL_HIST_ROWS: usize = 8192;
+
+/// Flattened histogram layout: `offsets[f]..offsets[f + 1]` are feature
+/// `f`'s bins.
+fn bin_offsets(data: &BinnedDataset) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(data.n_features() + 1);
+    let mut at = 0usize;
+    offsets.push(0);
+    for f in 0..data.n_features() {
+        at += data.n_bins(f);
+        offsets.push(at);
+    }
+    offsets
+}
+
+/// Accumulate the per-feature bin histograms of one node (the rows listed
+/// in `rows`, duplicates counted per occurrence). Returns the flattened
+/// histogram and the node's weight totals. Large nodes fan the independent
+/// per-feature accumulations out across scoped threads; each feature is
+/// summed in row order by exactly one thread, so the result is identical to
+/// the sequential pass.
+fn build_hist(
+    data: &BinnedDataset,
+    offsets: &[usize],
+    rows: &[u32],
+    eff: &[f32],
+) -> (Vec<HBin>, HBin) {
+    let n_features = data.n_features();
+    let mut hist = vec![HBin::default(); offsets[n_features]];
+    if rows.len() >= PARALLEL_HIST_ROWS && n_features > 1 {
+        let mut slices: Vec<&mut [HBin]> = Vec::with_capacity(n_features);
+        let mut rest = hist.as_mut_slice();
+        for f in 0..n_features {
+            let (head, tail) = rest.split_at_mut(offsets[f + 1] - offsets[f]);
+            slices.push(head);
+            rest = tail;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (f, slice) in slices.into_iter().enumerate() {
+                scope.spawn(move |_| accumulate_feature(data, f, slice, rows, eff));
+            }
+        })
+        .expect("histogram worker panicked");
+    } else {
+        for f in 0..n_features {
+            accumulate_feature(data, f, &mut hist[offsets[f]..offsets[f + 1]], rows, eff);
+        }
+    }
+    let mut tot = HBin::default();
+    for b in &hist[..offsets[1.min(n_features)]] {
+        tot.w += b.w;
+        tot.wpos += b.wpos;
+        tot.n += b.n;
+    }
+    (hist, tot)
+}
+
+fn accumulate_feature(
+    data: &BinnedDataset,
+    f: usize,
+    bins: &mut [HBin],
+    rows: &[u32],
+    eff: &[f32],
+) {
+    let codes = data.feature_codes(f);
+    for &i in rows {
+        let i = i as usize;
+        bins[codes[i] as usize].add(eff[i] as f64, data.label(i));
+    }
+}
+
+impl DecisionTree {
+    /// Fit on a pre-binned dataset (binned-engine hot path, shared by
+    /// forests and boosting so the quantization cost is paid once).
+    ///
+    /// * `rows` — sample multiset to train on (bootstrap duplicates
+    ///   allowed); `None` trains on every row.
+    /// * `weights` — per-row base-weight override indexed by original row
+    ///   id (boosting reweights between rounds); `None` uses the weights
+    ///   captured at binning time. The cost matrix (`cost_fp`) is applied
+    ///   on top in either case.
+    pub fn fit_binned_on(
+        &mut self,
+        data: &BinnedDataset,
+        rows: Option<&[u32]>,
+        weights: Option<&[f32]>,
+    ) {
+        self.nodes.clear();
+        self.n_splits = 0;
+        self.n_features = data.n_features();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
+        if let Some(w) = weights {
+            assert_eq!(w.len(), data.len(), "weight override length mismatch");
+        }
+        let eff: Vec<f32> = (0..data.len())
+            .map(|i| {
+                let base = weights.map_or_else(|| data.weight(i), |w| w[i]);
+                if data.label(i) {
+                    base
+                } else {
+                    base * self.params.cost_fp
+                }
+            })
+            .collect();
+        let offsets = bin_offsets(data);
+        let all: Vec<u32> = match rows {
+            Some(r) => r.to_vec(),
+            None => (0..data.len() as u32).collect(),
+        };
+        let (root_hist, root_tot) = build_hist(data, &offsets, &all, &eff);
+        self.nodes.push(Node::Leaf { score: leaf_score_of(root_tot) });
+        if all.is_empty() {
+            return;
+        }
+
+        let mut frontier: Vec<BinnedCandidate> = Vec::new();
+        if let Some(found) = self.best_split_hist(data, &offsets, &root_hist, root_tot, &mut rng) {
+            frontier.push(BinnedCandidate {
+                node: 0,
+                depth: 0,
+                rows: all,
+                hist: root_hist,
+                tot: root_tot,
+                found,
+            });
+        }
+
+        while self.n_splits < self.params.max_splits && !frontier.is_empty() {
+            let best_i = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.found.gain.partial_cmp(&b.1.found.gain).expect("gain not NaN"))
+                .map(|(i, _)| i)
+                .expect("frontier non-empty");
+            let cand = frontier.swap_remove(best_i);
+
+            let codes = data.feature_codes(cand.found.feature as usize);
+            let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+            for &i in &cand.rows {
+                if codes[i as usize] <= cand.found.split_bin {
+                    left_rows.push(i);
+                } else {
+                    right_rows.push(i);
+                }
+            }
+            debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+
+            // Histogram subtraction: accumulate only the smaller child;
+            // the larger sibling is parent − smaller.
+            let left_is_small = left_rows.len() <= right_rows.len();
+            let small_rows = if left_is_small { &left_rows } else { &right_rows };
+            let (small_hist, small_tot) = build_hist(data, &offsets, small_rows, &eff);
+            let mut large_hist = cand.hist;
+            let mut large_tot = cand.tot;
+            for (l, s) in large_hist.iter_mut().zip(&small_hist) {
+                l.subtract(s);
+            }
+            large_tot.subtract(&small_tot);
+            let (left_hist, left_tot, right_hist, right_tot) = if left_is_small {
+                (small_hist, small_tot, large_hist, large_tot)
+            } else {
+                (large_hist, large_tot, small_hist, small_tot)
+            };
+
+            let left_node = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf { score: leaf_score_of(left_tot) });
+            let right_node = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf { score: leaf_score_of(right_tot) });
+            self.nodes[cand.node as usize] = Node::Split {
+                feature: cand.found.feature,
+                threshold: cand.found.threshold,
+                left: left_node,
+                right: right_node,
+            };
+            self.n_splits += 1;
+
+            if cand.depth + 1 < self.params.max_depth {
+                for (node, rows, hist, tot) in [
+                    (left_node, left_rows, left_hist, left_tot),
+                    (right_node, right_rows, right_hist, right_tot),
+                ] {
+                    if let Some(found) = self.best_split_hist(data, &offsets, &hist, tot, &mut rng)
+                    {
+                        frontier.push(BinnedCandidate {
+                            node,
+                            depth: cand.depth + 1,
+                            rows,
+                            hist,
+                            tot,
+                            found,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best split of a node given its histograms: scan each candidate
+    /// feature's occupied bins left to right, evaluating the boundary
+    /// between every adjacent occupied pair. Mirrors the exact splitter's
+    /// candidate set, gain formula, tie-breaking and RNG consumption.
+    fn best_split_hist(
+        &self,
+        data: &BinnedDataset,
+        offsets: &[usize],
+        hist: &[HBin],
+        tot: HBin,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<SplitFound> {
+        let n_features = data.n_features();
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if let Some(m) = self.params.max_features {
+            features.shuffle(rng);
+            features.truncate(m.max(1).min(n_features));
+        }
+        let (w_tot, w_pos) = (tot.w, tot.wpos);
+        if w_tot <= 0.0 {
+            return None;
+        }
+        let gini = |pos: f64, t: f64| -> f64 {
+            if t <= 0.0 {
+                return 0.0;
+            }
+            let p = pos / t;
+            2.0 * p * (1.0 - p)
+        };
+        let parent_impurity = w_tot * gini(w_pos, w_tot);
+        if parent_impurity <= 1e-12 {
+            return None; // pure node
+        }
+        let min_leaf = self.params.min_leaf_weight as f64;
+
+        let mut best: Option<SplitFound> = None;
+        for &f in &features {
+            let bins = &hist[offsets[f]..offsets[f + 1]];
+            let (mut lt, mut lp) = (0.0f64, 0.0f64);
+            let mut prev_occupied: Option<usize> = None;
+            for (b, bin) in bins.iter().enumerate() {
+                if bin.n == 0 {
+                    continue;
+                }
+                if let Some(pb) = prev_occupied {
+                    // Boundary between occupied bins pb and b; (lt, lp)
+                    // hold the sums through pb.
+                    let (rt, rp) = (w_tot - lt, w_pos - lp);
+                    if lt >= min_leaf && rt >= min_leaf {
+                        let gain = parent_impurity - lt * gini(lp, lt) - rt * gini(rp, rt);
+                        if gain > best.as_ref().map_or(1e-9, |s| s.gain) {
+                            best = Some(SplitFound {
+                                feature: f as u16,
+                                split_bin: pb as u8,
+                                threshold: data.threshold_between(f, pb, b),
+                                gain,
+                            });
+                        }
+                    }
+                }
+                lt += bin.w;
+                lp += bin.wpos;
+                prev_occupied = Some(b);
+            }
+        }
+        best
+    }
+}
+
+fn leaf_score_of(tot: HBin) -> f32 {
+    if tot.w <= 0.0 {
+        0.0
+    } else {
+        (tot.wpos / tot.w) as f32
+    }
+}
+
+impl DecisionTree {
+    /// Fit with the exact sorted splitter regardless of the configured
+    /// engine (the equivalence-test reference path).
+    pub fn fit_exact(&mut self, data: &Dataset) {
         self.nodes.clear();
         self.n_splits = 0;
         self.n_features = data.n_features();
@@ -429,6 +796,18 @@ impl Classifier for DecisionTree {
             }
         }
     }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        match self.params.engine {
+            SplitEngine::Exact => self.fit_exact(data),
+            SplitEngine::Binned { max_bins } => {
+                let binned = BinnedDataset::build(data, max_bins);
+                self.fit_binned_on(&binned, None, None);
+            }
+        }
+    }
 
     fn score(&self, row: &[f32]) -> f32 {
         let mut i = 0u32;
@@ -443,6 +822,27 @@ impl Classifier for DecisionTree {
                 }
             }
         }
+    }
+
+    fn score_batch(&self, data: &Dataset) -> Vec<f32> {
+        // Tight loop over the flattened node array: one shared borrow of
+        // the nodes, no per-row virtual dispatch.
+        let nodes = &self.nodes[..];
+        (0..data.len())
+            .map(|r| {
+                let row = data.row(r);
+                let mut i = 0u32;
+                loop {
+                    match nodes[i as usize] {
+                        Node::Leaf { score } => return score,
+                        Node::Split { feature, threshold, left, right } => {
+                            let x = row.get(feature as usize).copied().unwrap_or(0.0);
+                            i = if x <= threshold { left } else { right };
+                        }
+                    }
+                }
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -609,6 +1009,107 @@ mod tests {
             DecisionTree::new(TreeParams { min_leaf_weight: 1.0, ..Default::default() });
         loose.fit(&d);
         assert!(loose.predict(&[201.0]), "loose min leaf isolates the outliers");
+    }
+
+    /// Low-cardinality dataset: every feature has ≤ 256 distinct values, so
+    /// the binned engine's candidate thresholds coincide with the exact
+    /// splitter's mid-points.
+    fn low_cardinality_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(4);
+        for _ in 0..n {
+            let x0 = rng.gen_range(0..40) as f32;
+            let x1 = rng.gen_range(0..200) as f32 * 0.25;
+            let x2 = rng.gen_range(0..7) as f32 - 3.0;
+            let x3 = rng.gen_range(0..256) as f32;
+            let label = (x0 > 20.0) ^ (x1 > 25.0) || x2 > 2.0;
+            d.push(&[x0, x1, x2, x3], label);
+        }
+        d
+    }
+
+    #[test]
+    fn binned_engine_matches_exact_predictions() {
+        for seed in 0..4u64 {
+            let train = low_cardinality_dataset(1500, seed);
+            let test = low_cardinality_dataset(400, seed + 100);
+            let mut exact = DecisionTree::new(TreeParams {
+                engine: SplitEngine::Exact,
+                seed,
+                ..Default::default()
+            });
+            let mut binned = DecisionTree::new(TreeParams {
+                engine: SplitEngine::Binned { max_bins: 256 },
+                seed,
+                ..Default::default()
+            });
+            exact.fit(&train);
+            binned.fit(&train);
+            assert_eq!(exact.n_splits(), binned.n_splits(), "seed {seed}: split count differs");
+            for i in 0..test.len() {
+                assert_eq!(
+                    exact.predict(test.row(i)),
+                    binned.predict(test.row(i)),
+                    "seed {seed}: prediction differs on row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binned_engine_matches_exact_under_cost_matrix() {
+        // Table 4 cost matrices: v multiplies negative-sample weights.
+        for v in [2.0f32, 3.0] {
+            let train = low_cardinality_dataset(1200, 9);
+            let mut exact = DecisionTree::new(TreeParams {
+                engine: SplitEngine::Exact,
+                cost_fp: v,
+                ..Default::default()
+            });
+            let mut binned = DecisionTree::new(TreeParams {
+                engine: SplitEngine::Binned { max_bins: 256 },
+                cost_fp: v,
+                ..Default::default()
+            });
+            exact.fit(&train);
+            binned.fit(&train);
+            for i in 0..train.len() {
+                assert_eq!(
+                    exact.predict(train.row(i)),
+                    binned.predict(train.row(i)),
+                    "v={v}: prediction differs on row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_batch_matches_per_row_scores() {
+        let train = xor_dataset(1000, 21);
+        let test = xor_dataset(300, 22);
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&train);
+        let batch = tree.score_batch(&test);
+        for (i, &s) in batch.iter().enumerate() {
+            assert_eq!(s, tree.score(test.row(i)), "row {i}");
+        }
+    }
+
+    #[test]
+    fn binned_engine_coarse_bins_still_learn() {
+        // With fewer bins than distinct values the engines may diverge, but
+        // the binned tree must still learn the concept.
+        let train = xor_dataset(3000, 31);
+        let test = xor_dataset(600, 32);
+        let mut tree = DecisionTree::new(TreeParams {
+            engine: SplitEngine::Binned { max_bins: 32 },
+            ..Default::default()
+        });
+        tree.fit(&train);
+        let preds = predict_all(&tree, &test);
+        let acc = preds.iter().zip(test.labels()).filter(|(p, y)| *p == *y).count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.85, "coarse-bin XOR accuracy {acc}");
     }
 }
 

@@ -13,4 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "OK: fmt, clippy and tests all clean"
+echo "==> bench smoke (tiny binned-training run + 1x1 serve tick)"
+OTAE_BENCH_SMOKE=1 cargo run --release -q -p otae-bench --bin train_throughput
+OTAE_BENCH_SMOKE=1 OTAE_OBJECTS=2000 cargo run --release -q -p otae-bench --bin serve_throughput
+
+echo "OK: fmt, clippy, tests and bench smoke all clean"

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `rustc-hash` crate (Firefox/rustc "FxHash").
+//!
+//! The simulator's hot loops are dominated by hash-map probes keyed by
+//! small `Copy` ids (object ids, cache keys). `std`'s default SipHash-1-3
+//! is DoS-resistant but needlessly slow for that shape; FxHash is a
+//! non-cryptographic multiply-xor hash that is several times faster on
+//! short fixed-size keys while spreading sequential ids well. Keys here
+//! come from traces, not untrusted clients, so hash-flooding resistance
+//! buys nothing.
+//!
+//! Provides [`FxHasher`], the [`FxBuildHasher`] alias, and the drop-in
+//! [`FxHashMap`]/[`FxHashSet`] type aliases, mirroring `rustc-hash`'s API
+//! subset used by this workspace.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`]; construct with `FxHashMap::default()`
+/// or [`FxHashMap::with_capacity_and_hasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming hasher: for each machine word of input,
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`.
+///
+/// Not cryptographic and not seeded per-map — do not expose it to
+/// attacker-chosen keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche step compensates FxHash's weak low bits before
+        // the map reduces the hash to a bucket index by masking.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_type_sensitive() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_ne!(hash_one(42u32), hash_one(43u32));
+        assert_ne!(hash_one(0u32), hash_one(1u32));
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_buckets() {
+        // The map masks low bits; sequential keys must not collide there.
+        let mut buckets = [0usize; 16];
+        for id in 0..16_000u32 {
+            buckets[(hash_one(id) & 15) as usize] += 1;
+        }
+        for &n in &buckets {
+            assert!((600..=1400).contains(&n), "skewed buckets: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn byte_streams_differing_only_in_tail_differ() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([0u8; 9]), hash_one([0u8; 10]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        let with_cap: FxHashMap<u32, u32> =
+            FxHashMap::with_capacity_and_hasher(128, FxBuildHasher::default());
+        assert!(with_cap.capacity() >= 128);
+    }
+
+    #[test]
+    fn build_hasher_is_stateless() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(123u64), b.hash_one(123u64));
+    }
+}
