@@ -55,7 +55,7 @@ pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
 pub use history::HistoryTable;
 pub use online::{run_online, run_online_with, OnlineModelKind};
 pub use otae_ml::SplitEngine;
-pub use pipeline::{run, CacheEvent, Mode, PolicyKind, RunConfig, RunResult};
+pub use pipeline::{run, CacheEvent, Mode, PolicyKind, RunConfig, RunFingerprint, RunResult};
 pub use reaccess::ReaccessIndex;
 pub use sweep::{sweep, SweepPoint};
 pub use tiered::{run_tiered, TierConfig, TieredConfig, TieredResult};

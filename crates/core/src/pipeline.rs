@@ -206,6 +206,43 @@ pub struct RunResult {
     pub classifier: Option<ClassifierReport>,
 }
 
+/// Canonical digest of a run's observable outcome, for differential
+/// testing between independent implementations of the same admission
+/// pipeline (the single-threaded simulator vs. the sharded service).
+///
+/// Two runs over the same trace/config are *equivalent* when their
+/// fingerprints are `==`: identical cache counters, identical resolved
+/// criteria, and (for Proposal runs) identical classifier decisions,
+/// rectifications and training count. Floating-point latency summaries are
+/// deliberately excluded — they follow from the counters plus the latency
+/// model and would only add rounding noise to an exact comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Cache counters (hits/misses/bypasses/evictions, file and byte).
+    pub stats: CacheStats,
+    /// Resolved one-time-access threshold `M`.
+    pub m: u64,
+    /// Overall classifier decisions (Proposal runs; `None` otherwise).
+    pub confusion: Option<ConfusionMatrix>,
+    /// History-table rectifications (Proposal runs; `None` otherwise).
+    pub rectifications: Option<u64>,
+    /// Completed daily trainings (Proposal runs; `None` otherwise).
+    pub trainings: Option<u32>,
+}
+
+impl RunResult {
+    /// The run's [`RunFingerprint`].
+    pub fn fingerprint(&self) -> RunFingerprint {
+        RunFingerprint {
+            stats: self.stats,
+            m: self.criteria.m,
+            confusion: self.classifier.as_ref().map(|c| c.overall),
+            rectifications: self.classifier.as_ref().map(|c| c.rectifications),
+            trainings: self.classifier.as_ref().map(|c| c.trainings),
+        }
+    }
+}
+
 /// SSD-level event emitted while driving the cache (for device-layer
 /// consumers such as the FTL simulator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

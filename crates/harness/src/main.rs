@@ -1,0 +1,109 @@
+//! Harness CLI: replay a fault-injected case or run the smoke suite.
+//!
+//! ```text
+//! otae-harness --smoke                      # differential oracle + 3 fault plans
+//! otae-harness --seed 13 --plan shard-chaos # replay one case
+//! otae-harness --seed 7 --plan seeded:42    # replay a generated schedule
+//! otae-harness --list-plans
+//! ```
+//!
+//! Exits non-zero on any failure, printing the seed and schedule needed to
+//! replay it. `scripts/check.sh` runs the smoke suite when
+//! `OTAE_HARNESS_SMOKE=1`.
+
+use otae_harness::{full_oracle, run_case, CaseConfig, FaultSchedule, HarnessFailure};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    objects: usize,
+    plan: Option<String>,
+    smoke: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 13, objects: 2_000, plan: None, smoke: false, list: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--objects" => {
+                args.objects = value("--objects")?.parse().map_err(|e| format!("--objects: {e}"))?
+            }
+            "--plan" => args.plan = Some(value("--plan")?),
+            "--smoke" => args.smoke = true,
+            "--list-plans" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: otae-harness [--smoke] [--seed N] [--objects N] \
+                     [--plan NAME|seeded:N] [--list-plans]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn smoke(seed: u64, objects: usize) -> Result<(), HarnessFailure> {
+    eprintln!("harness smoke: differential + metamorphic oracle (seed {seed})");
+    full_oracle(seed, objects)?;
+    for plan in ["training-outage", "stalled-swaps", "shard-chaos"] {
+        let schedule = FaultSchedule::by_name(plan).expect("named plan");
+        eprintln!("harness smoke: fault plan {plan}");
+        let mut case = CaseConfig::new(seed, schedule);
+        case.n_objects = objects;
+        run_case(&case)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("otae-harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for p in FaultSchedule::named() {
+            println!("{p}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = if args.smoke {
+        smoke(args.seed, args.objects)
+    } else {
+        let Some(plan) = &args.plan else {
+            eprintln!("otae-harness: pass --smoke, or --plan NAME (see --list-plans)");
+            return ExitCode::FAILURE;
+        };
+        let Some(schedule) = FaultSchedule::parse(plan) else {
+            eprintln!("otae-harness: unknown plan {plan} (see --list-plans)");
+            return ExitCode::FAILURE;
+        };
+        let mut case = CaseConfig::new(args.seed, schedule);
+        case.n_objects = args.objects;
+        run_case(&case).map(|r| {
+            eprintln!(
+                "case ok: {} replayed, {} hits, {} swaps, faults {:?}",
+                r.replayed, r.snapshot.stats.hits, r.model_swaps, r.faults
+            );
+        })
+    };
+    match outcome {
+        Ok(()) => {
+            eprintln!("harness: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The differential oracle: the same seeded trace pushed through
+//! independent implementations of the same pipeline, with exactness
+//! asserted where the implementations are deterministic and conservation
+//! asserted where they are not.
+//!
+//! Three rungs:
+//! 1. **Exact** — the single-threaded simulator vs. a 1-shard/1-worker
+//!    inline-trained serve run must produce bit-identical fingerprints for
+//!    every admission mode.
+//! 2. **Conserved** — N-shard/N-worker serve runs (N ∈ {2, 4, 8}) are
+//!    nondeterministic in interleaving but must conserve every counter.
+//! 3. **Metamorphic** — properties that must hold across *related* runs:
+//!    disabling the admission gate reproduces the plain policy, and doubling
+//!    capacity never reduces a stack policy's hit count (LRU inclusion).
+
+use crate::plan::FaultSchedule;
+use crate::run::{case_trace, HarnessFailure};
+use otae_core::pipeline::{run_with_index, Mode, PolicyKind, RunConfig};
+use otae_core::ReaccessIndex;
+use otae_serve::{serve_trace_with_index, LoadConfig, ServeConfig, TrainerMode};
+use otae_trace::Trace;
+
+fn fail(seed: u64, message: String) -> HarnessFailure {
+    HarnessFailure { seed, schedule: FaultSchedule::clean(), message }
+}
+
+fn cap(trace: &Trace, frac: f64) -> u64 {
+    ((trace.unique_bytes() as f64 * frac) as u64).max(1)
+}
+
+/// Rung 1+2 for one admission mode: exact fingerprint equality at N=1,
+/// conservation at N ∈ {2, 4, 8}.
+pub fn differential_mode(seed: u64, n_objects: usize, mode: Mode) -> Result<(), HarnessFailure> {
+    let trace = case_trace(seed, n_objects);
+    let index = ReaccessIndex::build(&trace);
+    let capacity = cap(&trace, 0.02);
+
+    let sim = run_with_index(&trace, &index, &RunConfig::new(PolicyKind::Lru, mode, capacity));
+    let expected = sim.fingerprint();
+
+    // Rung 1: the deterministic topology must match the simulator exactly.
+    let cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+    let srv = serve_trace_with_index(&trace, &index, &cfg, &LoadConfig::default());
+    let got = srv.fingerprint();
+    if got != expected {
+        return Err(fail(
+            seed,
+            format!(
+                "differential[{mode:?}]: N=1 serve diverges from pipeline::run\n  \
+                 pipeline: {expected:?}\n  serve:    {got:?}"
+            ),
+        ));
+    }
+
+    // Rung 2: concurrent topologies conserve.
+    for shards in [2usize, 4, 8] {
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+        cfg.shards = shards;
+        cfg.workers = shards;
+        cfg.trainer = TrainerMode::Background;
+        let load = LoadConfig { clients: 2, target_qps: 0.0, duration: None };
+        let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+        let s = &r.snapshot.stats;
+        if r.replayed != trace.len() as u64 || s.accesses != r.replayed {
+            return Err(fail(
+                seed,
+                format!(
+                    "differential[{mode:?}]: N={shards} lost requests \
+                     (replayed {}, accesses {}, trace {})",
+                    r.replayed,
+                    s.accesses,
+                    trace.len()
+                ),
+            ));
+        }
+        if s.accesses != s.hits + s.files_written + s.bypasses {
+            return Err(fail(
+                seed,
+                format!(
+                    "differential[{mode:?}]: N={shards} conservation: \
+                     {} != {} + {} + {}",
+                    s.accesses, s.hits, s.files_written, s.bypasses
+                ),
+            ));
+        }
+        if r.criteria.m != sim.criteria.m {
+            return Err(fail(
+                seed,
+                format!(
+                    "differential[{mode:?}]: N={shards} resolved M={} vs pipeline M={}",
+                    r.criteria.m, sim.criteria.m
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Rung 1+2 across all four admission modes.
+pub fn differential_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    for mode in [Mode::Original, Mode::Ideal, Mode::Proposal, Mode::SecondHit] {
+        differential_mode(seed, n_objects, mode)?;
+    }
+    Ok(())
+}
+
+/// Rung 3a: with the admission gate disabled (Original mode) the served
+/// system is exactly the plain replacement policy — same fingerprint as a
+/// bare pipeline run, for several policies.
+pub fn metamorphic_gate_disabled(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    let trace = case_trace(seed, n_objects);
+    let index = ReaccessIndex::build(&trace);
+    let capacity = cap(&trace, 0.02);
+    for policy in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::S3Lru] {
+        let sim = run_with_index(&trace, &index, &RunConfig::new(policy, Mode::Original, capacity));
+        let cfg = ServeConfig::new(policy, Mode::Original, capacity);
+        let srv = serve_trace_with_index(&trace, &index, &cfg, &LoadConfig::default());
+        if srv.fingerprint() != sim.fingerprint() {
+            return Err(fail(
+                seed,
+                format!(
+                    "metamorphic[{policy:?}]: gate-disabled serve diverges from the plain policy\n  \
+                     pipeline: {:?}\n  serve:    {:?}",
+                    sim.fingerprint(),
+                    srv.fingerprint()
+                ),
+            ));
+        }
+        if srv.snapshot.stats.bypasses != 0 {
+            return Err(fail(
+                seed,
+                format!("metamorphic[{policy:?}]: gate-disabled run bypassed requests"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Rung 3b: LRU is a stack (inclusion) policy — doubling capacity can never
+/// lose hits on the same trace.
+pub fn metamorphic_capacity_monotone(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    let trace = case_trace(seed, n_objects);
+    let index = ReaccessIndex::build(&trace);
+    let mut prev_hits = None;
+    for frac in [0.01, 0.02, 0.04, 0.08] {
+        let r = run_with_index(
+            &trace,
+            &index,
+            &RunConfig::new(PolicyKind::Lru, Mode::Original, cap(&trace, frac)),
+        );
+        if let Some((prev_frac, prev)) = prev_hits {
+            if r.stats.hits < prev {
+                return Err(fail(
+                    seed,
+                    format!(
+                        "metamorphic[capacity]: LRU hits fell from {prev} (frac {prev_frac}) \
+                         to {} (frac {frac})",
+                        r.stats.hits
+                    ),
+                ));
+            }
+        }
+        prev_hits = Some((frac, r.stats.hits));
+    }
+    Ok(())
+}
+
+/// The full oracle: differential across modes plus both metamorphic checks.
+pub fn full_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    differential_oracle(seed, n_objects)?;
+    metamorphic_gate_disabled(seed, n_objects)?;
+    metamorphic_capacity_monotone(seed, n_objects)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_oracle_passes_on_a_seeded_trace() {
+        full_oracle(29, 2_000).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn differential_exactness_holds_for_proposal() {
+        differential_mode(5, 1_500, Mode::Proposal).unwrap_or_else(|e| panic!("{e}"));
+    }
+}

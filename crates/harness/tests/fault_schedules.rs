@@ -1,0 +1,30 @@
+//! Property: *any* generated fault schedule, over any seeded trace, drives
+//! the service to completion with every invariant held — no deadlock, no
+//! thread death, full conservation, graceful degradation. This is the
+//! harness's main theorem; the named plans are just its curated corners.
+
+use otae_harness::{run_case, CaseConfig, FaultSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn seeded_schedules_never_break_invariants(
+        trace_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+        shards in 1usize..6,
+        clients in 1usize..3,
+    ) {
+        let mut case = CaseConfig::new(trace_seed, FaultSchedule::seeded(plan_seed));
+        case.n_objects = 1_200;
+        case.shards = shards;
+        case.workers = shards;
+        case.clients = clients;
+        if let Err(e) = run_case(&case) {
+            // The failure already carries seed + schedule + replay command;
+            // surface it verbatim so the proptest minimiser shows it.
+            prop_assert!(false, "{e}");
+        }
+    }
+}

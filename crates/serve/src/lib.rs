@@ -30,9 +30,17 @@
 //! [`otae_core::pipeline::run`] (the cross-check tests assert this);
 //! *Background* resolves models at dispatch time from the gate — the
 //! production path, exercised by the hot-swap tests.
+//!
+//! For deterministic testing the service additionally exposes two seams: a
+//! [`ServiceClock`] (wall or seeded-virtual time, so paced replays run
+//! instantly and reproducibly) and a [`FaultPlan`] (scripted failures on
+//! the training/swap/shard paths, so a harness can assert the learned
+//! layer degrades to plain caching instead of corrupting state).
 
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod fault;
 pub mod gate;
 pub mod loadgen;
 pub mod request;
@@ -40,10 +48,15 @@ pub mod retrainer;
 pub mod service;
 pub mod shard;
 
+pub use clock::{ServiceClock, VirtualClock};
+pub use fault::{
+    silence_injected_panics, FaultPlan, FaultReport, InjectedFault, NoFaults, RetrainFault,
+    SampleFault, SwapFault,
+};
 pub use gate::AdmissionGate;
 pub use loadgen::LoadConfig;
 pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
-pub use retrainer::{run_retrainer, TrainMsg};
+pub use retrainer::{run_retrainer, RetrainerReport, TrainMsg};
 pub use service::{serve_trace, serve_trace_with_index, ServeConfig, ServeReport, TrainerMode};
 pub use shard::{ShardedCache, Snapshot};
 
@@ -66,6 +79,11 @@ mod thread_safety_assertions {
         // Shared service state read by every worker.
         assert_send_sync::<AdmissionGate>();
         assert_send_sync::<ShardedCache>();
+        // Determinism seams shared across client/worker/retrainer threads.
+        assert_send_sync::<VirtualClock>();
+        assert_send_sync::<ServiceClock>();
+        assert_send_sync::<NoFaults>();
+        assert_send_sync::<std::sync::Arc<dyn FaultPlan>>();
         // Classifier state moved into shards and the retrainer.
         assert_send_sync::<otae_ml::DecisionTree>();
         assert_send_sync::<otae_core::HistoryTable>();

@@ -1,10 +1,13 @@
 //! Trace-replay load generation: M client threads submitting prepared
 //! requests into the service's bounded queue at a target aggregate QPS.
 
+use crate::clock::ClockHandle;
+use crate::fault::{FaultPlan, SampleFault};
 use crate::request::PreparedRequest;
 use crate::retrainer::TrainMsg;
 use crossbeam::channel::Sender;
-use std::time::{Duration, Instant};
+use otae_core::N_FEATURES;
+use std::time::Duration;
 
 /// Load-generator settings.
 #[derive(Debug, Clone)]
@@ -13,8 +16,9 @@ pub struct LoadConfig {
     pub clients: usize,
     /// Aggregate target request rate; `0` replays as fast as possible.
     pub target_qps: f64,
-    /// Stop submitting after this wall-clock duration (`None` = replay the
-    /// whole trace).
+    /// Stop submitting after this much clock time (`None` = replay the
+    /// whole trace). Measured against the run's [`ClockHandle`], so virtual
+    /// clocks only trip the cap when paced sleeps advance them.
     pub duration: Option<Duration>,
 }
 
@@ -24,59 +28,86 @@ impl Default for LoadConfig {
     }
 }
 
+/// What one client thread did.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClientReport {
+    /// Requests submitted into the queue.
+    pub submitted: u64,
+    /// Training samples dropped by the fault plan.
+    pub dropped_samples: u64,
+    /// Training samples forwarded corrupted by the fault plan.
+    pub corrupted_samples: u64,
+}
+
 /// Replay `client`'s stride of the prepared trace (requests `client`,
 /// `client + n_clients`, …) into the request queue, pacing to its share of
-/// the aggregate QPS target. Returns the number of requests submitted.
+/// the aggregate QPS target.
 ///
 /// When `samples` is set (background-trainer Proposal runs), each submitted
 /// request is also forwarded to the retrainer, tying training progress to
-/// replay progress the way a production log tailer tails live traffic.
+/// replay progress the way a production log tailer tails live traffic. The
+/// retrainer hanging up (its receiver dropped, its thread dead) only stops
+/// the forwarding — replay itself continues, which is exactly the graceful
+/// degradation the harness asserts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn replay_client(
     client: usize,
     n_clients: usize,
     prepared: &[PreparedRequest],
     load: &LoadConfig,
-    start: Instant,
+    clock: &ClockHandle,
     requests: &Sender<PreparedRequest>,
     samples: Option<&Sender<TrainMsg>>,
-) -> u64 {
+    plan: &dyn FaultPlan,
+) -> ClientReport {
     let per_client_qps =
         if load.target_qps > 0.0 { load.target_qps / n_clients as f64 } else { 0.0 };
-    let deadline = load.duration.map(|d| start + d);
-    let mut sent = 0u64;
+    let mut report = ClientReport::default();
     for req in prepared.iter().skip(client).step_by(n_clients) {
-        if let Some(deadline) = deadline {
-            if Instant::now() >= deadline {
+        if let Some(deadline) = load.duration {
+            if clock.elapsed() >= deadline {
                 break;
             }
         }
         if per_client_qps > 0.0 {
             // Open-loop pacing against the schedule, never sleeping past a
             // missed slot (so a stalled queue doesn't compound lag).
-            let due = start + Duration::from_secs_f64(sent as f64 / per_client_qps);
-            let now = Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
-            }
+            clock.sleep_until(Duration::from_secs_f64(report.submitted as f64 / per_client_qps));
         }
         if let Some(samples) = samples {
-            let _ =
-                samples.send(TrainMsg { ts: req.ts, features: req.features, one_time: req.truth });
+            let mut msg = TrainMsg { ts: req.ts, features: req.features, one_time: req.truth };
+            match plan.sample_fault(req.idx) {
+                SampleFault::Deliver => {
+                    let _ = samples.send(msg);
+                }
+                SampleFault::Drop => report.dropped_samples += 1,
+                SampleFault::Corrupt => {
+                    // Finite garbage (the ML layer rejects NaN by contract)
+                    // with a flipped label: a corrupt record that parsed.
+                    msg.features = [f32::MAX; N_FEATURES];
+                    msg.one_time = !msg.one_time;
+                    report.corrupted_samples += 1;
+                    let _ = samples.send(msg);
+                }
+            }
         }
         if requests.send(req.clone()).is_err() {
             break; // all workers gone; nothing left to do
         }
-        sent += 1;
+        report.submitted += 1;
     }
-    sent
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ServiceClock;
+    use crate::fault::NoFaults;
     use crate::request::ModelSource;
     use crossbeam::channel::unbounded;
     use otae_trace::ObjectId;
+    use std::time::Instant;
 
     fn prepared(n: usize) -> Vec<PreparedRequest> {
         (0..n)
@@ -97,10 +128,10 @@ mod tests {
         let reqs = prepared(10);
         let (tx, rx) = unbounded();
         let load = LoadConfig::default();
-        let start = Instant::now();
+        let clock = ServiceClock::Wall.start();
         let mut total = 0;
         for c in 0..3 {
-            total += replay_client(c, 3, &reqs, &load, start, &tx, None);
+            total += replay_client(c, 3, &reqs, &load, &clock, &tx, None, &NoFaults).submitted;
         }
         drop(tx);
         assert_eq!(total, 10);
@@ -115,8 +146,9 @@ mod tests {
         let (tx, rx) = unbounded();
         // 100 QPS over 8 requests ≈ 70ms minimum (first slot fires at t=0).
         let load = LoadConfig { clients: 1, target_qps: 100.0, duration: None };
+        let clock = ServiceClock::Wall.start();
         let start = Instant::now();
-        let sent = replay_client(0, 1, &reqs, &load, start, &tx, None);
+        let sent = replay_client(0, 1, &reqs, &load, &clock, &tx, None, &NoFaults).submitted;
         let took = start.elapsed();
         assert_eq!(sent, 8);
         assert!(took >= Duration::from_millis(60), "paced replay took {took:?}");
@@ -125,12 +157,30 @@ mod tests {
     }
 
     #[test]
+    fn virtual_clock_pacing_is_instant() {
+        let reqs = prepared(1000);
+        let (tx, rx) = unbounded();
+        // 10 QPS over 1000 requests would take ~100 wall seconds.
+        let load = LoadConfig { clients: 1, target_qps: 10.0, duration: None };
+        let clock = ServiceClock::Virtual(crate::clock::VirtualClock::new()).start();
+        let start = Instant::now();
+        let sent = replay_client(0, 1, &reqs, &load, &clock, &tx, None, &NoFaults).submitted;
+        assert_eq!(sent, 1000);
+        assert!(start.elapsed() < Duration::from_secs(10), "virtual pacing must not sleep");
+        // Virtual time advanced along the pacing schedule.
+        assert!(clock.elapsed() >= Duration::from_secs(99));
+        drop(tx);
+        assert_eq!(rx.iter().count(), 1000);
+    }
+
+    #[test]
     fn deadline_stops_replay_early() {
         let reqs = prepared(100_000);
         let (tx, rx) = unbounded();
         let load =
             LoadConfig { clients: 1, target_qps: 50.0, duration: Some(Duration::from_millis(50)) };
-        let sent = replay_client(0, 1, &reqs, &load, Instant::now(), &tx, None);
+        let clock = ServiceClock::Wall.start();
+        let sent = replay_client(0, 1, &reqs, &load, &clock, &tx, None, &NoFaults).submitted;
         assert!(sent < 100_000, "deadline must cut the replay short");
         drop(tx);
         assert_eq!(rx.iter().count() as u64, sent);
@@ -141,12 +191,71 @@ mod tests {
         let reqs = prepared(20);
         let (tx, rx) = unbounded();
         let (stx, srx) = unbounded();
-        let sent =
-            replay_client(0, 1, &reqs, &LoadConfig::default(), Instant::now(), &tx, Some(&stx));
+        let clock = ServiceClock::Wall.start();
+        let report =
+            replay_client(0, 1, &reqs, &LoadConfig::default(), &clock, &tx, Some(&stx), &NoFaults);
         drop(tx);
         drop(stx);
-        assert_eq!(sent, 20);
+        assert_eq!(report.submitted, 20);
         assert_eq!(rx.iter().count(), 20);
         assert_eq!(srx.iter().count(), 20);
+    }
+
+    /// The satellite invariant: a hung-up retrainer (its receiver gone) must
+    /// not panic or stall the client — replay completes and every request is
+    /// still submitted.
+    #[test]
+    fn hung_up_retrainer_does_not_stop_replay() {
+        let reqs = prepared(50);
+        let (tx, rx) = unbounded();
+        let (stx, srx) = unbounded();
+        drop(srx); // retrainer is gone before the replay starts
+        let clock = ServiceClock::Wall.start();
+        let report =
+            replay_client(0, 1, &reqs, &LoadConfig::default(), &clock, &tx, Some(&stx), &NoFaults);
+        assert_eq!(report.submitted, 50);
+        drop(tx);
+        assert_eq!(rx.iter().count(), 50);
+    }
+
+    /// Scripted sample faults: drops and corruptions are tallied and only
+    /// surviving samples reach the retrainer channel.
+    #[test]
+    fn sample_faults_are_applied_and_tallied() {
+        #[derive(Debug)]
+        struct EveryOther;
+        impl FaultPlan for EveryOther {
+            fn sample_fault(&self, idx: u64) -> SampleFault {
+                match idx % 3 {
+                    0 => SampleFault::Drop,
+                    1 => SampleFault::Corrupt,
+                    _ => SampleFault::Deliver,
+                }
+            }
+        }
+        let reqs = prepared(30);
+        let (tx, rx) = unbounded();
+        let (stx, srx) = unbounded();
+        let clock = ServiceClock::Wall.start();
+        let report = replay_client(
+            0,
+            1,
+            &reqs,
+            &LoadConfig::default(),
+            &clock,
+            &tx,
+            Some(&stx),
+            &EveryOther,
+        );
+        drop(tx);
+        drop(stx);
+        assert_eq!(report.submitted, 30, "request path is unaffected by sample faults");
+        assert_eq!(report.dropped_samples, 10);
+        assert_eq!(report.corrupted_samples, 10);
+        assert_eq!(rx.iter().count(), 30);
+        let delivered: Vec<TrainMsg> = srx.iter().collect();
+        assert_eq!(delivered.len(), 20, "dropped samples never reach the channel");
+        let corrupted = delivered.iter().filter(|m| m.features == [f32::MAX; N_FEATURES]).count();
+        assert_eq!(corrupted, 10);
     }
 }

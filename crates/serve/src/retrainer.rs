@@ -4,12 +4,17 @@
 //! retrainer owns the minute-capped sampler and the daily-training
 //! schedule, and installs each freshly fitted tree into the shared
 //! [`AdmissionGate`](crate::AdmissionGate) — a hot swap the request
-//! workers observe without ever blocking on training.
+//! workers observe without ever blocking on training. Every step consults
+//! the run's [`FaultPlan`], so a harness can fail a training job, stall an
+//! install, or lose a model at the gate and assert the service degrades to
+//! its previous model (or, cold, to admit-all) instead of misbehaving.
 
+use crate::fault::{FaultPlan, RetrainFault, SwapFault};
 use crate::gate::AdmissionGate;
 use crossbeam::channel::Receiver;
 use otae_core::daily::{DailyTrainer, MinuteSampler};
 use otae_core::{TrainingConfig, N_FEATURES};
+use otae_ml::DecisionTree;
 
 /// One observed request, as forwarded to the retrainer.
 #[derive(Debug, Clone)]
@@ -22,8 +27,30 @@ pub struct TrainMsg {
     pub one_time: bool,
 }
 
+/// What the retrainer thread did over one run.
+///
+/// Every fitted model is accounted for exactly once:
+/// `installs + failed + dropped_installs == trainings` at stream end
+/// (a stalled model eventually installs, is superseded by a fresher one, or
+/// flushes when the stream closes — never silently lost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrainerReport {
+    /// Models fitted by the daily trainer.
+    pub trainings: u32,
+    /// Models actually installed into the gate.
+    pub installs: u32,
+    /// Trainings lost to an injected `RetrainFault::Fail`.
+    pub failed: u32,
+    /// Installs that were stalled by an injected `RetrainFault::Stall`
+    /// (they may later land or be superseded).
+    pub deferred: u32,
+    /// Models lost at the gate to an injected `SwapFault::Drop`, plus
+    /// stalled models superseded by a fresher training before landing.
+    pub dropped_installs: u32,
+}
+
 /// Drain `rx` until every sender hangs up, sampling records and retraining
-/// at each daily boundary. Returns the number of completed trainings.
+/// at each daily boundary.
 ///
 /// With several client threads the forwarded stream is only approximately
 /// time-ordered (each client submits its own stride in order); the sampler
@@ -34,30 +61,83 @@ pub fn run_retrainer(
     gate: &AdmissionGate,
     training: &TrainingConfig,
     v: f32,
-) -> u32 {
+    plan: &dyn FaultPlan,
+) -> RetrainerReport {
     let mut trainer = DailyTrainer::new(training.clone(), v);
     let mut sampler = MinuteSampler::new(training.records_per_minute);
+    let mut report = RetrainerReport::default();
+    // A model whose install was stalled, due once `seen` reaches the mark.
+    let mut pending: Option<(DecisionTree, u64)> = None;
+    let mut attempt = 0u32;
+    let mut swap_attempt = 0u64;
+    let mut seen = 0u64;
     for msg in rx.iter() {
+        seen += 1;
+        if let Some((model, due)) = pending.take() {
+            if seen >= due {
+                install(model, gate, plan, &mut swap_attempt, &mut report);
+            } else {
+                pending = Some((model, due));
+            }
+        }
         if let Some(model) = trainer.maybe_retrain(msg.ts, &mut sampler) {
-            gate.install(model);
+            match plan.retrain_fault(attempt) {
+                RetrainFault::Proceed => {
+                    // A fresher model supersedes any still-stalled older one
+                    // (installing the stale model later would roll the gate
+                    // backwards); the loss is tallied as a dropped install.
+                    if pending.take().is_some() {
+                        report.dropped_installs += 1;
+                    }
+                    install(model, gate, plan, &mut swap_attempt, &mut report)
+                }
+                RetrainFault::Fail => report.failed += 1,
+                RetrainFault::Stall { messages } => {
+                    report.deferred += 1;
+                    if pending.replace((model, seen + messages)).is_some() {
+                        report.dropped_installs += 1;
+                    }
+                }
+            }
+            attempt += 1;
         }
         sampler.offer(msg.ts, msg.features, msg.one_time);
     }
-    trainer.trainings
+    // Stream over: a still-stalled install lands now (the job finished late).
+    if let Some((model, _)) = pending.take() {
+        install(model, gate, plan, &mut swap_attempt, &mut report);
+    }
+    report.trainings = trainer.trainings;
+    report
+}
+
+fn install(
+    model: DecisionTree,
+    gate: &AdmissionGate,
+    plan: &dyn FaultPlan,
+    swap_attempt: &mut u64,
+    report: &mut RetrainerReport,
+) {
+    let fault = plan.swap_fault(*swap_attempt);
+    *swap_attempt += 1;
+    match fault {
+        SwapFault::Install => {
+            gate.install(model);
+            report.installs += 1;
+        }
+        SwapFault::Drop => report.dropped_installs += 1,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::NoFaults;
     use crossbeam::channel::unbounded;
     use otae_trace::diurnal::DAY;
 
-    #[test]
-    fn trains_at_daily_boundaries_and_installs() {
-        let (tx, rx) = unbounded();
-        let gate = AdmissionGate::new();
-        let cfg = TrainingConfig::default();
-        // Two days of separable samples: x > 0.5 means one-time.
+    /// Two days of separable samples (x > 0.5 means one-time).
+    fn feed_two_days(tx: &crossbeam::channel::Sender<TrainMsg>) {
         for day in 0..2u64 {
             for i in 0..600u64 {
                 let ts = day * DAY + i * 120;
@@ -66,9 +146,18 @@ mod tests {
                 tx.send(TrainMsg { ts, features, one_time: (i % 100) >= 50 }).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn trains_at_daily_boundaries_and_installs() {
+        let (tx, rx) = unbounded();
+        let gate = AdmissionGate::new();
+        let cfg = TrainingConfig::default();
+        feed_two_days(&tx);
         drop(tx);
-        let trainings = run_retrainer(rx, &gate, &cfg, 2.0);
-        assert_eq!(trainings, 1, "day-1 boundary fires once within 2 days");
+        let report = run_retrainer(rx, &gate, &cfg, 2.0, &NoFaults);
+        assert_eq!(report.trainings, 1, "day-1 boundary fires once within 2 days");
+        assert_eq!(report.installs, 1);
         assert_eq!(gate.swaps(), 1);
         let model = gate.current().expect("model installed");
         use otae_ml::Classifier;
@@ -85,7 +174,72 @@ mod tests {
         let (tx, rx) = unbounded::<TrainMsg>();
         drop(tx);
         let gate = AdmissionGate::new();
-        assert_eq!(run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0), 0);
+        let report = run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0, &NoFaults);
+        assert_eq!(report, RetrainerReport::default());
         assert!(!gate.is_warm());
+    }
+
+    #[test]
+    fn failed_training_leaves_the_gate_cold() {
+        #[derive(Debug)]
+        struct FailAll;
+        impl FaultPlan for FailAll {
+            fn retrain_fault(&self, _attempt: u32) -> RetrainFault {
+                RetrainFault::Fail
+            }
+        }
+        let (tx, rx) = unbounded();
+        let gate = AdmissionGate::new();
+        feed_two_days(&tx);
+        drop(tx);
+        let report = run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0, &FailAll);
+        assert_eq!(report.trainings, 1, "the model was fitted…");
+        assert_eq!(report.failed, 1, "…then lost");
+        assert_eq!(report.installs, 0);
+        assert!(!gate.is_warm(), "no model must reach the gate");
+    }
+
+    #[test]
+    fn stalled_install_lands_late_but_lands() {
+        #[derive(Debug)]
+        struct StallFirst;
+        impl FaultPlan for StallFirst {
+            fn retrain_fault(&self, attempt: u32) -> RetrainFault {
+                if attempt == 0 {
+                    RetrainFault::Stall { messages: 200 }
+                } else {
+                    RetrainFault::Proceed
+                }
+            }
+        }
+        let (tx, rx) = unbounded();
+        let gate = AdmissionGate::new();
+        feed_two_days(&tx);
+        drop(tx);
+        let report = run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0, &StallFirst);
+        assert_eq!(report.trainings, 1);
+        assert_eq!(report.deferred, 1);
+        assert_eq!(report.installs, 1, "the stalled install must still land");
+        assert!(gate.is_warm());
+    }
+
+    #[test]
+    fn dropped_swap_keeps_the_previous_model() {
+        #[derive(Debug)]
+        struct DropAllSwaps;
+        impl FaultPlan for DropAllSwaps {
+            fn swap_fault(&self, _attempt: u64) -> SwapFault {
+                SwapFault::Drop
+            }
+        }
+        let (tx, rx) = unbounded();
+        let gate = AdmissionGate::new();
+        feed_two_days(&tx);
+        drop(tx);
+        let report = run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0, &DropAllSwaps);
+        assert_eq!(report.trainings, 1);
+        assert_eq!(report.dropped_installs, 1);
+        assert_eq!(report.installs, 0);
+        assert!(!gate.is_warm(), "the dropped model never reached the gate");
     }
 }

@@ -2,10 +2,12 @@
 //! snapshot, with an optional background retrainer hot-swapping the
 //! admission model mid-replay.
 
+use crate::clock::ServiceClock;
+use crate::fault::{FaultPlan, FaultReport, NoFaults};
 use crate::gate::AdmissionGate;
-use crate::loadgen::{replay_client, LoadConfig};
+use crate::loadgen::{replay_client, ClientReport, LoadConfig};
 use crate::request::{prepare, ModelSource, PreparedRequest};
-use crate::retrainer::run_retrainer;
+use crate::retrainer::{run_retrainer, RetrainerReport};
 use crate::shard::{Params, ShardedCache, Snapshot};
 use crossbeam::channel::{bounded, unbounded, Receiver};
 use otae_core::baseline::SecondHitAdmission;
@@ -14,6 +16,7 @@ use otae_core::{solve_criteria, CriteriaSolution, ReaccessIndex, TrainingConfig}
 use otae_device::LatencyModel;
 use otae_ml::DecisionTree;
 use otae_trace::Trace;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +60,12 @@ pub struct ServeConfig {
     pub criteria_iterations: usize,
     /// Override the computed one-time-access threshold `M`.
     pub m_override: Option<u64>,
+    /// Time source for pacing and duration caps (wall by default; virtual
+    /// for deterministic harness runs).
+    pub clock: ServiceClock,
+    /// Fault-injection schedule ([`NoFaults`] by default). Faults apply to
+    /// the background training path and the shard request path.
+    pub faults: Arc<dyn FaultPlan>,
 }
 
 impl ServeConfig {
@@ -75,6 +84,8 @@ impl ServeConfig {
             latency: LatencyModel::default(),
             criteria_iterations: 3,
             m_override: None,
+            clock: ServiceClock::Wall,
+            faults: Arc::new(NoFaults),
         }
     }
 }
@@ -82,12 +93,14 @@ impl ServeConfig {
 /// Outcome of one serve run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
+    /// Admission mode the run served under.
+    pub mode: Mode,
     /// Final merged + per-shard statistics.
     pub snapshot: Snapshot,
     /// Criteria solution used for labels/admission.
     pub criteria: CriteriaSolution,
     /// Requests actually submitted (equals the trace length unless a
-    /// duration cap cut the replay short).
+    /// duration cap cut the replay short or a client thread died).
     pub replayed: u64,
     /// Wall-clock time of the replay phase (excludes prepare).
     pub wall: Duration,
@@ -95,8 +108,11 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Admission models installed into the gate over the run.
     pub model_swaps: u64,
-    /// Completed daily trainings.
+    /// Completed daily trainings (models fitted, whether or not an injected
+    /// fault later lost them).
     pub trainings: u32,
+    /// Injected-fault and thread-failure tally (all-zero in clean runs).
+    pub faults: FaultReport,
     /// Mean modeled service latency (µs).
     pub mean_latency_us: f64,
     /// Median modeled service latency (µs).
@@ -105,6 +121,23 @@ pub struct ServeReport {
     pub latency_p99_us: f64,
     /// 99.9th-percentile modeled service latency (µs).
     pub latency_p999_us: f64,
+}
+
+impl ServeReport {
+    /// The run's [`RunFingerprint`], comparable against
+    /// [`otae_core::pipeline::RunResult::fingerprint`] for differential
+    /// testing. Classifier fields are populated only for Proposal runs,
+    /// mirroring the simulator's `classifier: Option<_>` report.
+    pub fn fingerprint(&self) -> otae_core::RunFingerprint {
+        let proposal = self.mode == Mode::Proposal;
+        otae_core::RunFingerprint {
+            stats: self.snapshot.stats,
+            m: self.criteria.m,
+            confusion: proposal.then_some(self.snapshot.confusion),
+            rectifications: proposal.then_some(self.snapshot.rectifications),
+            trainings: proposal.then_some(self.trainings),
+        }
+    }
 }
 
 /// Replay a trace through the sharded service, building the reaccess index
@@ -171,21 +204,30 @@ pub fn serve_trace_with_index(
         (None, None)
     };
 
-    let mut replayed = 0u64;
-    let mut background_trainings = 0u32;
+    let plan: &dyn FaultPlan = cfg.faults.as_ref();
+    let panics = AtomicU64::new(0);
+    let mut faults = FaultReport::default();
+    let mut client_reports: Vec<ClientReport> = Vec::new();
+    let mut retrain_report = RetrainerReport::default();
+    let clock = cfg.clock.start();
     let start = Instant::now();
+    // Thread failures are recorded, never propagated: a dead client only
+    // loses its stride, a dead worker only its queue share (the channel
+    // disconnects rather than deadlocks), a dead retrainer only freezes the
+    // model — the service always reaches its snapshot.
     crossbeam::thread::scope(|s| {
         let retrainer = sample_rx.map(|rx| {
             let gate = &gate;
             let training = &cfg.training;
-            s.spawn(move |_| run_retrainer(rx, gate, training, v))
+            s.spawn(move |_| run_retrainer(rx, gate, training, v, plan))
         });
         let workers: Vec<_> = (0..cfg.workers)
             .map(|_| {
                 let rx = req_rx.clone();
                 let sharded = &sharded;
                 let gate = &gate;
-                s.spawn(move |_| run_worker(rx, sharded, gate))
+                let panics = &panics;
+                s.spawn(move |_| run_worker(rx, sharded, gate, plan, panics))
             })
             .collect();
         drop(req_rx);
@@ -195,35 +237,56 @@ pub fn serve_trace_with_index(
                 let tx = req_tx.clone();
                 let stx = sample_tx.clone();
                 let prepared = &prepared.requests;
+                let clock = &clock;
                 s.spawn(move |_| {
-                    replay_client(c, load.clients, prepared, load, start, &tx, stx.as_ref())
+                    replay_client(c, load.clients, prepared, load, clock, &tx, stx.as_ref(), plan)
                 })
             })
             .collect();
         drop(req_tx);
         drop(sample_tx);
 
-        replayed = clients.into_iter().map(|h| h.join().expect("client thread")).sum();
+        for h in clients {
+            match h.join() {
+                Ok(report) => client_reports.push(report),
+                Err(_) => faults.client_failures += 1,
+            }
+        }
         for w in workers {
-            w.join().expect("worker thread");
+            if w.join().is_err() {
+                faults.worker_failures += 1;
+            }
         }
         if let Some(r) = retrainer {
-            background_trainings = r.join().expect("retrainer thread");
+            match r.join() {
+                Ok(report) => retrain_report = report,
+                Err(_) => faults.retrainer_failure = true,
+            }
         }
     })
-    .expect("serve scope");
+    .expect("serve scope: all thread results are consumed above");
     let wall = start.elapsed();
+
+    let replayed: u64 = client_reports.iter().map(|r| r.submitted).sum();
+    faults.dropped_samples = client_reports.iter().map(|r| r.dropped_samples).sum();
+    faults.corrupted_samples = client_reports.iter().map(|r| r.corrupted_samples).sum();
+    faults.failed_trainings = retrain_report.failed;
+    faults.deferred_installs = retrain_report.deferred;
+    faults.dropped_installs = retrain_report.dropped_installs;
+    faults.shard_panics = panics.load(Ordering::Acquire);
 
     let snapshot = sharded.snapshot();
     let response = snapshot.response.clone();
     ServeReport {
+        mode: cfg.mode,
         snapshot,
         criteria,
         replayed,
         wall,
         throughput_rps: replayed as f64 / wall.as_secs_f64().max(1e-9),
         model_swaps: gate.swaps(),
-        trainings: if background { background_trainings } else { prepared.trainings },
+        trainings: if background { retrain_report.trainings } else { prepared.trainings },
+        faults,
         mean_latency_us: response.mean_us(),
         latency_p50_us: response.percentile_us(0.5),
         latency_p99_us: response.percentile_us(0.99),
@@ -233,12 +296,28 @@ pub fn serve_trace_with_index(
 
 /// Drain the request queue into the sharded cache until every client hangs
 /// up, resolving each request's admission model per its [`ModelSource`].
-fn run_worker(rx: Receiver<PreparedRequest>, sharded: &ShardedCache, gate: &AdmissionGate) {
+/// Injected shard panics are caught here — the request is consumed, the
+/// panic counted, and the worker keeps draining.
+fn run_worker(
+    rx: Receiver<PreparedRequest>,
+    sharded: &ShardedCache,
+    gate: &AdmissionGate,
+    plan: &dyn FaultPlan,
+    panics: &AtomicU64,
+) {
     for req in rx.iter() {
         let model: Option<Arc<DecisionTree>> = match &req.model {
             ModelSource::Stamped(model) => model.clone(),
             ModelSource::Gate => gate.current(),
         };
+        if plan.shard_panic(sharded.shard_of(req.object), req.idx) {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sharded.process_with_injected_panic(&req)
+            }));
+            debug_assert!(unwound.is_err());
+            panics.fetch_add(1, Ordering::AcqRel);
+            continue;
+        }
         sharded.process(&req, model.as_deref());
     }
 }
@@ -246,6 +325,8 @@ fn run_worker(rx: Receiver<PreparedRequest>, sharded: &ShardedCache, gate: &Admi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
+    use crate::fault::{RetrainFault, SampleFault};
     use otae_ml::{Classifier, Dataset, TreeParams};
     use otae_trace::{generate, TraceConfig};
 
@@ -267,6 +348,7 @@ mod tests {
         assert_eq!(r.snapshot.stats.bypasses, 0);
         assert!(r.throughput_rps > 0.0);
         assert_eq!(r.model_swaps, 0);
+        assert!(r.faults.is_clean());
         assert!(r.latency_p999_us >= r.latency_p99_us);
         assert!(r.latency_p99_us >= r.latency_p50_us);
     }
@@ -296,6 +378,7 @@ mod tests {
         assert_eq!(r.snapshot.stats.accesses as usize, t.len());
         assert!(r.trainings >= 7, "9-day trace retrains daily: {}", r.trainings);
         assert_eq!(r.model_swaps, r.trainings as u64);
+        assert!(r.faults.is_clean());
     }
 
     #[test]
@@ -322,6 +405,91 @@ mod tests {
         assert!(r.replayed > 0);
         assert!((r.replayed as usize) < t.len(), "cap must stop the replay");
         assert_eq!(r.snapshot.stats.accesses, r.replayed);
+    }
+
+    #[test]
+    fn virtual_clock_replays_paced_load_instantly() {
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Original, cap(&t));
+        cfg.clock = ServiceClock::Virtual(VirtualClock::new());
+        // 500 QPS over tens of thousands of requests would take minutes of
+        // wall time; virtually it completes immediately and fully.
+        let load = LoadConfig { clients: 2, target_qps: 500.0, duration: None };
+        let wall = Instant::now();
+        let r = serve_trace(&t, &cfg, &load);
+        assert_eq!(r.replayed as usize, t.len());
+        assert!(wall.elapsed() < Duration::from_secs(30), "virtual pacing must not sleep");
+    }
+
+    /// Faults on the training path never disturb the request path: with
+    /// every sample dropped and every training failed, the service still
+    /// serves the whole trace and (never having installed a model) behaves
+    /// exactly like admit-all.
+    #[test]
+    fn training_outage_degrades_to_admit_all() {
+        #[derive(Debug)]
+        struct TrainingOutage;
+        impl FaultPlan for TrainingOutage {
+            fn sample_fault(&self, idx: u64) -> SampleFault {
+                if idx.is_multiple_of(2) {
+                    SampleFault::Drop
+                } else {
+                    SampleFault::Deliver
+                }
+            }
+            fn retrain_fault(&self, _attempt: u32) -> RetrainFault {
+                RetrainFault::Fail
+            }
+        }
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Proposal, cap(&t));
+        cfg.trainer = TrainerMode::Background;
+        // Two shards, but one worker/client: multiple workers may reorder
+        // same-shard requests, which breaks the exact cross-check below.
+        cfg.shards = 2;
+        cfg.faults = Arc::new(TrainingOutage);
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert_eq!(r.snapshot.stats.accesses as usize, t.len());
+        assert_eq!(r.model_swaps, 0, "every training was failed");
+        assert!(r.faults.failed_trainings > 0);
+        assert!(r.faults.dropped_samples > 0);
+        assert_eq!(r.snapshot.stats.bypasses, 0, "cold gate must admit everything");
+        assert_eq!(r.snapshot.confusion.total(), 0);
+        // Cross-check against an Original-mode run on the same topology
+        // (shard count changes per-shard LRU behaviour): identical outcome.
+        let mut orig = ServeConfig::new(PolicyKind::Lru, Mode::Original, cap(&t));
+        orig.shards = 2;
+        let o = serve_trace(&t, &orig, &LoadConfig::default());
+        assert_eq!(r.snapshot.stats.hits, o.snapshot.stats.hits);
+        assert_eq!(r.snapshot.stats.files_written, o.snapshot.stats.files_written);
+    }
+
+    /// Injected shard panics consume their requests without breaking the
+    /// books: `accesses == replayed - shard_panics` and the shards keep
+    /// serving after each recovery.
+    #[test]
+    fn shard_panics_are_recovered_and_conserved() {
+        crate::fault::silence_injected_panics();
+        #[derive(Debug)]
+        struct PanicEvery1000;
+        impl FaultPlan for PanicEvery1000 {
+            fn shard_panic(&self, _shard: usize, idx: u64) -> bool {
+                idx % 1000 == 7
+            }
+        }
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Original, cap(&t));
+        cfg.shards = 4;
+        cfg.workers = 4;
+        cfg.faults = Arc::new(PanicEvery1000);
+        let load = LoadConfig { clients: 2, target_qps: 0.0, duration: None };
+        let r = serve_trace(&t, &cfg, &load);
+        assert_eq!(r.replayed as usize, t.len());
+        let expected_panics = (0..t.len() as u64).filter(|i| i % 1000 == 7).count() as u64;
+        assert_eq!(r.faults.shard_panics, expected_panics);
+        assert!(expected_panics > 0);
+        assert_eq!(r.snapshot.stats.accesses, r.replayed - r.faults.shard_panics);
+        assert_eq!(r.faults.worker_failures, 0, "workers must survive injected panics");
     }
 
     fn tree(threshold: f32) -> DecisionTree {
@@ -376,13 +544,15 @@ mod tests {
 
         let (tx, rx) = bounded::<PreparedRequest>(256);
         let swaps_target = 50u64;
+        let panics = AtomicU64::new(0);
         crossbeam::thread::scope(|s| {
             let workers: Vec<_> = (0..4)
                 .map(|_| {
                     let rx = rx.clone();
                     let sharded = &sharded;
                     let gate = &gate;
-                    s.spawn(move |_| run_worker(rx, sharded, gate))
+                    let panics = &panics;
+                    s.spawn(move |_| run_worker(rx, sharded, gate, &NoFaults, panics))
                 })
                 .collect();
             drop(rx);
@@ -409,6 +579,7 @@ mod tests {
         .expect("scope");
 
         assert_eq!(gate.swaps(), swaps_target + 1);
+        assert_eq!(panics.load(Ordering::Acquire), 0);
         let snap = sharded.snapshot();
         assert_eq!(snap.stats.accesses as usize, n, "every request must be served");
         assert!(snap.confusion.total() > 0, "workers must have consulted the models");

@@ -164,6 +164,18 @@ impl ShardedCache {
         shard.lock().process(req, model, &self.params, self.second_hit.as_ref());
     }
 
+    /// Route the request to its shard, take the shard lock, then panic with
+    /// an [`InjectedFault`](crate::fault::InjectedFault) payload *before*
+    /// touching any counter — modelling a shard dying mid-request. The
+    /// worker catches the unwind; because `parking_lot` mutexes release on
+    /// unwind without poisoning, the shard keeps serving afterwards, and
+    /// accounting stays conserved (`accesses == replayed - shard_panics`).
+    pub(crate) fn process_with_injected_panic(&self, req: &PreparedRequest) -> ! {
+        let shard_idx = self.shard_of(req.object);
+        let _guard = self.shards[shard_idx].lock();
+        std::panic::panic_any(crate::fault::InjectedFault { shard: shard_idx, request: req.idx });
+    }
+
     /// Capture a merged + per-shard statistics snapshot. Shards are locked
     /// one at a time, so a snapshot taken mid-replay is a slightly stale
     /// but internally consistent per-shard view.
@@ -267,5 +279,58 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(snap.stats.bypasses, 1);
         assert_eq!(snap.stats.files_written, 1);
+    }
+
+    #[test]
+    fn injected_panic_leaves_shard_usable_and_counters_untouched() {
+        crate::fault::silence_injected_panics();
+        let c = sharded(2, Mode::Original);
+        c.process(&prepared(0, 1, 1000, false), None);
+        let req = prepared(1, 1, 1000, false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.process_with_injected_panic(&req)
+        }));
+        assert!(result.is_err(), "injection must unwind");
+        // The shard recovered: same object still hits, counters saw exactly
+        // the two *real* requests.
+        c.process(&prepared(2, 1, 1000, false), None);
+        let snap = c.snapshot();
+        assert_eq!(snap.stats.accesses, 2);
+        assert_eq!(snap.stats.hits, 1);
+    }
+
+    /// §4.4.2 across a hot swap: an object judged one-time under model A and
+    /// reappearing within `M` must be force-admitted even though the model
+    /// consulted the second time is a different (swapped-in) tree.
+    #[test]
+    fn rectification_survives_a_model_swap() {
+        use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+        fn one_time_tree(threshold: f32) -> DecisionTree {
+            let mut d = Dataset::new(otae_core::N_FEATURES);
+            for i in 0..100 {
+                let mut row = [0.0f32; otae_core::N_FEATURES];
+                row[0] = i as f32 / 100.0;
+                d.push(&row, row[0] > threshold);
+            }
+            let mut t = DecisionTree::new(TreeParams::default());
+            t.fit(&d);
+            t
+        }
+        let c = sharded(1, Mode::Proposal);
+        let model_a = one_time_tree(0.5);
+        let model_b = one_time_tree(0.2);
+        let mut req = prepared(0, 7, 1000, true);
+        req.features[0] = 0.9; // one-time under both models
+        assert!(model_a.predict(&req.features) && model_b.predict(&req.features));
+        c.process(&req, Some(&model_a));
+        // Same object misses again within M (= 100 in these params), but the
+        // gate has swapped to model B in between.
+        let mut again = prepared(50, 7, 1000, true);
+        again.features[0] = 0.9;
+        c.process(&again, Some(&model_b));
+        let snap = c.snapshot();
+        assert_eq!(snap.rectifications, 1, "history must rectify across the swap");
+        assert_eq!(snap.stats.bypasses, 1, "first miss bypassed");
+        assert_eq!(snap.stats.files_written, 1, "second miss force-admitted");
     }
 }

@@ -71,7 +71,8 @@ pub fn to_bytes(trace: &Trace) -> Bytes {
 
 /// Deserialise a trace from the binary format.
 pub fn from_bytes(mut data: &[u8]) -> Result<Trace, CodecError> {
-    if data.remaining() < 18 {
+    // Full header: 4 magic + 2 version + 4 owners + 4 meta + 8 requests.
+    if data.remaining() < 22 {
         return Err(malformed("truncated header"));
     }
     let mut magic = [0u8; 4];
@@ -85,11 +86,15 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, CodecError> {
     }
     let n_owners = data.get_u32_le() as usize;
     let n_meta = data.get_u32_le() as usize;
-    let n_req = data.get_u64_le() as usize;
-    let need = n_owners * 8 + n_meta * 17 + n_req * 13;
-    if data.remaining() < need {
+    let n_req_raw = data.get_u64_le();
+    // Widen before multiplying: a bit-flipped count field must produce a
+    // typed error, not an arithmetic overflow panic (or a silent wrap that
+    // lets an absurd count through to allocation).
+    let need = n_owners as u128 * 8 + n_meta as u128 * 17 + n_req_raw as u128 * 13;
+    if (data.remaining() as u128) < need {
         return Err(malformed("truncated body"));
     }
+    let n_req = n_req_raw as usize;
     let mut owners = Vec::with_capacity(n_owners);
     for _ in 0..n_owners {
         owners.push(Owner { activity: data.get_f32_le(), active_friends: data.get_u32_le() });
@@ -124,6 +129,9 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, CodecError> {
             other => return Err(malformed(format!("bad terminal {other}"))),
         };
         requests.push(Request { ts, object, terminal: term });
+    }
+    if data.remaining() > 0 {
+        return Err(malformed(format!("{} trailing bytes after the request stream", data.len())));
     }
     let trace = Trace { requests, meta, owners };
     if !trace.is_time_ordered() {
@@ -292,9 +300,30 @@ mod tests {
     #[test]
     fn rejects_truncation() {
         let bytes = to_bytes(&tiny());
-        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+        // 18..22 are the regression range: a valid magic/version with the
+        // request-count field cut off used to panic inside `get_u64_le`.
+        for cut in [0, 3, 10, 18, 19, 20, 21, 22, bytes.len() / 2, bytes.len() - 1] {
             assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = to_bytes(&tiny()).to_vec();
+        bytes.push(0);
+        let err = from_bytes(&bytes).expect_err("trailing byte must be rejected");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_counts_error_without_allocating() {
+        // A header whose request count is astronomically large must fail the
+        // (widened) size check, not overflow or attempt the allocation.
+        let mut bytes = to_bytes(&Trace::default()).to_vec();
+        bytes[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(CodecError::Malformed(_))));
+        bytes[14..22].copy_from_slice(&(u64::MAX / 13).to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(CodecError::Malformed(_))));
     }
 
     #[test]

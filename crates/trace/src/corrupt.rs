@@ -1,0 +1,177 @@
+//! Deterministic corruption generator for codec robustness testing.
+//!
+//! Produces scripted damage to a serialised trace — truncations, single
+//! bit-flips, byte scrambles, header surgery — as pure functions of a seed,
+//! so a failing corruption case replays exactly from `(seed, label)`.
+//! The contract under test: [`codec::from_bytes`](crate::codec::from_bytes)
+//! either returns a structurally valid [`Trace`](crate::Trace) or a typed
+//! [`CodecError`](crate::codec::CodecError) — it must never panic, hang, or
+//! misparse, whatever the damage.
+
+/// One corrupted buffer, labeled for replayable failure reports.
+#[derive(Debug, Clone)]
+pub struct Corruption {
+    /// What was done to the buffer (e.g. `truncate[117]`, `bitflip[33.5]`).
+    pub label: String,
+    /// The damaged bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// SplitMix64: tiny, seedable, and good enough to scatter damage sites.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `n` truncations of `bytes` at seed-chosen cut points, always including
+/// the structurally interesting ones: empty, mid-header, one-short.
+pub fn truncations(bytes: &[u8], seed: u64, n: usize) -> Vec<Corruption> {
+    let mut state = seed ^ 0x7472_756e_6361_7465; // "truncate"
+    let mut out = Vec::new();
+    let mut cuts: Vec<usize> = vec![0, 1, 4, 17];
+    if bytes.len() > 1 {
+        cuts.push(bytes.len() / 2);
+        cuts.push(bytes.len() - 1);
+    }
+    while cuts.len() < n + 6 {
+        cuts.push(splitmix64(&mut state) as usize % bytes.len().max(1));
+    }
+    for cut in cuts {
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        out.push(Corruption { label: format!("truncate[{cut}]"), bytes: bytes[..cut].to_vec() });
+    }
+    out
+}
+
+/// `n` single-bit flips of `bytes` at seed-chosen positions. Flips landing
+/// in count fields exercise the overflow/allocation guards; flips in the
+/// body exercise range and ordering validation.
+pub fn bit_flips(bytes: &[u8], seed: u64, n: usize) -> Vec<Corruption> {
+    let mut state = seed ^ 0x6269_7466_6c69_7073; // "bitflips"
+    let mut out = Vec::new();
+    if bytes.is_empty() {
+        return out;
+    }
+    for _ in 0..n {
+        let r = splitmix64(&mut state);
+        let pos = (r >> 3) as usize % bytes.len();
+        let bit = (r & 7) as u8;
+        let mut damaged = bytes.to_vec();
+        damaged[pos] ^= 1 << bit;
+        out.push(Corruption { label: format!("bitflip[{pos}.{bit}]"), bytes: damaged });
+    }
+    out
+}
+
+/// `n` runs of seed-chosen garbage bytes overwriting a random window.
+pub fn scrambles(bytes: &[u8], seed: u64, n: usize) -> Vec<Corruption> {
+    let mut state = seed ^ 0x7363_7261_6d62_6c65; // "scramble"
+    let mut out = Vec::new();
+    if bytes.is_empty() {
+        return out;
+    }
+    for _ in 0..n {
+        let start = splitmix64(&mut state) as usize % bytes.len();
+        let len = (splitmix64(&mut state) as usize % 64).min(bytes.len() - start).max(1);
+        let mut damaged = bytes.to_vec();
+        for b in &mut damaged[start..start + len] {
+            *b = splitmix64(&mut state) as u8;
+        }
+        out.push(Corruption { label: format!("scramble[{start}+{len}]"), bytes: damaged });
+    }
+    out
+}
+
+/// Targeted header surgery: oversized count fields (allocation-bomb
+/// attempts), trailing garbage, and version/magic damage.
+pub fn header_attacks(bytes: &[u8], seed: u64) -> Vec<Corruption> {
+    let mut state = seed ^ 0x6865_6164_6572_7321; // "headers!"
+    let mut out = Vec::new();
+    if bytes.len() < 18 {
+        return out;
+    }
+    // Count fields live at [6,10) (owners), [10,14) (meta), [14,22) (requests).
+    for (label, range, value) in [
+        ("owners=max", 6..10, u64::from(u32::MAX)),
+        ("meta=max", 10..14, u64::from(u32::MAX)),
+        ("requests=max", 14..22, u64::MAX),
+        ("requests=huge", 14..22, u64::MAX / 13),
+    ] {
+        if bytes.len() < range.end {
+            continue;
+        }
+        let mut damaged = bytes.to_vec();
+        let le = value.to_le_bytes();
+        damaged[range.clone()].copy_from_slice(&le[..range.len()]);
+        out.push(Corruption { label: format!("header[{label}]"), bytes: damaged });
+    }
+    let mut damaged = bytes.to_vec();
+    damaged.extend((0..7).map(|_| splitmix64(&mut state) as u8));
+    out.push(Corruption { label: "trailing[7]".into(), bytes: damaged });
+    let mut damaged = bytes.to_vec();
+    damaged[4] ^= 0xFF; // version low byte
+    out.push(Corruption { label: "header[version]".into(), bytes: damaged });
+    out
+}
+
+/// The full labeled suite for one seed: truncations, bit-flips, scrambles
+/// and header attacks over `bytes`.
+pub fn corruption_suite(bytes: &[u8], seed: u64) -> Vec<Corruption> {
+    let mut out = truncations(bytes, seed, 10);
+    out.extend(bit_flips(bytes, seed, 40));
+    out.extend(scrambles(bytes, seed, 10));
+    out.extend(header_attacks(bytes, seed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_in_the_seed() {
+        let bytes: Vec<u8> = (0..200u8).collect();
+        let a = corruption_suite(&bytes, 9);
+        let b = corruption_suite(&bytes, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.bytes, y.bytes);
+        }
+        let c = corruption_suite(&bytes, 10);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.bytes != y.bytes),
+            "different seeds must damage differently"
+        );
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_one_bit() {
+        let bytes = vec![0u8; 64];
+        for c in bit_flips(&bytes, 3, 20) {
+            let ones: u32 = c.bytes.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(ones, 1, "{}: exactly one bit flipped", c.label);
+        }
+    }
+
+    #[test]
+    fn truncations_shrink_and_include_edges() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let cuts = truncations(&bytes, 1, 8);
+        assert!(cuts.iter().all(|c| c.bytes.len() < bytes.len()));
+        assert!(cuts.iter().any(|c| c.bytes.is_empty()), "empty cut included");
+        assert!(cuts.iter().any(|c| c.bytes.len() == bytes.len() - 1), "one-short cut included");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic_the_generator() {
+        assert!(bit_flips(&[], 1, 5).is_empty());
+        assert!(scrambles(&[], 1, 5).is_empty());
+        assert!(header_attacks(&[1, 2, 3], 1).is_empty());
+        let t = truncations(&[7], 1, 3);
+        assert!(t.iter().all(|c| c.bytes.is_empty()));
+    }
+}

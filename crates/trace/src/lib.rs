@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod corrupt;
 pub mod diurnal;
 pub mod generator;
 pub mod popularity;

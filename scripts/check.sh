@@ -17,4 +17,9 @@ echo "==> bench smoke (tiny binned-training run + 1x1 serve tick)"
 OTAE_BENCH_SMOKE=1 cargo run --release -q -p otae-bench --bin train_throughput
 OTAE_BENCH_SMOKE=1 OTAE_OBJECTS=2000 cargo run --release -q -p otae-bench --bin serve_throughput
 
+if [[ "${OTAE_HARNESS_SMOKE:-0}" == "1" ]]; then
+  echo "==> harness smoke (differential oracle + 3 fault plans)"
+  cargo run --release -q -p otae-harness -- --smoke
+fi
+
 echo "OK: fmt, clippy, tests and bench smoke all clean"

@@ -1,8 +1,10 @@
 //! Codec interop: traces survive serialisation and produce bit-identical
-//! simulation results afterwards.
+//! simulation results afterwards — and damaged streams are rejected with
+//! typed errors, never panics or misparses.
 
 use otae::core::{run, Mode, PolicyKind, RunConfig};
 use otae::trace::codec::{from_bytes, read_binary, to_bytes, write_binary, write_text};
+use otae::trace::corrupt::{bit_flips, corruption_suite, truncations};
 use otae::trace::{generate, TraceConfig};
 
 #[test]
@@ -56,4 +58,78 @@ fn corrupted_streams_are_rejected_not_misparsed() {
     broken[len - 3] = 0xFF;
     broken[len - 2] = 0xFF;
     assert!(from_bytes(&broken).is_err(), "out-of-range object id must not parse");
+}
+
+/// The decoder's robustness contract over the full scripted damage suite:
+/// every corruption either fails with a typed [`CodecError`] or yields a
+/// structurally valid trace (a bit-flip in a size field, say, is
+/// indistinguishable from legitimate data) — and a parse that succeeds must
+/// uphold every structural invariant the simulator relies on.
+#[test]
+fn corruption_suite_never_panics_and_survivors_are_valid() {
+    let trace = generate(&TraceConfig { n_objects: 400, seed: 21, ..Default::default() });
+    let bytes = to_bytes(&trace);
+    for seed in 0..4u64 {
+        for c in corruption_suite(&bytes, seed) {
+            match from_bytes(&c.bytes) {
+                Err(_) => {} // typed rejection: exactly what we want
+                Ok(parsed) => {
+                    assert!(
+                        parsed.is_time_ordered(),
+                        "seed {seed} {}: parsed trace must be time-ordered",
+                        c.label
+                    );
+                    for r in &parsed.requests {
+                        assert!(
+                            (r.object.0 as usize) < parsed.meta.len(),
+                            "seed {seed} {}: dangling object id",
+                            c.label
+                        );
+                    }
+                    for m in &parsed.meta {
+                        assert!(
+                            (m.owner.0 as usize) < parsed.owners.len(),
+                            "seed {seed} {}: dangling owner id",
+                            c.label
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every truncation is a hard error — a prefix of a valid stream never
+/// parses (the request count in the header makes short bodies detectable).
+#[test]
+fn all_truncations_are_typed_errors() {
+    let trace = generate(&TraceConfig { n_objects: 400, seed: 22, ..Default::default() });
+    let bytes = to_bytes(&trace);
+    for c in truncations(&bytes, 5, 30) {
+        assert!(from_bytes(&c.bytes).is_err(), "{} must be rejected", c.label);
+    }
+    // Exhaustively: every cut inside the 22-byte header.
+    for cut in 0..22.min(bytes.len()) {
+        assert!(from_bytes(&bytes[..cut]).is_err(), "header cut at {cut} must be rejected");
+    }
+}
+
+/// Bit-flips keep the buffer length, so some may parse (flips in payload
+/// fields); the contract is only no-panic plus validity of survivors. Flips
+/// in the magic always fail.
+#[test]
+fn bit_flips_in_the_magic_always_fail() {
+    let trace = generate(&TraceConfig { n_objects: 100, seed: 23, ..Default::default() });
+    let bytes = to_bytes(&trace).to_vec();
+    for pos in 0..4 {
+        for bit in 0..8 {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 1 << bit;
+            assert!(from_bytes(&damaged).is_err(), "magic flip [{pos}.{bit}] must fail");
+        }
+    }
+    // And the generator's scattered flips never panic the decoder.
+    for c in bit_flips(&bytes, 77, 200) {
+        let _ = from_bytes(&c.bytes);
+    }
 }

@@ -101,3 +101,44 @@ proptest! {
         }
     }
 }
+
+/// Named regression, promoted from tests/device_properties.proptest-regressions
+/// ("shrinks to seed = 44"): the single-byte corruption drawn from ChaCha8
+/// seed 44 historically crashed tree deserialisation. The seeded stream is
+/// replicated exactly, then hardened into an exhaustive single-bit sweep of
+/// the same serialised tree — corruption either parses into a traversable
+/// tree or errors, but never panics.
+#[test]
+fn regression_seed_44_tree_corruption_and_exhaustive_bit_sweep() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+    let mut data = Dataset::new(2);
+    for _ in 0..300 {
+        let row = [rng.gen::<f32>(), rng.gen()];
+        data.push(&row, row[0] > 0.5);
+    }
+    let mut tree = DecisionTree::new(TreeParams::default());
+    tree.fit(&data);
+    let bytes = tree.to_bytes();
+
+    // The exact historical corruption site.
+    let mut damaged = bytes.clone();
+    let at = rng.gen_range(0..damaged.len());
+    damaged[at] ^= 1u8 << rng.gen_range(0..8);
+    if let Ok(parsed) = DecisionTree::from_bytes(&damaged) {
+        let _ = parsed.score(&[0.3, 0.7]);
+        let _ = parsed.depth();
+    }
+
+    // Every single-bit flip of the same buffer.
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 1u8 << bit;
+            if let Ok(parsed) = DecisionTree::from_bytes(&damaged) {
+                let _ = parsed.score(&[0.3, 0.7]);
+                let _ = parsed.depth();
+            }
+        }
+    }
+}

@@ -183,3 +183,184 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Named regressions, promoted from tests/properties.proptest-regressions so
+// they run by name (and with a paper trail) rather than as opaque `cc` seed
+// hashes. Both were shrunk by proptest from historical failures of the
+// `*_capacity_invariants` properties above; they now pin byte/entry
+// accounting across every policy.
+// ---------------------------------------------------------------------------
+
+/// Run one historical access stream through all nine policies.
+fn check_all_policies(accesses: &[(u64, u64)], cap: u64) {
+    check_policy(Lru::new(cap), accesses);
+    check_policy(Fifo::new(cap), accesses);
+    check_policy(Lfu::new(cap), accesses);
+    check_policy(S3Lru::new(cap), accesses);
+    check_policy(ArcCache::new(cap), accesses);
+    check_policy(Lirs::new(cap), accesses);
+    check_policy(TwoQ::new(cap), accesses);
+    check_policy(Gdsf::new(cap), accesses);
+    let keys: Vec<u64> = accesses.iter().map(|a| a.0).collect();
+    check_policy(Belady::new(cap, &keys), accesses);
+}
+
+/// Regression (shrunk, 17 accesses, cap 41934): a short stream with one
+/// repeated key (35) at two different sizes — the second insert must
+/// replace, not double-count, the first.
+#[test]
+fn regression_repeated_key_with_different_sizes() {
+    let accesses: [(u64, u64); 17] = [
+        (13, 1385),
+        (6, 3489),
+        (8, 1849),
+        (35, 3963),
+        (3, 3777),
+        (9, 4168),
+        (36, 2563),
+        (55, 2084),
+        (20, 3612),
+        (44, 1935),
+        (18, 2895),
+        (50, 2775),
+        (31, 1655),
+        (33, 841),
+        (35, 628),
+        (42, 2604),
+        (58, 2586),
+    ];
+    check_all_policies(&accesses, 41_934);
+}
+
+/// Regression (shrunk, 119 accesses, cap 10707): sustained eviction
+/// pressure at a capacity a few objects deep, with heavy key reuse —
+/// the stream that historically desynchronised eviction callbacks from
+/// the resident-set model.
+#[test]
+fn regression_eviction_pressure_with_heavy_reuse() {
+    let accesses: [(u64, u64); 121] = [
+        (50, 1102),
+        (50, 4630),
+        (50, 1423),
+        (62, 2442),
+        (62, 1200),
+        (11, 2959),
+        (43, 557),
+        (48, 900),
+        (21, 3202),
+        (58, 4716),
+        (62, 3607),
+        (36, 2112),
+        (49, 2693),
+        (62, 1633),
+        (31, 3103),
+        (29, 3122),
+        (22, 768),
+        (41, 820),
+        (37, 3560),
+        (47, 1714),
+        (24, 2952),
+        (53, 3416),
+        (10, 1699),
+        (7, 4967),
+        (13, 919),
+        (30, 3894),
+        (23, 1085),
+        (5, 355),
+        (28, 2916),
+        (26, 1193),
+        (1, 1032),
+        (29, 224),
+        (33, 1871),
+        (9, 1720),
+        (54, 4451),
+        (61, 335),
+        (49, 2397),
+        (20, 1191),
+        (32, 986),
+        (57, 3819),
+        (54, 4886),
+        (53, 3313),
+        (19, 4698),
+        (34, 2771),
+        (45, 481),
+        (24, 2797),
+        (35, 3173),
+        (7, 865),
+        (58, 1901),
+        (9, 1606),
+        (24, 866),
+        (19, 278),
+        (4, 1245),
+        (57, 4259),
+        (31, 4020),
+        (25, 2327),
+        (58, 544),
+        (34, 2562),
+        (32, 2628),
+        (18, 2846),
+        (3, 1508),
+        (18, 2511),
+        (22, 4679),
+        (15, 4226),
+        (6, 4792),
+        (47, 4276),
+        (37, 1),
+        (48, 4016),
+        (57, 3225),
+        (11, 2218),
+        (29, 676),
+        (3, 3182),
+        (40, 1207),
+        (52, 2810),
+        (20, 3050),
+        (37, 1077),
+        (55, 1070),
+        (14, 4052),
+        (41, 1193),
+        (60, 1775),
+        (52, 2110),
+        (8, 1638),
+        (19, 1253),
+        (39, 4854),
+        (24, 150),
+        (43, 3112),
+        (34, 2815),
+        (11, 3458),
+        (60, 3121),
+        (16, 105),
+        (31, 4126),
+        (5, 748),
+        (43, 1878),
+        (62, 3359),
+        (43, 650),
+        (59, 4421),
+        (59, 3105),
+        (62, 2044),
+        (4, 2143),
+        (25, 1709),
+        (61, 3233),
+        (32, 1648),
+        (27, 1211),
+        (7, 4914),
+        (23, 3083),
+        (33, 2851),
+        (53, 4397),
+        (38, 527),
+        (57, 3251),
+        (22, 3382),
+        (44, 4792),
+        (31, 2006),
+        (1, 944),
+        (18, 2189),
+        (14, 2844),
+        (60, 2402),
+        (57, 1508),
+        (62, 4604),
+        (36, 596),
+        (4, 1011),
+        (14, 3558),
+    ];
+    check_all_policies(&accesses, 10_707);
+}
