@@ -281,7 +281,7 @@ mod tests {
         use std::collections::VecDeque;
         let mut l: DList<u64> = DList::new();
         let mut model: VecDeque<u64> = VecDeque::new();
-        let mut handles: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+        let mut handles: otae_fxhash::FxHashMap<u64, NodeId> = otae_fxhash::FxHashMap::default();
         // Deterministic pseudo-random ops.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = || {

@@ -28,9 +28,10 @@ use crate::pipeline::{PolicyKind, RunConfig};
 use crate::reaccess::ReaccessIndex;
 use otae_cache::{CacheStats, Evicted};
 use otae_device::ResponseTime;
+use otae_fxhash::FxHashMap;
 use otae_ml::ConfusionMatrix;
 use otae_trace::{ObjectId, Trace};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One decision whose true label has not matured yet.
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +57,7 @@ pub struct MaturedLabel {
 pub struct DelayedLabelQueue {
     m: u64,
     /// Latest undecided observation per object.
-    pending: HashMap<ObjectId, Pending>,
+    pending: FxHashMap<ObjectId, Pending>,
     /// Expiry order: (decision idx, object).
     expiry: VecDeque<(u64, ObjectId)>,
     matured: Vec<MaturedLabel>,
@@ -65,7 +66,7 @@ pub struct DelayedLabelQueue {
 impl DelayedLabelQueue {
     /// Queue for a one-time-access threshold of `m` accesses.
     pub fn new(m: u64) -> Self {
-        Self { m, pending: HashMap::new(), expiry: VecDeque::new(), matured: Vec::new() }
+        Self { m, pending: FxHashMap::default(), expiry: VecDeque::new(), matured: Vec::new() }
     }
 
     /// Record a decision at access index `idx`.

@@ -188,8 +188,8 @@ mod tests {
     /// reference on a generated trace with skewed, gappy object ids.
     #[test]
     fn dense_build_matches_hashmap_reference() {
+        use otae_fxhash::FxHashMap;
         use rand::{Rng, SeedableRng};
-        use std::collections::HashMap;
 
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
         // Skewed popularity plus deliberate id gaps (ids are multiples of 3).
@@ -204,14 +204,14 @@ mod tests {
         let idx = ReaccessIndex::build(&trace);
 
         let mut ref_dist = vec![NEVER; keys.len()];
-        let mut next_pos: HashMap<u32, u64> = HashMap::new();
+        let mut next_pos: FxHashMap<u32, u64> = FxHashMap::default();
         for (i, &k) in keys.iter().enumerate().rev() {
             if let Some(&next) = next_pos.get(&k) {
                 ref_dist[i] = next - i as u64;
             }
             next_pos.insert(k, i as u64);
         }
-        let mut seen: HashMap<u32, ()> = HashMap::new();
+        let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
         for (i, &k) in keys.iter().enumerate() {
             let ref_first = seen.insert(k, ()).is_none();
             assert_eq!(idx.distance(i), ref_dist[i], "distance at {i}");

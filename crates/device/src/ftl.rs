@@ -13,7 +13,7 @@
 //! greedy victim selection (fewest valid pages), relocation of valid pages
 //! on erase, and per-block program/erase wear counters.
 
-use std::collections::HashMap;
+use otae_fxhash::FxHashMap;
 
 /// FTL geometry and policy parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,7 @@ pub struct FtlSim {
     free_blocks: Vec<u32>,
     active: u32,
     /// object id → (block, page) locations.
-    objects: HashMap<u64, Vec<(u32, u32)>>,
+    objects: FxHashMap<u64, Vec<(u32, u32)>>,
     stats: FtlStats,
     live_pages: u64,
 }
@@ -137,7 +137,7 @@ impl FtlSim {
             blocks,
             free_blocks,
             active,
-            objects: HashMap::new(),
+            objects: FxHashMap::default(),
             stats: FtlStats::default(),
             live_pages: 0,
         }

@@ -52,7 +52,13 @@ fn smoke(seed: u64, objects: usize) -> Result<(), HarnessFailure> {
     eprintln!("harness smoke: differential + metamorphic oracle (seed {seed})");
     full_oracle(seed, objects)?;
     for plan in ["training-outage", "stalled-swaps", "shard-chaos"] {
-        let schedule = FaultSchedule::by_name(plan).expect("named plan");
+        let Some(schedule) = FaultSchedule::by_name(plan) else {
+            return Err(HarnessFailure {
+                seed,
+                schedule: FaultSchedule::clean(),
+                message: format!("smoke plan {plan} is not registered in FaultSchedule::named()"),
+            });
+        };
         eprintln!("harness smoke: fault plan {plan}");
         let mut case = CaseConfig::new(seed, schedule);
         case.n_objects = objects;

@@ -118,7 +118,7 @@ pub fn run_case(cfg: &CaseConfig) -> Result<ServeReport, HarnessFailure> {
     // Deadlock detection: run the service on its own thread and bound the
     // wait. A service stuck on a channel or lock never returns; the timeout
     // converts that hang into a replayable failure instead of a hung CI job.
-    let (done_tx, done_rx) = mpsc::channel();
+    let (done_tx, done_rx) = mpsc::sync_channel(1);
     let handle = std::thread::spawn(move || {
         let report = serve_trace(&trace, &serve_cfg, &load);
         let _ = done_tx.send(report);

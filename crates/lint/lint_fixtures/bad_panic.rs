@@ -1,0 +1,15 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! Panic paths in non-test serve code.
+
+fn run(x: Option<u32>, locks: &Locks) -> u32 {
+    let a = x.unwrap(); //~ ERROR no-panic-in-serve
+    let b = x.expect("present"); //~ ERROR no-panic-in-serve
+    if a > b {
+        panic!("impossible"); //~ ERROR no-panic-in-serve
+    }
+    let c = locks.inner.lock()[0]; //~ ERROR no-panic-in-serve
+    match c {
+        0 => unreachable!(), //~ ERROR no-panic-in-serve
+        _ => todo!(), //~ ERROR no-panic-in-serve
+    }
+}

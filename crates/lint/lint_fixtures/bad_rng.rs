@@ -1,0 +1,17 @@
+// otae-lint-fixture-path: crates/ml/src/fixture.rs
+//! Entropy-seeded RNG is banned everywhere — tests included, because an
+//! unseeded test is exactly the flaky test the harness exists to prevent.
+
+fn sample() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ERROR no-unseeded-rng
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_banned_in_tests() {
+        let _rng = ChaCha8Rng::from_entropy(); //~ ERROR no-unseeded-rng
+        let _os = OsRng; //~ ERROR no-unseeded-rng
+    }
+}

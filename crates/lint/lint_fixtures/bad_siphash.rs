@@ -1,0 +1,12 @@
+// otae-lint-fixture-path: crates/cache/src/fixture.rs
+//! Every way of constructing a SipHash table must be caught.
+use std::collections::HashMap; //~ ERROR no-siphash
+use std::collections::{HashSet, VecDeque}; //~ ERROR no-siphash
+
+fn build() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); //~ ERROR no-siphash //~ ERROR no-siphash
+    let s = HashSet::from([1u32]); //~ ERROR no-siphash
+    let n = HashMap::with_capacity(8); //~ ERROR no-siphash
+    let q: VecDeque<u32> = VecDeque::new();
+    m.len() + s.len() + n.len() + q.len()
+}

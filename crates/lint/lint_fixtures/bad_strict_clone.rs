@@ -1,0 +1,6 @@
+// otae-lint-fixture-path: crates/serve/src/loadgen.rs
+//! Advisory finding: reported under --strict, never fails the build.
+
+fn submit(req: &Request, tx: &Sender<Request>) {
+    let _ = tx.send(req.clone()); //~ WARN advisory-clone-per-request
+}

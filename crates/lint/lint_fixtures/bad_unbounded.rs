@@ -1,0 +1,11 @@
+// otae-lint-fixture-path: crates/harness/src/fixture.rs
+//! Unbounded channels hide backpressure on service paths.
+use std::sync::mpsc;
+
+fn wire() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel() //~ ERROR bounded-channel
+}
+
+fn wire_bounded() -> (mpsc::SyncSender<u32>, mpsc::Receiver<u32>) {
+    mpsc::sync_channel(16)
+}

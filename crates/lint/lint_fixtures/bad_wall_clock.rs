@@ -1,0 +1,10 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! Raw time sources outside serve::clock.
+use std::time::{Duration, Instant};
+
+fn pace() -> Duration {
+    let start = Instant::now(); //~ ERROR no-wall-clock
+    std::thread::sleep(Duration::from_millis(1)); //~ ERROR no-wall-clock
+    let _stamp = std::time::SystemTime::now(); //~ ERROR no-wall-clock
+    start.elapsed()
+}

@@ -1,0 +1,9 @@
+// otae-lint-fixture-path: crates/ml/src/fixture.rs
+use rand::Rng;
+
+fn jitter() -> u64 {
+    let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(0x07AE_5EED);
+    let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(0x07AE_5EED);
+    let mut c = ChaCha8Rng::seed_from_u64(0x07AE_5EED);
+    a.gen::<u64>() ^ b.gen::<u64>() ^ c.gen::<u64>()
+}

@@ -1,0 +1,9 @@
+// otae-lint-fixture-path: crates/ml/src/fixture.rs
+use rand::Rng;
+
+fn jitter() -> u64 {
+    let mut a = rand::thread_rng();
+    let mut b = thread_rng();
+    let mut c = ChaCha8Rng::from_entropy();
+    a.gen::<u64>() ^ b.gen::<u64>() ^ c.gen::<u64>()
+}

@@ -1,0 +1,10 @@
+// otae-lint-fixture-path: crates/cache/src/fixture.rs
+use otae_fxhash::FxHashMap;
+
+fn build(n: usize) -> usize {
+    let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+    let big = FxHashMap::with_capacity_and_hasher(n * (2 + n), Default::default());
+    let q: otae_fxhash::FxHashSet<u32> = otae_fxhash::FxHashSet::from([1]);
+    m.insert(1, 2);
+    m.len() + big.capacity() + q.len()
+}

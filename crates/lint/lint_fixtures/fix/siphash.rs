@@ -1,0 +1,10 @@
+// otae-lint-fixture-path: crates/cache/src/fixture.rs
+use std::collections::HashMap;
+
+fn build(n: usize) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    let big = HashMap::with_capacity(n * (2 + n));
+    let q: std::collections::HashSet<u32> = std::collections::HashSet::from([1]);
+    m.insert(1, 2);
+    m.len() + big.capacity() + q.len()
+}

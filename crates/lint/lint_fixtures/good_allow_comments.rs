@@ -1,0 +1,12 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! The per-site escape hatch: same-line and standalone-line-above forms.
+use std::time::{Duration, Instant};
+
+fn calibrate(x: Option<u32>) -> u32 {
+    // One-off calibration probe, reviewed: real wall time is intentional.
+    // otae-lint: allow(no-wall-clock)
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_nanos(1)); // otae-lint: allow(no-wall-clock)
+    let v = x.unwrap(); // otae-lint: allow(no-panic-in-serve) — startup-only path
+    v + t0.elapsed().subsec_nanos()
+}

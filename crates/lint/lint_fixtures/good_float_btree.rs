@@ -1,0 +1,10 @@
+// otae-lint-fixture-path: crates/ml/src/fixture.rs
+//! Sorted (BTreeMap) iteration is the sanctioned fix, and hash maps used
+//! only for keyed lookup are fine.
+use otae_fxhash::FxHashMap;
+use std::collections::BTreeMap;
+
+fn score(weights: &BTreeMap<u64, f32>, lookup: &FxHashMap<u64, f32>) -> f32 {
+    let bias = lookup.get(&0).copied().unwrap_or(0.0);
+    weights.values().sum::<f32>() + bias
+}

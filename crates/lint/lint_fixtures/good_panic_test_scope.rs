@@ -1,0 +1,21 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! Test scopes may unwrap, expect, and panic freely.
+
+fn run(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asserts_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        v.expect("tests may panic");
+        if run(v) != 3 {
+            panic!("even this is fine in tests");
+        }
+    }
+}

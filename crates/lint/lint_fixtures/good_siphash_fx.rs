@@ -1,0 +1,15 @@
+// otae-lint-fixture-path: crates/cache/src/fixture.rs
+//! FxHashMap construction and explicit `with_hasher` forms are sanctioned:
+//! only the SipHash-only constructors (`new`, `with_capacity`, `from`) fire.
+use otae_fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+
+type HashMap<K, V> = FxHashMap<K, V>;
+
+fn build() -> usize {
+    let m: FxHashMap<u32, u32> = FxHashMap::default();
+    let s = FxHashSet::<u32>::default();
+    let mut h = HashMap::with_hasher(FxBuildHasher::default());
+    let p: HashMap<u32, u32> = HashMap::with_capacity_and_hasher(8, FxBuildHasher::default());
+    h.insert(1u32, 2u32);
+    m.len() + s.len() + h.len() + p.capacity()
+}

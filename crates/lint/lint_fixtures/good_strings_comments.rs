@@ -1,0 +1,15 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! Banned patterns inside literals and comments must never fire.
+// Instant::now() thread_rng() HashMap::new() panic!("x") mpsc::channel()
+
+/* block comment: SystemTime::now() and .unwrap() and
+   /* nested: from_entropy() OsRng */ still inside the comment */
+
+fn render() -> String {
+    let a = "Instant::now() and HashMap::new() in a string";
+    let b = r#"raw: thread_rng() "quoted" .expect("x") mpsc::channel()"#;
+    let c = r##"more hashes: use std::collections::HashMap; "# still raw"##;
+    let d = b"bytes: panic! OsRng .unwrap()";
+    let e = '"';
+    format!("{a}{b}{c}{d:?}{e}")
+}

@@ -1,0 +1,7 @@
+// otae-lint-fixture-path: crates/serve/src/clock.rs
+//! The allowlisted clock module may read wall time: it is the wrapper.
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,192 @@
+//! Rule identities, path scoping, and per-rule allowlists.
+//!
+//! Paths are workspace-relative with forward slashes. Scoping is
+//! deliberately path-based rather than module-path-based: the invariants
+//! being enforced are *architectural* ("time goes through `serve::clock`",
+//! "the serve request path never panics") and the architecture maps 1:1
+//! onto the crate layout, so path prefixes are both simpler and harder to
+//! dodge than `mod` tracking.
+
+/// Every rule the linter knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `std::collections::HashMap`/`HashSet` construction (SipHash) banned
+    /// in first-party non-test code — use `otae_fxhash`.
+    NoSiphash,
+    /// `Instant::now` / `SystemTime::now` / `thread::sleep` banned outside
+    /// `serve::clock` — everything routes through `ServiceClock`.
+    NoWallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng` banned everywhere: every RNG
+    /// must be seeded so any run replays from its seed.
+    NoUnseededRng,
+    /// `unwrap`/`expect`/panic-family macros/indexing-through-locks banned
+    /// in non-test serve and harness run paths — degrade via `FaultReport`
+    /// counters and `Result`, never by unwinding a worker.
+    NoPanicInServe,
+    /// Hash-map iteration feeding float accumulation banned in ML scoring
+    /// paths — ordering-dependent sums break engine-parity tests.
+    NoFloatNondeterminism,
+    /// Unbounded `mpsc::channel()` banned on service paths — use
+    /// `sync_channel` so backpressure is explicit.
+    BoundedChannel,
+    /// Advisory (strict mode only): `.clone()` inside per-request serve
+    /// paths; reported, never fails the build.
+    AdvisoryClonePerRequest,
+}
+
+/// All enforced (non-advisory) rules, in diagnostic order.
+pub const ENFORCED: [Rule; 6] = [
+    Rule::NoSiphash,
+    Rule::NoWallClock,
+    Rule::NoUnseededRng,
+    Rule::NoPanicInServe,
+    Rule::NoFloatNondeterminism,
+    Rule::BoundedChannel,
+];
+
+impl Rule {
+    /// The rule's diagnostic name (also what `allow(…)` directives use).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoSiphash => "no-siphash",
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::NoPanicInServe => "no-panic-in-serve",
+            Rule::NoFloatNondeterminism => "no-float-nondeterminism",
+            Rule::BoundedChannel => "bounded-channel",
+            Rule::AdvisoryClonePerRequest => "advisory-clone-per-request",
+        }
+    }
+
+    /// One-line statement of the invariant, shown with every diagnostic.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            Rule::NoSiphash => {
+                "hot paths hash with otae-fxhash, not SipHash; construct FxHashMap/FxHashSet"
+            }
+            Rule::NoWallClock => {
+                "time is injected through ServiceClock so harness runs replay deterministically"
+            }
+            Rule::NoUnseededRng => {
+                "every RNG is seeded; an unseeded source breaks bit-exact replay from a seed"
+            }
+            Rule::NoPanicInServe => {
+                "serve/harness run paths degrade via FaultReport counters and Result, never panic"
+            }
+            Rule::NoFloatNondeterminism => {
+                "float accumulation over hash-map order is nondeterministic; iterate a sorted or \
+                 dense structure"
+            }
+            Rule::BoundedChannel => {
+                "service channels are bounded (sync_channel) so backpressure is explicit"
+            }
+            Rule::AdvisoryClonePerRequest => {
+                "per-request serve paths should avoid clone(); prefer borrowing or Arc"
+            }
+        }
+    }
+
+    /// Whether the rule also applies inside `#[cfg(test)]`/`#[test]` scopes
+    /// and `tests/` trees. Only the replayability rule does: tests that use
+    /// entropy are exactly the flaky tests the harness exists to prevent.
+    pub fn checks_tests(self) -> bool {
+        matches!(self, Rule::NoUnseededRng)
+    }
+
+    /// True for strict-mode advisory rules that never affect the exit code.
+    pub fn advisory(self) -> bool {
+        matches!(self, Rule::AdvisoryClonePerRequest)
+    }
+
+    /// Path prefixes the rule applies to. Empty means "everywhere".
+    pub fn applies_to(self) -> &'static [&'static str] {
+        match self {
+            // The sweep converted every first-party crate, so the hash rule
+            // holds workspace-wide, strictly wider than the hot-path floor
+            // (cache, core history, serve) the invariant requires.
+            Rule::NoSiphash => &[],
+            Rule::NoWallClock => &[],
+            Rule::NoUnseededRng => &[],
+            Rule::NoPanicInServe => &["crates/serve/src/", "crates/harness/src/"],
+            Rule::NoFloatNondeterminism => &["crates/ml/src/", "crates/core/src/"],
+            Rule::BoundedChannel => &["crates/serve/src/", "crates/harness/src/"],
+            Rule::AdvisoryClonePerRequest => &[
+                "crates/serve/src/loadgen.rs",
+                "crates/serve/src/shard.rs",
+                "crates/serve/src/request.rs",
+            ],
+        }
+    }
+
+    /// Per-rule allowlist: (path prefix, rationale). Rationales are printed
+    /// by `--list-rules` and documented in DESIGN.md §10.
+    pub fn allowlist(self) -> &'static [(&'static str, &'static str)] {
+        match self {
+            Rule::NoWallClock => &[
+                (
+                    "crates/serve/src/clock.rs",
+                    "the one place wall time is allowed: ServiceClock wraps it",
+                ),
+                (
+                    "crates/bench/",
+                    "benchmarks measure wall time by definition; they never feed simulation state",
+                ),
+            ],
+            Rule::NoSiphash => &[],
+            Rule::NoUnseededRng => &[],
+            Rule::NoPanicInServe => &[],
+            Rule::NoFloatNondeterminism => &[],
+            Rule::BoundedChannel => &[],
+            Rule::AdvisoryClonePerRequest => &[],
+        }
+    }
+
+    /// Does the rule apply to `path` (workspace-relative, `/`-separated)?
+    pub fn in_scope(self, path: &str) -> bool {
+        let applies = self.applies_to();
+        if !applies.is_empty() && !applies.iter().any(|p| path.starts_with(p)) {
+            return false;
+        }
+        !self.allowlist().iter().any(|(p, _)| path.starts_with(p))
+    }
+}
+
+/// Is `path` test-only code by location (integration tests, benches)?
+/// Criterion benches drive wall-clock timing by design and never feed
+/// simulation state, so they sit with tests for scoping purposes.
+pub fn path_is_test(path: &str) -> bool {
+    path.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_honours_prefixes_and_allowlists() {
+        assert!(Rule::NoPanicInServe.in_scope("crates/serve/src/service.rs"));
+        assert!(!Rule::NoPanicInServe.in_scope("crates/ml/src/tree.rs"));
+        assert!(Rule::NoWallClock.in_scope("crates/serve/src/service.rs"));
+        assert!(!Rule::NoWallClock.in_scope("crates/serve/src/clock.rs"));
+        assert!(!Rule::NoWallClock.in_scope("crates/bench/src/experiments/train.rs"));
+        assert!(Rule::NoSiphash.in_scope("src/cli.rs"));
+    }
+
+    #[test]
+    fn rule_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = ENFORCED.iter().map(|r| r.name()).collect();
+        names.push(Rule::AdvisoryClonePerRequest.name());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn test_paths_are_detected() {
+        assert!(path_is_test("crates/cache/tests/props.rs"));
+        assert!(path_is_test("tests/properties.rs"));
+        assert!(path_is_test("crates/bench/benches/cache_ops.rs"));
+        assert!(!path_is_test("crates/cache/src/lru.rs"));
+    }
+}

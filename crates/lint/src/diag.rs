@@ -1,0 +1,84 @@
+//! Diagnostics: rustc-style rendering and exit-code policy.
+
+use crate::config::Rule;
+
+/// One violation (or advisory finding).
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based position of the offending token.
+    pub line: u32,
+    pub col: u32,
+    /// What was found, e.g. "`Instant::now` call".
+    pub message: String,
+    /// Whether `--fix` can rewrite this site mechanically.
+    pub fixable: bool,
+}
+
+impl Diagnostic {
+    /// Render in the `file:line:col` shape editors and CI both parse.
+    pub fn render(&self) -> String {
+        let severity = if self.rule.advisory() { "warning" } else { "error" };
+        format!(
+            "{severity}[{rule}]: {msg}\n  --> {path}:{line}:{col}\n  = note: {inv}{fix}",
+            rule = self.rule.name(),
+            msg = self.message,
+            path = self.path,
+            line = self.line,
+            col = self.col,
+            inv = self.rule.invariant(),
+            fix = if self.fixable {
+                "\n  = help: mechanically fixable; rerun with --fix"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// Order diagnostics for stable output: path, then position, then rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule.name()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule.name(),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let d = Diagnostic {
+            rule: Rule::NoWallClock,
+            path: "crates/serve/src/service.rs".into(),
+            line: 213,
+            col: 17,
+            message: "`Instant::now` call".into(),
+            fixable: false,
+        };
+        let text = d.render();
+        assert!(text.starts_with("error[no-wall-clock]:"), "{text}");
+        assert!(text.contains("--> crates/serve/src/service.rs:213:17"), "{text}");
+    }
+
+    #[test]
+    fn advisories_render_as_warnings() {
+        let d = Diagnostic {
+            rule: Rule::AdvisoryClonePerRequest,
+            path: "crates/serve/src/loadgen.rs".into(),
+            line: 1,
+            col: 1,
+            message: "`.clone()` on the per-request path".into(),
+            fixable: false,
+        };
+        assert!(d.render().starts_with("warning[advisory-clone-per-request]:"));
+    }
+}

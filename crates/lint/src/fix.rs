@@ -1,0 +1,293 @@
+//! Mechanical `--fix` rewrites for the two rules whose remedy is purely
+//! syntactic: `no-siphash` (rule 1) and `no-unseeded-rng` (rule 3).
+//!
+//! Fixes are computed as byte-span edits against the original source and
+//! applied back-to-front so earlier spans stay valid. Only non-test code
+//! outside string literals and comments is ever rewritten (the edits are
+//! derived from the same token stream the rules matched on), and brace-group
+//! imports (`use std::collections::{HashMap, …}`) are left for a human —
+//! splitting a grouped import is judgement, not mechanics.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Deterministic seed stamped into `no-unseeded-rng` rewrites; the value is
+/// arbitrary but grep-able, so swept call sites are easy to audit later.
+pub const FIX_SEED: &str = "0x07AE_5EED";
+
+#[derive(Debug, Clone)]
+struct Edit {
+    start: usize,
+    end: usize,
+    replacement: String,
+}
+
+/// Rewrite `src` (lexed as `tokens`, already scope-marked) and return the
+/// fixed text, or `None` when nothing applied.
+pub fn apply_fixes(path: &str, src: &str, tokens: &[Token]) -> Option<String> {
+    use crate::config::Rule;
+    let mut edits: Vec<Edit> = Vec::new();
+    if Rule::NoSiphash.in_scope(path) {
+        fix_siphash(src, tokens, &mut edits);
+    }
+    if Rule::NoUnseededRng.in_scope(path) {
+        fix_rng(src, tokens, &mut edits);
+    }
+    if edits.is_empty() {
+        return None;
+    }
+    edits.sort_by_key(|e| e.start);
+    edits.dedup_by_key(|e| e.start);
+    let mut out = src.to_string();
+    for e in edits.iter().rev() {
+        out.replace_range(e.start..e.end, &e.replacement);
+    }
+    Some(out)
+}
+
+fn text<'a>(src: &'a str, t: &Token) -> &'a str {
+    &src[t.start..t.end]
+}
+
+fn is_ident(src: &str, tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && text(src, t) == name)
+}
+
+fn is_punct(src: &str, tokens: &[Token], i: usize, c: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && text(src, t) == c)
+}
+
+/// Matches `std :: collections :: <Name>` starting at `i`; returns the index
+/// of the final name token.
+fn std_collections_path(src: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    if is_ident(src, tokens, i, "std")
+        && is_punct(src, tokens, i + 1, ":")
+        && is_punct(src, tokens, i + 2, ":")
+        && is_ident(src, tokens, i + 3, "collections")
+        && is_punct(src, tokens, i + 4, ":")
+        && is_punct(src, tokens, i + 5, ":")
+        && (is_ident(src, tokens, i + 6, "HashMap") || is_ident(src, tokens, i + 6, "HashSet"))
+    {
+        Some(i + 6)
+    } else {
+        None
+    }
+}
+
+/// Rule 1 fixes:
+/// - `std::collections::HashMap` (any position, imports included) →
+///   `otae_fxhash::FxHashMap`; same for `HashSet`.
+/// - remaining bare `HashMap`/`HashSet` idents in files whose import was
+///   rewritten → `FxHashMap`/`FxHashSet`.
+/// - `Fx…::new()` → `Fx…::default()`; `Fx…::with_capacity(n)` →
+///   `Fx…::with_capacity_and_hasher(n, Default::default())`.
+fn fix_siphash(src: &str, tokens: &[Token], edits: &mut Vec<Edit>) {
+    // Pass 1: path rewrites; remember whether this file imported the std
+    // names (then bare uses must be renamed too).
+    let mut renamed_import = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].in_test {
+            i += 1;
+            continue;
+        }
+        if let Some(name_idx) = std_collections_path(src, tokens, i) {
+            // Skip brace-group imports: `use std::collections::{…}` never
+            // matches here (the name is inside braces), but a grouped path
+            // like `std::collections::{HashMap,…}` equally never matches.
+            let name = text(src, &tokens[name_idx]);
+            let fx = if name == "HashMap" { "FxHashMap" } else { "FxHashSet" };
+            edits.push(Edit {
+                start: tokens[i].start,
+                end: tokens[name_idx].end,
+                replacement: format!("otae_fxhash::{fx}"),
+            });
+            // Was this a `use` statement? Then bare names elsewhere refer to
+            // the rewritten import.
+            if i >= 1 && is_ident(src, tokens, i - 1, "use") {
+                renamed_import = true;
+            }
+            i = name_idx + 1;
+            continue;
+        }
+        i += 1;
+    }
+    // Pass 2: bare names and constructors.
+    for i in 0..tokens.len() {
+        if tokens[i].in_test || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(src, &tokens[i]);
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // Skip tokens that are part of a path we already rewrote.
+        if i >= 2 && is_punct(src, tokens, i - 1, ":") && is_punct(src, tokens, i - 2, ":") {
+            continue;
+        }
+        let is_ctor = is_punct(src, tokens, i + 1, ":") && is_punct(src, tokens, i + 2, ":");
+        if !renamed_import && !is_ctor {
+            continue;
+        }
+        let fx = if name == "HashMap" { "FxHashMap" } else { "FxHashSet" };
+        if renamed_import {
+            edits.push(Edit {
+                start: tokens[i].start,
+                end: tokens[i].end,
+                replacement: fx.to_string(),
+            });
+        }
+        if is_ctor {
+            if is_ident(src, tokens, i + 3, "new")
+                && is_punct(src, tokens, i + 4, "(")
+                && is_punct(src, tokens, i + 5, ")")
+            {
+                edits.push(Edit {
+                    start: tokens[i + 3].start,
+                    end: tokens[i + 3].end,
+                    replacement: "default".to_string(),
+                });
+            } else if is_ident(src, tokens, i + 3, "with_capacity")
+                && is_punct(src, tokens, i + 4, "(")
+            {
+                if let Some(close) = matching_paren(src, tokens, i + 4) {
+                    edits.push(Edit {
+                        start: tokens[i + 3].start,
+                        end: tokens[i + 3].end,
+                        replacement: "with_capacity_and_hasher".to_string(),
+                    });
+                    edits.push(Edit {
+                        start: tokens[close].start,
+                        end: tokens[close].start,
+                        replacement: ", Default::default()".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(src: &str, tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match text(src, t) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Rule 3 fixes: swap entropy draws for the workspace's seeded RNG.
+/// - `[rand::]thread_rng()` → `rand_chacha::ChaCha8Rng::seed_from_u64(SEED)`
+/// - `from_entropy()` → `seed_from_u64(SEED)`
+fn fix_rng(src: &str, tokens: &[Token], edits: &mut Vec<Edit>) {
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        match text(src, &tokens[i]) {
+            "thread_rng"
+                if is_punct(src, tokens, i + 1, "(") && is_punct(src, tokens, i + 2, ")") =>
+            {
+                // Fold a leading `rand::` into the replacement span.
+                let start = if i >= 3
+                    && is_ident(src, tokens, i - 3, "rand")
+                    && is_punct(src, tokens, i - 2, ":")
+                    && is_punct(src, tokens, i - 1, ":")
+                {
+                    tokens[i - 3].start
+                } else {
+                    tokens[i].start
+                };
+                edits.push(Edit {
+                    start,
+                    end: tokens[i + 2].end,
+                    replacement: format!("rand_chacha::ChaCha8Rng::seed_from_u64({FIX_SEED})"),
+                });
+            }
+            "from_entropy"
+                if is_punct(src, tokens, i + 1, "(") && is_punct(src, tokens, i + 2, ")") =>
+            {
+                edits.push(Edit {
+                    start: tokens[i].start,
+                    end: tokens[i + 2].end,
+                    replacement: format!("seed_from_u64({FIX_SEED})"),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(path: &str, src: &str) -> Option<String> {
+        let mut lexed = crate::lexer::lex(src);
+        crate::scope::mark_test_scopes(&mut lexed.tokens, src);
+        apply_fixes(path, src, &lexed.tokens)
+    }
+
+    #[test]
+    fn import_and_ctor_rewrite() {
+        let src =
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        let fixed = fix("crates/cache/src/x.rs", src).expect("fix applies");
+        assert_eq!(
+            fixed,
+            "use otae_fxhash::FxHashMap;\nfn f() -> FxHashMap<u32, u32> { FxHashMap::default() }\n"
+        );
+    }
+
+    #[test]
+    fn with_capacity_gains_hasher_argument() {
+        let src = "fn f() { let m = HashMap::with_capacity(n * (2 + k)); m.len(); }\n";
+        let fixed = fix("crates/cache/src/x.rs", src).expect("fix applies");
+        assert!(
+            fixed.contains("HashMap::with_capacity_and_hasher(n * (2 + k), Default::default())"),
+            "{fixed}"
+        );
+    }
+
+    #[test]
+    fn qualified_path_rewrites_in_place() {
+        let src = "fn f() { let m: std::collections::HashSet<u32> = std::collections::HashSet::from([1]); }\n";
+        let fixed = fix("crates/cache/src/x.rs", src).expect("fix applies");
+        assert!(fixed.contains("let m: otae_fxhash::FxHashSet<u32>"), "{fixed}");
+    }
+
+    #[test]
+    fn rng_calls_become_seeded() {
+        let src = "fn f() { let a = rand::thread_rng(); let b = thread_rng(); let c = ChaCha8Rng::from_entropy(); }\n";
+        let fixed = fix("crates/ml/src/x.rs", src).expect("fix applies");
+        assert!(!fixed.contains("thread_rng"), "{fixed}");
+        assert!(!fixed.contains("from_entropy"), "{fixed}");
+        assert_eq!(fixed.matches("seed_from_u64(0x07AE_5EED)").count(), 3, "{fixed}");
+    }
+
+    #[test]
+    fn test_scopes_and_strings_are_untouched() {
+        let src = "fn f() { log(\"HashMap::new()\"); }\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let m: HashMap<u32, u32> = HashMap::new(); m.len(); }\n}\n";
+        assert_eq!(fix("crates/cache/src/x.rs", src), None, "nothing outside tests to fix");
+    }
+
+    #[test]
+    fn brace_group_imports_are_left_alone() {
+        let src = "use std::collections::{HashMap, VecDeque};\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); m.len(); }\n";
+        let fixed = fix("crates/cache/src/x.rs", src).expect("ctor still fixed");
+        // The grouped import is untouched; only the constructor is rewritten
+        // (to the hasher-generic `default`), so a human finishes the import.
+        assert!(fixed.contains("use std::collections::{HashMap, VecDeque};"), "{fixed}");
+        assert!(fixed.contains("HashMap::default()"), "{fixed}");
+    }
+}

@@ -1,0 +1,25 @@
+//! otae-lint: dependency-free static analysis for the otae workspace.
+//!
+//! Enforces the architectural invariants the test suite cannot see
+//! locally — deterministic hashing, injected clocks, seeded RNGs,
+//! panic-free serve paths, order-independent float accumulation, and
+//! bounded service channels. See DESIGN.md §10 for the rule catalogue and
+//! allowlist rationales.
+//!
+//! The crate is a library plus a thin CLI (`cargo run -p otae-lint`) so the
+//! fixture testsuite and property tests drive the exact engine CI runs.
+
+pub mod config;
+pub mod diag;
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod walk;
+
+pub use config::{path_is_test, Rule, ENFORCED};
+pub use diag::Diagnostic;
+pub use fix::apply_fixes;
+pub use lexer::{lex, Lexed, Token, TokenKind};
+pub use rules::{lint_source, Options};
+pub use scope::mark_test_scopes;

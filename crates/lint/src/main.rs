@@ -1,0 +1,172 @@
+//! CLI for otae-lint.
+//!
+//! ```text
+//! cargo run -p otae-lint                 # lint the whole workspace
+//! cargo run -p otae-lint -- --fix       # apply mechanical fixes, then relint
+//! cargo run -p otae-lint -- --strict    # also report advisory findings
+//! cargo run -p otae-lint -- --list-rules
+//! cargo run -p otae-lint -- path/a.rs   # lint specific files only
+//! ```
+//!
+//! Exit code 0 when no enforced rule fired; 1 otherwise (advisories never
+//! affect the exit code); 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use otae_lint::{apply_fixes, lint_source, walk, Diagnostic, Options, Rule, ENFORCED};
+
+struct Cli {
+    fix: bool,
+    strict: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        fix: false,
+        strict: std::env::var("OTAE_LINT_STRICT").map(|v| v == "1").unwrap_or(false),
+        list_rules: false,
+        root: None,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix" => cli.fix = true,
+            "--strict" => cli.strict = true,
+            "--list-rules" => cli.list_rules = true,
+            "--root" => {
+                let v = args.next().ok_or("--root requires a directory argument")?;
+                cli.root = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => {
+                println!(
+                    "otae-lint: workspace static analysis\n\n\
+                     usage: otae-lint [--fix] [--strict] [--list-rules] [--root DIR] [FILES…]\n\n\
+                     With no FILES, lints every first-party .rs file in the workspace.\n\
+                     --fix       apply mechanical rewrites for no-siphash / no-unseeded-rng\n\
+                     --strict    also report advisory findings (or set OTAE_LINT_STRICT=1)\n\
+                     --list-rules  print the rule catalogue with scopes and allowlists"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (try --help)"));
+            }
+            file => cli.paths.push(PathBuf::from(file)),
+        }
+    }
+    Ok(cli)
+}
+
+fn list_rules() {
+    for rule in ENFORCED.iter().copied().chain([Rule::AdvisoryClonePerRequest]) {
+        let kind = if rule.advisory() { "advisory" } else { "enforced" };
+        println!("{} ({kind})", rule.name());
+        println!("  invariant: {}", rule.invariant());
+        let applies = rule.applies_to();
+        if applies.is_empty() {
+            println!("  scope: entire workspace");
+        } else {
+            println!("  scope: {}", applies.join(", "));
+        }
+        if rule.checks_tests() {
+            println!("  also enforced in test code");
+        }
+        for (path, why) in rule.allowlist() {
+            println!("  allow {path}: {why}");
+        }
+    }
+}
+
+/// Lint one file; returns its diagnostics, applying `--fix` first if asked.
+fn lint_file(root: &Path, rel: &Path, opts: Options, fix: bool) -> Result<Vec<Diagnostic>, String> {
+    let abs = root.join(rel);
+    let mut src = std::fs::read_to_string(&abs)
+        .map_err(|e| format!("{}: cannot read: {e}", abs.display()))?;
+    // Fixtures (and only fixtures) carry a first-line directive naming the
+    // virtual workspace path they should be linted as, so path-scoped rules
+    // are exercisable from files living elsewhere.
+    let rule_path = src
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// otae-lint-fixture-path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| walk::rule_path(rel));
+    if fix {
+        let mut lexed = otae_lint::lex(&src);
+        otae_lint::mark_test_scopes(&mut lexed.tokens, &src);
+        if let Some(fixed) = apply_fixes(&rule_path, &src, &lexed.tokens) {
+            std::fs::write(&abs, &fixed)
+                .map_err(|e| format!("{}: cannot write fix: {e}", abs.display()))?;
+            eprintln!("fixed: {rule_path}");
+            src = fixed;
+        }
+    }
+    Ok(lint_source(&rule_path, &src, opts))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("otae-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+
+    let root = walk::workspace_root(cli.root.as_deref());
+    let files: Vec<PathBuf> = if cli.paths.is_empty() {
+        walk::collect(&root)
+    } else {
+        // Explicit files may be given relative to the CWD or the root.
+        cli.paths
+            .iter()
+            .map(|p| match p.strip_prefix(&root) {
+                Ok(rel) => rel.to_path_buf(),
+                Err(_) => p.clone(),
+            })
+            .collect()
+    };
+
+    let opts = Options { strict: cli.strict };
+    let mut all: Vec<Diagnostic> = Vec::new();
+    let mut io_error = false;
+    for rel in &files {
+        match lint_file(&root, rel, opts, cli.fix) {
+            Ok(diags) => all.extend(diags),
+            Err(e) => {
+                eprintln!("otae-lint: {e}");
+                io_error = true;
+            }
+        }
+    }
+    otae_lint::diag::sort(&mut all);
+
+    for d in &all {
+        println!("{}\n", d.render());
+    }
+    let errors = all.iter().filter(|d| !d.rule.advisory()).count();
+    let warnings = all.len() - errors;
+    println!(
+        "otae-lint: {} file{} checked, {errors} error{}, {warnings} warning{}",
+        files.len(),
+        if files.len() == 1 { "" } else { "s" },
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    if io_error {
+        ExitCode::from(2)
+    } else if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,613 @@
+//! The rule engine: token-pattern checks over the lexed, scope-marked
+//! stream.
+//!
+//! Every check works on *code* tokens only (the lexer already stripped
+//! comments and literals), honours `#[cfg(test)]` scoping per rule, and
+//! consults the file's `// otae-lint: allow(…)` directives before
+//! reporting. Matching is resolution-free by design — a lexer cannot know
+//! what `HashMap` resolves to — so each pattern is chosen to be
+//! unambiguous at the token level (e.g. `HashMap::new` exists only for the
+//! SipHash `RandomState` hasher; `FxHashMap` is a different identifier).
+
+use crate::config::{path_is_test, Rule, ENFORCED};
+use crate::diag::Diagnostic;
+use crate::lexer::{AllowDirective, Lexed, Token, TokenKind};
+
+/// Options for one lint pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Also run advisory rules (never affect the exit code).
+    pub strict: bool,
+}
+
+/// Lint one file's source under its workspace-relative path.
+pub fn lint_source(path: &str, src: &str, opts: Options) -> Vec<Diagnostic> {
+    let mut lexed = crate::lexer::lex(src);
+    crate::scope::mark_test_scopes(&mut lexed.tokens, src);
+    let ctx = Ctx { path, src, lexed: &lexed, path_test: path_is_test(path) };
+    let mut out = Vec::new();
+    for rule in ENFORCED {
+        check_rule(&ctx, rule, &mut out);
+    }
+    if opts.strict {
+        check_rule(&ctx, Rule::AdvisoryClonePerRequest, &mut out);
+    }
+    crate::diag::sort(&mut out);
+    out
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    src: &'a str,
+    lexed: &'a Lexed,
+    path_test: bool,
+}
+
+impl Ctx<'_> {
+    fn text(&self, t: &Token) -> &str {
+        &self.src[t.start..t.end]
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Token `i` matches identifier `name`.
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens().get(i).is_some_and(|t| t.kind == TokenKind::Ident && self.text(t) == name)
+    }
+
+    /// Token `i` matches punctuation `c`.
+    fn is_punct(&self, i: usize, c: &str) -> bool {
+        self.tokens().get(i).is_some_and(|t| t.kind == TokenKind::Punct && self.text(t) == c)
+    }
+
+    /// Tokens starting at `i` spell the `::`-separated path `segs`.
+    fn is_path(&self, i: usize, segs: &[&str]) -> bool {
+        let mut j = i;
+        for (k, seg) in segs.iter().enumerate() {
+            if k > 0 {
+                if !(self.is_punct(j, ":") && self.is_punct(j + 1, ":")) {
+                    return false;
+                }
+                j += 2;
+            }
+            if !self.is_ident(j, seg) {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Number of tokens a matched `segs` path occupies.
+    fn path_len(segs: &[&str]) -> usize {
+        segs.len() + 2 * (segs.len() - 1)
+    }
+
+    /// Is the site at token `i` suppressed by an allow directive for `rule`?
+    fn allowed(&self, rule: Rule, token: &Token) -> bool {
+        self.lexed.allows.iter().any(|a: &AllowDirective| {
+            a.rules.iter().any(|r| r == rule.name())
+                && (a.line == token.line || (a.standalone && a.line + 1 == token.line))
+        })
+    }
+
+    /// Should `rule` skip the token because of test scoping?
+    fn test_exempt(&self, rule: Rule, token: &Token) -> bool {
+        !rule.checks_tests() && (self.path_test || token.in_test)
+    }
+
+    fn report(&self, out: &mut Vec<Diagnostic>, rule: Rule, i: usize, msg: String, fixable: bool) {
+        let t = &self.tokens()[i];
+        if self.test_exempt(rule, t) || self.allowed(rule, t) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            path: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: msg,
+            fixable,
+        });
+    }
+}
+
+fn check_rule(ctx: &Ctx, rule: Rule, out: &mut Vec<Diagnostic>) {
+    if !rule.in_scope(ctx.path) {
+        return;
+    }
+    match rule {
+        Rule::NoSiphash => no_siphash(ctx, out),
+        Rule::NoWallClock => no_wall_clock(ctx, out),
+        Rule::NoUnseededRng => no_unseeded_rng(ctx, out),
+        Rule::NoPanicInServe => no_panic(ctx, out),
+        Rule::NoFloatNondeterminism => no_float_nondeterminism(ctx, out),
+        Rule::BoundedChannel => bounded_channel(ctx, out),
+        Rule::AdvisoryClonePerRequest => advisory_clone(ctx, out),
+    }
+}
+
+/// Rule 1 — std HashMap/HashSet (SipHash) construction.
+///
+/// Fires on (a) `use std::collections::…HashMap/HashSet` imports, including
+/// brace groups, (b) fully-qualified `std::collections::HashMap` paths, and
+/// (c) `HashMap::new` / `with_capacity` / `from` constructions — those
+/// constructors exist only on the `RandomState` (SipHash) instantiation, so
+/// the match needs no type resolution. `with_hasher` forms never fire.
+fn no_siphash(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    let mut i = 0;
+    while i < toks.len() {
+        // `use std::collections::…` — scan the statement for map names.
+        if ctx.is_ident(i, "use") && ctx.is_path(i + 1, &["std", "collections"]) {
+            let mut j = i + 1 + Ctx::path_len(&["std", "collections"]);
+            let mut named: Vec<usize> = Vec::new();
+            let mut has_brace_group = false;
+            while j < toks.len() && !ctx.is_punct(j, ";") {
+                if ctx.is_ident(j, "HashMap") || ctx.is_ident(j, "HashSet") {
+                    named.push(j);
+                }
+                if ctx.is_punct(j, "{") {
+                    has_brace_group = true;
+                }
+                j += 1;
+            }
+            // Fixable only in the single-name `use std::collections::X;`
+            // form; brace groups need a manual split.
+            let fixable = named.len() == 1 && !has_brace_group;
+            for &n in &named {
+                let name = ctx.text(&toks[n]);
+                ctx.report(
+                    out,
+                    Rule::NoSiphash,
+                    n,
+                    format!("`std::collections::{name}` import (SipHash)"),
+                    fixable && !toks[n].in_test,
+                );
+            }
+            i = j;
+            continue;
+        }
+        // Fully-qualified path outside a use statement.
+        if ctx.is_path(i, &["std", "collections", "HashMap"])
+            || ctx.is_path(i, &["std", "collections", "HashSet"])
+        {
+            let name_idx = i + Ctx::path_len(&["std", "collections", "HashMap"]) - 1;
+            let name = ctx.text(&toks[name_idx]);
+            ctx.report(
+                out,
+                Rule::NoSiphash,
+                i,
+                format!("fully-qualified `std::collections::{name}` (SipHash)"),
+                true,
+            );
+            i = name_idx + 1;
+            continue;
+        }
+        // Bare construction: `HashMap::new(…)` etc. A preceding `::` would
+        // mean a longer path (e.g. `collections::HashMap`) already handled.
+        if (ctx.is_ident(i, "HashMap") || ctx.is_ident(i, "HashSet"))
+            && !(i >= 1 && ctx.is_punct(i - 1, ":"))
+            && ctx.is_punct(i + 1, ":")
+            && ctx.is_punct(i + 2, ":")
+        {
+            let ctor =
+                ["new", "with_capacity", "from"].into_iter().find(|c| ctx.is_ident(i + 3, c));
+            if let Some(ctor) = ctor {
+                let name = ctx.text(&toks[i]);
+                ctx.report(
+                    out,
+                    Rule::NoSiphash,
+                    i,
+                    format!("`{name}::{ctor}` constructs a SipHash table"),
+                    true,
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Rule 2 — wall-clock reads and raw sleeps outside `serve::clock`.
+fn no_wall_clock(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        for (pat, what) in [
+            (&["Instant", "now"][..], "`Instant::now` call"),
+            (&["SystemTime", "now"][..], "`SystemTime::now` call"),
+            (&["thread", "sleep"][..], "raw `thread::sleep`"),
+        ] {
+            if ctx.is_path(i, &[pat[0], pat[1]]) {
+                ctx.report(out, Rule::NoWallClock, i, what.to_string(), false);
+            }
+        }
+    }
+}
+
+/// Rule 3 — entropy-seeded RNG anywhere (tests included).
+fn no_unseeded_rng(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let (what, fixable) = match ctx.text(tok) {
+            "thread_rng" => ("`thread_rng()` draws from the OS entropy pool", true),
+            "from_entropy" => ("`from_entropy()` seeds from the OS entropy pool", true),
+            "OsRng" => ("`OsRng` is unseedable by construction", false),
+            _ => continue,
+        };
+        ctx.report(out, Rule::NoUnseededRng, i, what.to_string(), fixable);
+    }
+}
+
+/// Rule 4 — panic paths in serve/harness run code.
+fn no_panic(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    for (i, tok) in toks.iter().enumerate() {
+        // `.unwrap(` / `.expect(` method calls.
+        if ctx.is_punct(i, ".") {
+            for m in ["unwrap", "expect"] {
+                if ctx.is_ident(i + 1, m) && ctx.is_punct(i + 2, "(") {
+                    ctx.report(
+                        out,
+                        Rule::NoPanicInServe,
+                        i + 1,
+                        format!("`.{m}()` on a run path"),
+                        false,
+                    );
+                }
+            }
+            // Indexing through a just-acquired lock guard: `.lock()[…]`,
+            // `.read()[…]`, `.write()[…]` — an out-of-range index unwinds
+            // while the lock is held.
+            for m in ["lock", "read", "write"] {
+                if ctx.is_ident(i + 1, m)
+                    && ctx.is_punct(i + 2, "(")
+                    && ctx.is_punct(i + 3, ")")
+                    && ctx.is_punct(i + 4, "[")
+                {
+                    ctx.report(
+                        out,
+                        Rule::NoPanicInServe,
+                        i + 4,
+                        format!("indexing `[…]` directly through `.{m}()`"),
+                        false,
+                    );
+                }
+            }
+        }
+        // Panic-family macros.
+        if tok.kind == TokenKind::Ident
+            && ctx.is_punct(i + 1, "!")
+            && !(i >= 1 && ctx.is_punct(i - 1, "#"))
+        {
+            let name = ctx.text(tok);
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+                ctx.report(
+                    out,
+                    Rule::NoPanicInServe,
+                    i,
+                    format!("`{name}!` macro on a run path"),
+                    false,
+                );
+            }
+        }
+    }
+}
+
+/// Rule 5 — hash-map iteration feeding float accumulation in scoring paths.
+///
+/// Heuristic, documented in DESIGN.md §10: an identifier is *map-ish* when
+/// the file declares it with a hash-map/set type (`x: FxHashMap<…>`,
+/// `let x = HashMap::new()`, struct fields included). A map-ish iteration
+/// (`x.values()`, `.iter()`, `.keys()`, `.drain()`, …) fires when the same
+/// statement also contains a float-accumulation marker (`sum::<f32>`,
+/// `fold(0.0, …)`, `product::<f64>`), or when it is the iterator of a `for`
+/// loop whose body accumulates with `+=`. BTree/Vec iteration never fires —
+/// that is the fix.
+fn no_float_nondeterminism(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens();
+    const MAP_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+    // Pass 1: collect map-ish identifiers.
+    let mut mapish: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = ctx.text(&toks[i]);
+        // `name : [& [mut]] MapType <` — binding, param, or field.
+        if ctx.is_punct(i + 1, ":") && !ctx.is_punct(i + 2, ":") {
+            let mut j = i + 2;
+            while ctx.is_punct(j, "&") || ctx.is_ident(j, "mut") {
+                j += 1;
+            }
+            if MAP_TYPES.iter().any(|t| ctx.is_ident(j, t)) && ctx.is_punct(j + 1, "<") {
+                mapish.push(name);
+            }
+        }
+        // `let [mut] name = MapType::…`.
+        if ctx.is_ident(i, "let") {
+            let mut j = i + 1;
+            if ctx.is_ident(j, "mut") {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                && ctx.is_punct(j + 1, "=")
+                && MAP_TYPES.iter().any(|t| ctx.is_ident(j + 2, t))
+            {
+                mapish.push(ctx.text(&toks[j]));
+            }
+        }
+    }
+    if mapish.is_empty() {
+        return;
+    }
+    const ITERS: [&str; 7] =
+        ["iter", "iter_mut", "values", "values_mut", "keys", "into_iter", "drain"];
+    // Pass 2: find map-ish iterations and scan their statement context.
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && mapish.contains(&ctx.text(&toks[i]))) {
+            continue;
+        }
+        if !(ctx.is_punct(i + 1, ".") && ITERS.iter().any(|m| ctx.is_ident(i + 2, m))) {
+            continue;
+        }
+        let in_for = statement_start_has_for(ctx, i);
+        if float_accum_ahead(ctx, i + 3) || (in_for && for_body_accumulates(ctx, i)) {
+            ctx.report(
+                out,
+                Rule::NoFloatNondeterminism,
+                i,
+                format!(
+                    "hash-map iteration `{}.{}()` feeds float accumulation",
+                    ctx.text(&toks[i]),
+                    ctx.text(&toks[i + 2]),
+                ),
+                false,
+            );
+        }
+    }
+}
+
+/// Does the statement containing token `i` open with a `for … in`?
+fn statement_start_has_for(ctx: &Ctx, i: usize) -> bool {
+    let toks = ctx.tokens();
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct && matches!(ctx.text(t), ";" | "{" | "}") {
+            return false;
+        }
+        if t.kind == TokenKind::Ident && ctx.text(t) == "for" {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan forward from `from` to the end of the statement (`;` at depth 0, or
+/// an opening `{`) for a float-accumulation marker.
+fn float_accum_ahead(ctx: &Ctx, from: usize) -> bool {
+    let toks = ctx.tokens();
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokenKind::Punct {
+            match ctx.text(t) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return false,
+                "{" | "}" => return false,
+                _ => {}
+            }
+        }
+        if is_float_marker(ctx, j) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `sum::<fNN>` / `product::<fNN>` / `fold(<float literal>`.
+fn is_float_marker(ctx: &Ctx, j: usize) -> bool {
+    let toks = ctx.tokens();
+    for agg in ["sum", "product"] {
+        if ctx.is_ident(j, agg)
+            && ctx.is_punct(j + 1, ":")
+            && ctx.is_punct(j + 2, ":")
+            && ctx.is_punct(j + 3, "<")
+            && toks
+                .get(j + 4)
+                .is_some_and(|t| t.kind == TokenKind::Ident && matches!(ctx.text(t), "f32" | "f64"))
+        {
+            return true;
+        }
+    }
+    ctx.is_ident(j, "fold")
+        && ctx.is_punct(j + 1, "(")
+        && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Number && ctx.text(t).contains('.'))
+}
+
+/// For `for … in map.iter() { body }`: does the body contain `+=`?
+fn for_body_accumulates(ctx: &Ctx, i: usize) -> bool {
+    let toks = ctx.tokens();
+    // Find the loop body's opening brace after the iteration expression.
+    let mut j = i;
+    while j < toks.len() && !(toks[j].kind == TokenKind::Punct && ctx.text(&toks[j]) == "{") {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct {
+            match ctx.text(t) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                "+" if ctx.is_punct(j + 1, "=") => return true,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Rule 6 — unbounded `mpsc::channel()` on service paths.
+fn bounded_channel(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens().len() {
+        if ctx.is_path(i, &["mpsc", "channel"])
+            && ctx.is_punct(i + Ctx::path_len(&["mpsc", "channel"]), "(")
+        {
+            ctx.report(
+                out,
+                Rule::BoundedChannel,
+                i,
+                "unbounded `mpsc::channel()`; use `mpsc::sync_channel`".to_string(),
+                false,
+            );
+        }
+    }
+}
+
+/// Advisory — `.clone()` on per-request serve paths (strict mode only).
+fn advisory_clone(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens().len() {
+        if ctx.is_punct(i, ".") && ctx.is_ident(i + 1, "clone") && ctx.is_punct(i + 2, "(") {
+            ctx.report(
+                out,
+                Rule::AdvisoryClonePerRequest,
+                i + 1,
+                "`.clone()` on the per-request path".to_string(),
+                false,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src, Options::default())
+            .into_iter()
+            .map(|d| (d.rule.name(), d.line))
+            .collect()
+    }
+
+    #[test]
+    fn siphash_import_and_ctor_fire() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); m.len(); }\n";
+        let found = rules_at("crates/cache/src/x.rs", src);
+        assert!(found.contains(&("no-siphash", 1)), "{found:?}");
+        assert!(found.contains(&("no-siphash", 2)), "{found:?}");
+    }
+
+    #[test]
+    fn fxhash_never_fires() {
+        let src = "use otae_fxhash::FxHashMap;\nfn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); m.len(); }\n";
+        assert!(rules_at("crates/cache/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn with_hasher_forms_are_legal() {
+        let src = "fn f() { let m = HashMap::with_capacity_and_hasher(8, h()); m.len(); }\n";
+        assert!(rules_at("crates/cache/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_clock_rs_only() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_at("crates/serve/src/service.rs", src), [("no-wall-clock", 1)]);
+        assert!(rules_at("crates/serve/src/clock.rs", src).is_empty());
+        assert!(rules_at("crates/bench/src/experiments/train.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}\n";
+        assert_eq!(rules_at("crates/ml/src/x.rs", src), [("no-unseeded-rng", 3)]);
+    }
+
+    #[test]
+    fn panic_rule_scoped_to_serve_and_harness() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_at("crates/serve/src/shard.rs", src), [("no-panic-in-serve", 1)]);
+        assert!(rules_at("crates/ml/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_and_lock_indexing_fire() {
+        let src = "fn f() { panic!(\"x\"); }\nfn g(v: &L) -> u32 { v.lock()[3] }\n";
+        let found = rules_at("crates/serve/src/shard.rs", src);
+        assert!(found.contains(&("no-panic-in-serve", 1)), "{found:?}");
+        assert!(found.contains(&("no-panic-in-serve", 2)), "{found:?}");
+    }
+
+    #[test]
+    fn attribute_macros_are_not_panics() {
+        // `#[panic_handler]`-style attribute tokens must not match `panic!`.
+        let src = "#[test]\nfn t() {}\nfn ok() -> u32 { 1 }\n";
+        assert!(rules_at("crates/serve/src/shard.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_nondeterminism_needs_both_halves() {
+        let iter_only = "fn f(m: &FxHashMap<u32, f32>) -> usize { m.values().count() }\n";
+        assert!(rules_at("crates/ml/src/score.rs", iter_only).is_empty());
+        let sum = "fn f(m: &FxHashMap<u32, f32>) -> f32 { m.values().sum::<f32>() }\n";
+        assert_eq!(rules_at("crates/ml/src/score.rs", sum), [("no-float-nondeterminism", 1)]);
+        let for_loop = "fn f(m: &FxHashMap<u32, f32>) -> f32 {\n    let mut t = 0.0;\n    for v in m.values() { t += v; }\n    t\n}\n";
+        assert_eq!(rules_at("crates/ml/src/score.rs", for_loop), [("no-float-nondeterminism", 3)]);
+        // Sorted iteration is the sanctioned fix.
+        let btree = "fn f(m: &BTreeMap<u32, f32>) -> f32 { m.values().sum::<f32>() }\n";
+        assert!(rules_at("crates/ml/src/score.rs", btree).is_empty());
+    }
+
+    #[test]
+    fn bounded_channel_fires_on_mpsc_channel() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert_eq!(rules_at("crates/harness/src/run.rs", src), [("bounded-channel", 1)]);
+        let sync = "fn f() { let (tx, rx) = mpsc::sync_channel(1); }\n";
+        assert!(rules_at("crates/harness/src/run.rs", sync).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let same = "fn f() { let t = Instant::now(); } // otae-lint: allow(no-wall-clock)\n";
+        assert!(rules_at("crates/serve/src/service.rs", same).is_empty());
+        let above = "// otae-lint: allow(no-wall-clock)\nfn f() { let t = Instant::now(); }\n";
+        assert!(rules_at("crates/serve/src/service.rs", above).is_empty());
+        let wrong_rule = "// otae-lint: allow(no-siphash)\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_at("crates/serve/src/service.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_scope_exempts_panic_rule() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(rules_at("crates/serve/src/shard.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strict_mode_reports_advisories() {
+        let src = "fn f(r: &R) { send(r.clone()); }\n";
+        let relaxed = lint_source("crates/serve/src/loadgen.rs", src, Options::default());
+        assert!(relaxed.is_empty());
+        let strict = lint_source("crates/serve/src/loadgen.rs", src, Options { strict: true });
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].rule.advisory());
+    }
+}

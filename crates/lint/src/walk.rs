@@ -1,0 +1,92 @@
+//! Workspace file discovery.
+//!
+//! Finds every first-party `.rs` file under the workspace root, skipping
+//! `vendor/` (third-party code we do not own), `target/`, hidden
+//! directories, and the linter's own fixture corpus (fixtures *contain*
+//! violations on purpose; they are linted by the fixture testsuite, not the
+//! workspace pass).
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "lint_fixtures"];
+
+/// Resolve the workspace root: explicit argument, else two levels up from
+/// this crate's manifest (crates/lint → workspace), else the current
+/// directory.
+pub fn workspace_root(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) if root.join("Cargo.toml").is_file() => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Collect workspace-relative paths of all lintable `.rs` files, sorted.
+pub fn collect(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    visit(root, root, &mut files);
+    files.sort();
+    files
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Normalise a path for rule matching: workspace-relative, forward slashes.
+pub fn rule_path(rel: &Path) -> String {
+    let s = rel.to_string_lossy();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s.into_owned()
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_but_not_vendor_or_fixtures() {
+        let root = workspace_root(None);
+        let files = collect(&root);
+        let paths: Vec<String> = files.iter().map(|p| rule_path(p)).collect();
+        assert!(
+            paths.iter().any(|p| p == "crates/lint/src/walk.rs"),
+            "walker should find its own source; got {} files",
+            paths.len()
+        );
+        assert!(paths.iter().all(|p| !p.starts_with("vendor/")), "vendor must be skipped");
+        assert!(paths.iter().all(|p| !p.contains("lint_fixtures")), "fixtures must be skipped");
+        assert!(paths.iter().all(|p| !p.starts_with("target/")), "target must be skipped");
+    }
+
+    #[test]
+    fn root_resolution_lands_on_workspace_manifest() {
+        let root = workspace_root(None);
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+}

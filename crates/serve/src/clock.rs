@@ -89,6 +89,13 @@ impl ClockHandle {
         }
     }
 
+    /// Real wall time since the run started, regardless of clock kind.
+    /// Throughput reporting wants honest wall time even on a virtual-clock
+    /// run (where `elapsed()` reads simulated time).
+    pub fn wall_elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
     /// Block until `elapsed() >= t`. On a virtual clock this jumps time
     /// forward instead of sleeping, so paced replays stay deterministic.
     pub fn sleep_until(&self, t: Duration) {

@@ -18,7 +18,7 @@ use otae_ml::DecisionTree;
 use otae_trace::Trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How Proposal-mode models are trained and delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,12 +210,11 @@ pub fn serve_trace_with_index(
     let mut client_reports: Vec<ClientReport> = Vec::new();
     let mut retrain_report = RetrainerReport::default();
     let clock = cfg.clock.start();
-    let start = Instant::now();
     // Thread failures are recorded, never propagated: a dead client only
     // loses its stride, a dead worker only its queue share (the channel
     // disconnects rather than deadlocks), a dead retrainer only freezes the
     // model — the service always reaches its snapshot.
-    crossbeam::thread::scope(|s| {
+    let scope_result = crossbeam::thread::scope(|s| {
         let retrainer = sample_rx.map(|rx| {
             let gate = &gate;
             let training = &cfg.training;
@@ -263,9 +262,14 @@ pub fn serve_trace_with_index(
                 Err(_) => faults.retrainer_failure = true,
             }
         }
-    })
-    .expect("serve scope: all thread results are consumed above");
-    let wall = start.elapsed();
+    });
+    // `scope` only errors when a spawned thread panicked without being
+    // joined; every join above consumes its result, so this is a spawn-time
+    // failure — account it like a dead worker rather than unwinding.
+    if scope_result.is_err() {
+        faults.worker_failures += 1;
+    }
+    let wall = clock.wall_elapsed();
 
     let replayed: u64 = client_reports.iter().map(|r| r.submitted).sum();
     faults.dropped_samples = client_reports.iter().map(|r| r.dropped_samples).sum();
@@ -329,6 +333,7 @@ mod tests {
     use crate::fault::{RetrainFault, SampleFault};
     use otae_ml::{Classifier, Dataset, TreeParams};
     use otae_trace::{generate, TraceConfig};
+    use std::time::Instant;
 
     fn trace() -> Trace {
         generate(&TraceConfig { n_objects: 4_000, seed: 17, ..Default::default() })

@@ -69,10 +69,12 @@ impl ShardState {
                 now,
                 req.truth,
             ),
-            Mode::SecondHit => second_hit
-                .expect("SecondHit mode must carry its doorkeeper")
-                .lock()
-                .decide(req.object),
+            // A missing doorkeeper is a wiring bug; degrade to admit-always
+            // (Original behaviour) rather than unwind a worker thread.
+            Mode::SecondHit => match second_hit {
+                Some(dk) => dk.lock().decide(req.object),
+                None => true,
+            },
         };
         if admit {
             self.evicted.clear();

@@ -188,7 +188,7 @@ pub fn read_text<R: Read>(r: R) -> Result<Trace, CodecError> {
     use std::io::BufRead;
     let reader = io::BufReader::new(r);
     let mut requests = Vec::new();
-    let mut meta_map: std::collections::HashMap<u32, PhotoMeta> = std::collections::HashMap::new();
+    let mut meta_map: otae_fxhash::FxHashMap<u32, PhotoMeta> = otae_fxhash::FxHashMap::default();
     let mut max_owner = 0u32;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;

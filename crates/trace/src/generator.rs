@@ -317,7 +317,7 @@ fn calibrate_intercept(drafts: &[ObjectDraft], target: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use otae_fxhash::FxHashMap;
 
     fn small_trace() -> Trace {
         generate(&TraceConfig { n_objects: 20_000, seed: 1, ..Default::default() })
@@ -349,7 +349,7 @@ mod tests {
     #[test]
     fn one_time_fraction_near_target() {
         let t = small_trace();
-        let mut counts: HashMap<ObjectId, u32> = HashMap::new();
+        let mut counts: FxHashMap<ObjectId, u32> = FxHashMap::default();
         for r in &t.requests {
             *counts.entry(r.object).or_insert(0) += 1;
         }
@@ -361,7 +361,7 @@ mod tests {
     #[test]
     fn mean_accesses_per_object_near_paper() {
         let t = small_trace();
-        let mut seen: HashMap<ObjectId, u32> = HashMap::new();
+        let mut seen: FxHashMap<ObjectId, u32> = FxHashMap::default();
         for r in &t.requests {
             *seen.entry(r.object).or_insert(0) += 1;
         }
@@ -417,7 +417,7 @@ mod tests {
     #[test]
     fn inactive_owners_have_more_one_time_photos() {
         let t = small_trace();
-        let mut counts: HashMap<ObjectId, u32> = HashMap::new();
+        let mut counts: FxHashMap<ObjectId, u32> = FxHashMap::default();
         for r in &t.requests {
             *counts.entry(r.object).or_insert(0) += 1;
         }
@@ -463,11 +463,11 @@ mod tests {
 #[cfg(test)]
 mod drift_tests {
     use super::*;
-    use std::collections::HashMap;
+    use otae_fxhash::FxHashMap;
 
     /// Per-day one-time fraction of low-activity owners' photos.
     fn low_activity_one_time_by_day(trace: &Trace, days: usize) -> Vec<f64> {
-        let mut counts: HashMap<ObjectId, (u64, u32)> = HashMap::new(); // (first day, count)
+        let mut counts: FxHashMap<ObjectId, (u64, u32)> = FxHashMap::default(); // (first day, count)
         for r in &trace.requests {
             let e = counts.entry(r.object).or_insert((r.ts / DAY, 0));
             e.1 += 1;

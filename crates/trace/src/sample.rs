@@ -48,7 +48,7 @@ pub fn distinct_objects(requests: &[Request]) -> usize {
 mod tests {
     use super::*;
     use crate::generator::{generate, TraceConfig};
-    use std::collections::HashMap;
+    use otae_fxhash::FxHashMap;
 
     fn base() -> Trace {
         generate(&TraceConfig { n_objects: 10_000, seed: 5, ..Default::default() })
@@ -58,11 +58,11 @@ mod tests {
     fn sampling_preserves_per_object_counts() {
         let t = base();
         let s = sample_objects(&t, 0.1, 7);
-        let mut full: HashMap<ObjectId, u32> = HashMap::new();
+        let mut full: FxHashMap<ObjectId, u32> = FxHashMap::default();
         for r in &t.requests {
             *full.entry(r.object).or_insert(0) += 1;
         }
-        let mut sub: HashMap<ObjectId, u32> = HashMap::new();
+        let mut sub: FxHashMap<ObjectId, u32> = FxHashMap::default();
         for r in &s.requests {
             *sub.entry(r.object).or_insert(0) += 1;
         }

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> otae-lint (workspace invariants: determinism, hash, clock, panic-freedom)"
+OTAE_LINT_STRICT="${OTAE_LINT_STRICT:-0}" cargo run -q -p otae-lint
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -22,4 +25,4 @@ if [[ "${OTAE_HARNESS_SMOKE:-0}" == "1" ]]; then
   cargo run --release -q -p otae-harness -- --smoke
 fi
 
-echo "OK: fmt, clippy, tests and bench smoke all clean"
+echo "OK: fmt, otae-lint, clippy, tests and bench smoke all clean"

@@ -4,8 +4,8 @@
 
 use otae::device::{FtlConfig, FtlSim};
 use otae::ml::{Classifier, Dataset, DecisionTree, TreeParams};
+use otae_fxhash::FxHashMap;
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 fn small_ftl() -> FtlSim {
     FtlSim::new(FtlConfig {
@@ -28,7 +28,7 @@ proptest! {
     #[test]
     fn ftl_accounting_matches_a_model(ops in ops()) {
         let mut ftl = small_ftl();
-        let mut model: HashMap<u64, u64> = HashMap::new(); // object -> pages
+        let mut model: FxHashMap<u64, u64> = FxHashMap::default(); // object -> pages
         let page = 4096u64;
         for (obj, size, invalidate) in ops {
             if invalidate {

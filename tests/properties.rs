@@ -8,8 +8,8 @@ use otae::core::solve_criteria;
 use otae::ml::metrics::roc_curve;
 use otae::ml::roc_auc;
 use otae::trace::{generate, sample_objects, TraceConfig};
+use otae_fxhash::FxHashMap;
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 /// Random (key, size) access streams with skewed reuse.
 fn access_streams() -> impl Strategy<Value = Vec<(u64, u64)>> {
@@ -19,7 +19,7 @@ fn access_streams() -> impl Strategy<Value = Vec<(u64, u64)>> {
 /// Drive a cache and check accounting invariants at every step.
 fn check_policy<C: Cache<u64>>(mut cache: C, accesses: &[(u64, u64)]) {
     let mut evicted: Vec<Evicted<u64>> = Vec::new();
-    let mut resident: HashMap<u64, u64> = HashMap::new();
+    let mut resident: FxHashMap<u64, u64> = FxHashMap::default();
     for (now, &(k, s)) in accesses.iter().enumerate() {
         if cache.contains(&k) {
             cache.on_hit(&k, now as u64);
@@ -147,11 +147,11 @@ proptest! {
         let trace = generate(&TraceConfig { n_objects: 500, seed, ..Default::default() });
         let sampled = sample_objects(&trace, rate, seed ^ 0xABCD);
         prop_assert!(sampled.is_time_ordered());
-        let mut full: HashMap<u32, u32> = HashMap::new();
+        let mut full: FxHashMap<u32, u32> = FxHashMap::default();
         for r in &trace.requests {
             *full.entry(r.object.0).or_insert(0) += 1;
         }
-        let mut sub: HashMap<u32, u32> = HashMap::new();
+        let mut sub: FxHashMap<u32, u32> = FxHashMap::default();
         for r in &sampled.requests {
             *sub.entry(r.object.0).or_insert(0) += 1;
         }
