@@ -1,0 +1,155 @@
+//! Admission hot-path microbench: classifier verdict resolution per
+//! request vs micro-batched (`score_rows` over a flat buffer) vs memoized
+//! (the serve crate's epoch-keyed `DecisionCache`), at the worker batch
+//! sizes the service actually drains ({1, 8, 32, 128}).
+//!
+//! The workload mirrors the serve hot path: a stream over a bounded object
+//! population (so repeats exist for the memo to exploit), each object with
+//! a stable feature row. `OTAE_BENCH_SMOKE=1` shrinks the stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_bench::common::smoke_mode;
+use otae_core::N_FEATURES;
+use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+use otae_serve::{feature_bits, DecisionCache, FeatureBits};
+use otae_trace::ObjectId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+struct Workload {
+    tree: DecisionTree,
+    /// Request stream: (object, position of its feature row).
+    objects: Vec<ObjectId>,
+    /// Flat row-major feature buffer, one row per request.
+    flat: Vec<f32>,
+    /// Precomputed bit patterns, one per request.
+    bits: Vec<FeatureBits>,
+}
+
+fn workload(n_requests: usize, n_objects: usize, seed: u64) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train = Dataset::new(N_FEATURES);
+    for _ in 0..4_000 {
+        let mut row = [0.0f32; N_FEATURES];
+        for v in row.iter_mut() {
+            *v = rng.gen();
+        }
+        let label = row[0] + 0.5 * row[3] > 0.9;
+        train.push(&row, label);
+    }
+    let mut tree = DecisionTree::new(TreeParams::default());
+    tree.fit(&train);
+
+    // Stable per-object rows, Zipf-ish repetition via modular striding.
+    let rows: Vec<[f32; N_FEATURES]> = (0..n_objects)
+        .map(|_| {
+            let mut row = [0.0f32; N_FEATURES];
+            for v in row.iter_mut() {
+                *v = rng.gen();
+            }
+            row
+        })
+        .collect();
+    let mut objects = Vec::with_capacity(n_requests);
+    let mut flat = Vec::with_capacity(n_requests * N_FEATURES);
+    let mut bits = Vec::with_capacity(n_requests);
+    for i in 0..n_requests {
+        let obj = (i * i + i / 3) % n_objects;
+        objects.push(ObjectId(obj as u32));
+        flat.extend_from_slice(&rows[obj]);
+        bits.push(feature_bits(&rows[obj]));
+    }
+    Workload { tree, objects, flat, bits }
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let n_requests = if smoke_mode() { 1_024 } else { 16_384 };
+    let w = workload(n_requests, 512, 42);
+    let mut group = c.benchmark_group("admission_hot_path");
+    group.sample_size(10);
+
+    for k in BATCH_SIZES {
+        group.bench_function(format!("per_request_b{k}"), |b| {
+            // Per-request reference: one tree walk per request, batch size
+            // only changes the chunking (it has no effect here — that is
+            // the point of the comparison).
+            b.iter(|| {
+                let mut admitted = 0usize;
+                for chunk in w.flat.chunks(k * N_FEATURES) {
+                    for row in chunk.chunks_exact(N_FEATURES) {
+                        if !w.tree.predict(black_box(row)) {
+                            admitted += 1;
+                        }
+                    }
+                }
+                admitted
+            })
+        });
+        group.bench_function(format!("batched_b{k}"), |b| {
+            let mut scores = Vec::with_capacity(k);
+            b.iter(|| {
+                let mut admitted = 0usize;
+                for chunk in w.flat.chunks(k * N_FEATURES) {
+                    scores.clear();
+                    w.tree.score_rows(black_box(chunk), N_FEATURES, &mut scores);
+                    admitted += scores.iter().filter(|&&s| s < 0.5).count();
+                }
+                admitted
+            })
+        });
+        group.bench_function(format!("memoized_b{k}"), |b| {
+            // The serve shard's resolve pass: memo lookups first, then one
+            // `score_rows` call over the batch's misses. The cache persists
+            // across iterations, so after warm-up the repeat population
+            // answers from the memo and only evicted objects pay tree walks.
+            let mut cache = DecisionCache::new(1_024);
+            cache.ensure_epoch(1);
+            let mut rows: Vec<f32> = Vec::with_capacity(k * N_FEATURES);
+            let mut miss_idx: Vec<usize> = Vec::with_capacity(k);
+            let mut scores: Vec<f32> = Vec::with_capacity(k);
+            b.iter(|| {
+                let mut admitted = 0usize;
+                let mut start = 0;
+                while start < w.objects.len() {
+                    let end = (start + k).min(w.objects.len());
+                    rows.clear();
+                    miss_idx.clear();
+                    for i in start..end {
+                        match cache.lookup(w.objects[i], &w.bits[i]) {
+                            Some(v) => {
+                                if !v {
+                                    admitted += 1;
+                                }
+                            }
+                            None => {
+                                miss_idx.push(i);
+                                rows.extend_from_slice(
+                                    &w.flat[i * N_FEATURES..(i + 1) * N_FEATURES],
+                                );
+                            }
+                        }
+                    }
+                    if !miss_idx.is_empty() {
+                        scores.clear();
+                        w.tree.score_rows(black_box(&rows), N_FEATURES, &mut scores);
+                        for (&i, &s) in miss_idx.iter().zip(&scores) {
+                            let v = s >= 0.5;
+                            cache.insert(w.objects[i], w.bits[i], v);
+                            if !v {
+                                admitted += 1;
+                            }
+                        }
+                    }
+                    start = end;
+                }
+                admitted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -12,6 +12,11 @@ use std::time::Instant;
 /// Shard × worker topologies swept (clients scale with workers).
 const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
 
+/// The `proposal_8x8` ops/s recorded when this benchmark first landed
+/// (per-request gate resolution, unbatched scoring) — the denominator of
+/// the `proposal_speedup_vs_pr1` metric tracking the hot-path rework.
+const PR1_PROPOSAL_8X8_OPS: f64 = 352_854.128_037;
+
 /// Run the serve-throughput sweep; emits `results/serve_throughput.csv` and
 /// the machine-readable `BENCH_serve.json` perf trajectory at the repo
 /// root. `OTAE_BENCH_SMOKE=1` runs a single 1×1 tick and skips the JSON.
@@ -38,7 +43,8 @@ pub fn run() {
         ],
     );
     let mut json = BenchJson::new("serve_throughput");
-    for mode in [Mode::Original, Mode::Proposal] {
+    let mut throughput: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for (mode_idx, mode) in [Mode::Original, Mode::Proposal].into_iter().enumerate() {
         for &(shards, workers) in topologies {
             let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
             cfg.shards = shards;
@@ -53,6 +59,7 @@ pub fn run() {
                 wall,
                 r.throughput_rps,
             );
+            throughput[mode_idx].push(r.throughput_rps);
             let s = &r.snapshot.stats;
             table.push_row(vec![
                 mode.name().to_string(),
@@ -66,6 +73,20 @@ pub fn run() {
                 format!("{:.1}", r.latency_p999_us),
                 r.model_swaps.to_string(),
             ]);
+        }
+    }
+    // Headline metrics: how much the admission gate costs relative to the
+    // admit-everything baseline at each topology, and the Proposal 8×8
+    // trajectory against the number recorded when this benchmark landed.
+    for (i, &(shards, workers)) in topologies.iter().enumerate() {
+        let (orig, prop) = (throughput[0][i], throughput[1][i]);
+        if prop > 0.0 {
+            json.metric(&format!("gate_overhead_{shards}x{workers}"), orig / prop);
+        }
+    }
+    if let Some(&prop_last) = throughput[1].last() {
+        if topologies.len() == TOPOLOGIES.len() {
+            json.metric("proposal_speedup_vs_pr1", prop_last / PR1_PROPOSAL_8X8_OPS);
         }
     }
     table.emit("serve_throughput");

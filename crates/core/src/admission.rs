@@ -90,10 +90,40 @@ pub fn classifier_decide(
     now: u64,
     truth: bool,
 ) -> bool {
-    let Some(model) = model else {
+    classifier_apply(
+        model.map(|model| model.predict(features)),
+        history,
+        confusion,
+        use_history,
+        m,
+        obj,
+        now,
+        truth,
+    )
+}
+
+/// The decision half of [`classifier_decide`], taking the model's verdict as
+/// a precomputed input: `None` means no model is installed (untrained —
+/// admit everything, record nothing), `Some(p)` is `model.predict(features)`.
+///
+/// Batched and memoized hot paths score up front (via
+/// [`otae_ml::Classifier::score_rows`] or a decision cache) and feed the
+/// prediction through here so that confusion/history bookkeeping stays in
+/// exact per-request order.
+#[allow(clippy::too_many_arguments)]
+pub fn classifier_apply(
+    predicted: Option<bool>,
+    history: &mut HistoryTable,
+    confusion: &mut ConfusionMatrix,
+    use_history: bool,
+    m: u64,
+    obj: ObjectId,
+    now: u64,
+    truth: bool,
+) -> bool {
+    let Some(predicted_one_time) = predicted else {
         return true; // untrained: admit everything
     };
-    let predicted_one_time = model.predict(features);
     confusion.record(truth, predicted_one_time);
     if !predicted_one_time {
         return true;

@@ -182,14 +182,19 @@ impl DailyTrainer {
         Self { cfg, v, next_retrain_ts: first, trainings: 0 }
     }
 
+    /// Whether [`DailyTrainer::maybe_retrain`] would do any work at `ts` —
+    /// i.e. a retrain boundary has passed and the trainer is still armed.
+    /// Pure: lets block-scoring callers cut their blocks exactly at retrain
+    /// boundaries without calling `maybe_retrain` per request.
+    pub fn would_fire(&self, ts: u64) -> bool {
+        ts >= self.next_retrain_ts && !(self.cfg.train_once && self.trainings > 0)
+    }
+
     /// Called per request with the current timestamp; when a retrain
     /// boundary passes, fits a fresh tree on the trailing 24 h of samples
     /// and returns it.
     pub fn maybe_retrain(&mut self, ts: u64, sampler: &mut MinuteSampler) -> Option<DecisionTree> {
-        if ts < self.next_retrain_ts {
-            return None;
-        }
-        if self.cfg.train_once && self.trainings > 0 {
+        if !self.would_fire(ts) {
             return None;
         }
         let boundary = self.next_retrain_ts;

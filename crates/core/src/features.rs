@@ -102,6 +102,24 @@ impl FeatureExtractor {
         ]
     }
 
+    /// Extract the feature row for every request in the trace, in order.
+    ///
+    /// Feature extraction depends only on the request stream — never on
+    /// admission or eviction decisions — so the stream can be computed once
+    /// and shared across runs (the sweep does this across its whole grid).
+    pub fn extract_all(trace: &Trace) -> Vec<[f32; N_FEATURES]> {
+        let mut fx = FeatureExtractor::new(trace);
+        trace
+            .requests
+            .iter()
+            .map(|req| {
+                let f = fx.extract(trace, req);
+                fx.update(trace, req);
+                f
+            })
+            .collect()
+    }
+
     /// Fold the request into the running state (after extraction).
     pub fn update(&mut self, trace: &Trace, req: &Request) {
         let meta = trace.photo(req.object);

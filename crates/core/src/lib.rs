@@ -46,7 +46,9 @@ pub mod reaccess;
 pub mod sweep;
 pub mod tiered;
 
-pub use admission::{classifier_decide, AdmissionKind, AdmissionPolicy, ClassifierAdmission};
+pub use admission::{
+    classifier_apply, classifier_decide, AdmissionKind, AdmissionPolicy, ClassifierAdmission,
+};
 pub use baseline::{BloomFilter, SecondHitAdmission};
 pub use cluster::{run_cluster, ClusterConfig, ClusterResult, HashRing};
 pub use criteria::{solve_criteria, CriteriaSolution};
@@ -55,7 +57,9 @@ pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
 pub use history::HistoryTable;
 pub use online::{run_online, run_online_with, OnlineModelKind};
 pub use otae_ml::SplitEngine;
-pub use pipeline::{run, CacheEvent, Mode, PolicyKind, RunConfig, RunFingerprint, RunResult};
+pub use pipeline::{
+    run, CacheEvent, Mode, ModelSchedule, PolicyKind, RunConfig, RunFingerprint, RunPlan, RunResult,
+};
 pub use reaccess::ReaccessIndex;
 pub use sweep::{sweep, SweepPoint};
 pub use tiered::{run_tiered, TierConfig, TieredConfig, TieredResult};

@@ -307,52 +307,72 @@ pub fn run_online_with(
     let mut evicted: Vec<Evicted<ObjectId>> = Vec::new();
     let mut labels = 0u64;
 
-    for (i, req) in trace.requests.iter().enumerate() {
-        let now = i as u64;
-        let size = trace.photo(req.object).size as u64;
+    // Feature rows are extracted in blocks (extraction depends only on the
+    // request stream, never on decisions or matured labels), so the
+    // extractor's sliding-window work stays off the per-request decision
+    // path. Scoring itself cannot batch here: the model mutates on every
+    // matured label, so each prediction must see the model state of its own
+    // request — batching it would change results.
+    const FEATURE_BLOCK: usize = 1024;
+    let mut block_feats: Vec<[f32; N_FEATURES]> = Vec::with_capacity(FEATURE_BLOCK);
 
-        // Label maturation precedes the decision (strictly causal).
-        queue.advance(now);
-        queue.on_access(req.object, now);
-        for label in queue.drain() {
-            model.observe(&label.features, label.one_time);
-            labels += 1;
+    let mut block_start = 0usize;
+    while block_start < trace.len() {
+        let block_end = (block_start + FEATURE_BLOCK).min(trace.len());
+        block_feats.clear();
+        for req in &trace.requests[block_start..block_end] {
+            block_feats.push(extractor.extract(trace, req));
+            extractor.update(trace, req);
         }
 
-        let features = extractor.extract(trace, req);
-        if cache.contains(&req.object) {
-            cache.on_hit(&req.object, now);
-            stats.record_hit(size);
-            response.record(cfg.latency.request_latency_us(true, size, true));
-        } else {
-            queue.record(req.object, now, features);
-            let truth = index.is_one_time(i, m);
-            let admit = if model.observations() < 500 {
-                true // cold start: admit everything until warmed up
-            } else {
-                let one_time = model.predict(&features);
-                confusion.record(truth, one_time);
-                if !one_time || history.check_and_rectify(req.object, now, m) {
-                    true
-                } else {
-                    history.record_one_time(req.object, now);
-                    false
-                }
-            };
-            if admit {
-                evicted.clear();
-                cache.insert(req.object, size, now, &mut evicted);
-                stats.record_admitted_miss(size);
-                for e in &evicted {
-                    stats.record_eviction(e.size);
-                }
-            } else {
-                cache.on_bypass(&req.object, size, now);
-                stats.record_bypassed_miss(size);
+        for i in block_start..block_end {
+            let req = &trace.requests[i];
+            let now = i as u64;
+            let size = trace.photo(req.object).size as u64;
+
+            // Label maturation precedes the decision (strictly causal).
+            queue.advance(now);
+            queue.on_access(req.object, now);
+            for label in queue.drain() {
+                model.observe(&label.features, label.one_time);
+                labels += 1;
             }
-            response.record(cfg.latency.request_latency_us(false, size, true));
+
+            let features = block_feats[i - block_start];
+            if cache.contains(&req.object) {
+                cache.on_hit(&req.object, now);
+                stats.record_hit(size);
+                response.record(cfg.latency.request_latency_us(true, size, true));
+            } else {
+                queue.record(req.object, now, features);
+                let truth = index.is_one_time(i, m);
+                let admit = if model.observations() < 500 {
+                    true // cold start: admit everything until warmed up
+                } else {
+                    let one_time = model.predict(&features);
+                    confusion.record(truth, one_time);
+                    if !one_time || history.check_and_rectify(req.object, now, m) {
+                        true
+                    } else {
+                        history.record_one_time(req.object, now);
+                        false
+                    }
+                };
+                if admit {
+                    evicted.clear();
+                    cache.insert(req.object, size, now, &mut evicted);
+                    stats.record_admitted_miss(size);
+                    for e in &evicted {
+                        stats.record_eviction(e.size);
+                    }
+                } else {
+                    cache.on_bypass(&req.object, size, now);
+                    stats.record_bypassed_miss(size);
+                }
+                response.record(cfg.latency.request_latency_us(false, size, true));
+            }
         }
-        extractor.update(trace, req);
+        block_start = block_end;
     }
 
     OnlineResult {

@@ -6,7 +6,7 @@
 //! (Figures 6–9), mean response time via the Eqs. 3–6 model (Figure 10),
 //! and per-day classifier quality (Figure 5).
 
-use crate::admission::{AdmissionPolicy, ClassifierAdmission};
+use crate::admission::{classifier_apply, AdmissionPolicy, ClassifierAdmission};
 use crate::baseline::SecondHitAdmission;
 use crate::criteria::{solve_criteria, CriteriaSolution};
 use crate::daily::{DailyTrainer, MinuteSampler, TrainingConfig};
@@ -16,9 +16,10 @@ use otae_cache::{
     ArcCache, Belady, Cache, CacheStats, Evicted, Fifo, Gdsf, Lfu, Lirs, Lru, S3Lru, TwoQ,
 };
 use otae_device::{LatencyModel, ResponseTime};
-use otae_ml::ConfusionMatrix;
+use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
 use otae_trace::diurnal::DAY;
 use otae_trace::{ObjectId, Trace};
+use std::sync::Arc;
 
 /// Replacement policy selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -272,6 +273,68 @@ fn confusion_delta(cur: &ConfusionMatrix, prev: &ConfusionMatrix) -> ConfusionMa
     }
 }
 
+/// Requests scored per block on the Proposal fast path. Blocks are cut
+/// early at retrain boundaries so the model can never change mid-block.
+const SCORE_BLOCK: usize = 1024;
+
+/// The exact sequence of model installs an inline Proposal run performs:
+/// `(request index, trained model)` pairs in ascending index order.
+///
+/// Training depends only on the request stream, the label threshold `M` and
+/// the misprediction cost `v` — never on replacement-policy or capacity
+/// state — so a schedule built once can be replayed across every sweep
+/// point that shares `(m, v)` (e.g. the same policy at many capacities),
+/// skipping the sampler and tree fitting entirely.
+#[derive(Debug, Clone)]
+pub struct ModelSchedule {
+    /// One-time-access threshold the schedule's labels used.
+    pub m: u64,
+    /// Misprediction cost the trees were trained with.
+    pub v: f32,
+    /// `(request index, model)` install points, ascending by index.
+    pub installs: Vec<(u64, Arc<DecisionTree>)>,
+    /// Completed daily trainings.
+    pub trainings: u32,
+}
+
+impl ModelSchedule {
+    /// Record the install sequence by replaying the trainer/sampler half of
+    /// a Proposal run over a precomputed feature stream (see
+    /// [`FeatureExtractor::extract_all`]).
+    pub fn build(
+        trace: &Trace,
+        index: &ReaccessIndex,
+        features: &[[f32; N_FEATURES]],
+        m: u64,
+        v: f32,
+        cfg: &TrainingConfig,
+    ) -> Self {
+        assert_eq!(features.len(), trace.len(), "feature stream must match the trace");
+        let mut trainer = DailyTrainer::new(cfg.clone(), v);
+        let mut sampler = MinuteSampler::new(cfg.records_per_minute);
+        let mut installs = Vec::new();
+        for (i, req) in trace.requests.iter().enumerate() {
+            if let Some(model) = trainer.maybe_retrain(req.ts, &mut sampler) {
+                installs.push((i as u64, Arc::new(model)));
+            }
+            sampler.offer(req.ts, features[i], index.is_one_time(i, m));
+        }
+        ModelSchedule { m, v, installs, trainings: trainer.trainings }
+    }
+}
+
+/// Precomputed inputs a run may share with other runs over the same trace:
+/// the feature stream and/or a model schedule. Both default to `None`
+/// (compute inline); both are ignored outside Proposal mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPlan<'a> {
+    /// Per-request feature rows ([`FeatureExtractor::extract_all`]).
+    pub features: Option<&'a [[f32; N_FEATURES]]>,
+    /// Prerecorded model installs; must have been built with the `(m, v)`
+    /// this run resolves to.
+    pub schedule: Option<&'a ModelSchedule>,
+}
+
 /// Run a simulation, building the reaccess index internally. For sweeps use
 /// [`run_with_index`] and share the index.
 pub fn run(trace: &Trace, cfg: &RunConfig) -> RunResult {
@@ -284,12 +347,33 @@ pub fn run_with_index(trace: &Trace, index: &ReaccessIndex, cfg: &RunConfig) -> 
     run_with_observer(trace, index, cfg, &mut |_| {})
 }
 
+/// [`run_with_index`] against shared precomputed inputs (the sweep's fast
+/// path). Produces results identical to [`run_with_index`].
+pub fn run_with_plan(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    cfg: &RunConfig,
+    plan: &RunPlan<'_>,
+) -> RunResult {
+    run_inner(trace, index, cfg, plan, &mut |_| {})
+}
+
 /// [`run_with_index`] with an observer receiving every SSD insert/evict —
 /// the seam the FTL wear experiments consume.
 pub fn run_with_observer(
     trace: &Trace,
     index: &ReaccessIndex,
     cfg: &RunConfig,
+    observer: &mut dyn FnMut(CacheEvent),
+) -> RunResult {
+    run_inner(trace, index, cfg, &RunPlan::default(), observer)
+}
+
+fn run_inner(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    cfg: &RunConfig,
+    plan: &RunPlan<'_>,
     observer: &mut dyn FnMut(CacheEvent),
 ) -> RunResult {
     assert_eq!(index.len(), trace.len(), "index must match the trace");
@@ -300,109 +384,73 @@ pub fn run_with_observer(
     let m = cfg.m_override.unwrap_or(criteria.m);
 
     let mut cache = cfg.policy.build(cfg.capacity, trace);
-    let mut admission = match cfg.mode {
-        Mode::Original => AdmissionPolicy::Always,
-        Mode::Ideal => AdmissionPolicy::Oracle { index, m },
-        Mode::Proposal => {
-            let mut c = ClassifierAdmission::new(m, criteria.history_table_capacity());
-            c.use_history = cfg.training.use_history;
-            AdmissionPolicy::Classifier(Box::new(c))
-        }
-        Mode::SecondHit => AdmissionPolicy::SecondHit(SecondHitAdmission::new(
-            trace.meta.len().max(1024),
-            2 * m.min(u64::MAX / 2),
-            cfg.training.max_splits as u64 ^ 0x5EED,
-        )),
-    };
-    let is_proposal = cfg.mode == Mode::Proposal;
     let classified = cfg.mode != Mode::Original;
-
-    let v = cfg.training.cost.resolve(cfg.capacity, trace.unique_bytes());
-    let mut trainer = DailyTrainer::new(cfg.training.clone(), v);
-    let mut sampler = MinuteSampler::new(cfg.training.records_per_minute);
-    let mut extractor = FeatureExtractor::new(trace);
 
     let mut stats = CacheStats::default();
     let mut response = ResponseTime::default();
     let mut evicted: Vec<Evicted<ObjectId>> = Vec::new();
-
-    let mut per_day: Vec<DayMetrics> = Vec::new();
-    let mut day_start_confusion = ConfusionMatrix::default();
-    let mut current_day = 0u64;
     let mut day_hits: Vec<(u64, u64)> = Vec::new(); // (hits, accesses) per day
 
-    for (i, req) in trace.requests.iter().enumerate() {
-        let now = i as u64;
-        let size = trace.photo(req.object).size as u64;
-        let truth = index.is_one_time(i, m);
-
-        let mut features = [0.0f32; N_FEATURES];
-        if is_proposal {
-            // Daily retraining at the configured hour (§4.4.3).
-            if let AdmissionPolicy::Classifier(c) = &mut admission {
-                if let Some(model) = trainer.maybe_retrain(req.ts, &mut sampler) {
-                    c.model = Some(model);
-                }
-                // Day roll-over for Figure 5 accounting.
-                let day = req.ts / DAY;
-                if day != current_day {
-                    per_day.push(DayMetrics {
-                        day: current_day,
-                        confusion: confusion_delta(&c.confusion, &day_start_confusion),
-                    });
-                    day_start_confusion = c.confusion;
-                    current_day = day;
-                }
-            }
-            features = extractor.extract(trace, req);
-            sampler.offer(req.ts, features, truth);
-        }
-
-        let day = (req.ts / DAY) as usize;
-        if day_hits.len() <= day {
-            day_hits.resize(day + 1, (0, 0));
-        }
-        day_hits[day].1 += 1;
-        if cache.contains(&req.object) {
-            cache.on_hit(&req.object, now);
-            stats.record_hit(size);
-            day_hits[day].0 += 1;
-            response.record(cfg.latency.request_latency_us(true, size, classified));
-        } else {
-            let admit = admission.decide(req.object, &features, now, truth);
-            if admit {
-                evicted.clear();
-                cache.insert(req.object, size, now, &mut evicted);
-                stats.record_admitted_miss(size);
-                observer(CacheEvent::Insert { object: req.object, size });
-                for e in &evicted {
-                    stats.record_eviction(e.size);
-                    observer(CacheEvent::Evict { object: e.key, size: e.size });
-                }
-            } else {
-                cache.on_bypass(&req.object, size, now);
-                stats.record_bypassed_miss(size);
-            }
-            response.record(cfg.latency.request_latency_us(false, size, classified));
-        }
-
-        if is_proposal {
-            extractor.update(trace, req);
-        }
-    }
-
-    let classifier = if let AdmissionPolicy::Classifier(c) = &admission {
-        per_day.push(DayMetrics {
-            day: current_day,
-            confusion: confusion_delta(&c.confusion, &day_start_confusion),
-        });
-        Some(ClassifierReport {
-            overall: c.confusion,
-            per_day,
-            rectifications: c.history.rectifications(),
-            trainings: trainer.trainings,
-        })
+    let classifier = if cfg.mode == Mode::Proposal {
+        Some(run_proposal_blocks(
+            trace,
+            index,
+            cfg,
+            plan,
+            &criteria,
+            m,
+            &mut *cache,
+            &mut stats,
+            &mut response,
+            &mut evicted,
+            &mut day_hits,
+            observer,
+        ))
     } else {
+        let mut admission = match cfg.mode {
+            Mode::Original => AdmissionPolicy::Always,
+            Mode::Ideal => AdmissionPolicy::Oracle { index, m },
+            Mode::Proposal => unreachable!("handled above"),
+            Mode::SecondHit => AdmissionPolicy::SecondHit(SecondHitAdmission::new(
+                trace.meta.len().max(1024),
+                2 * m.min(u64::MAX / 2),
+                cfg.training.max_splits as u64 ^ 0x5EED,
+            )),
+        };
+
+        for (i, req) in trace.requests.iter().enumerate() {
+            let now = i as u64;
+            let size = trace.photo(req.object).size as u64;
+            let truth = index.is_one_time(i, m);
+
+            let day = (req.ts / DAY) as usize;
+            if day_hits.len() <= day {
+                day_hits.resize(day + 1, (0, 0));
+            }
+            day_hits[day].1 += 1;
+            if cache.contains(&req.object) {
+                cache.on_hit(&req.object, now);
+                stats.record_hit(size);
+                day_hits[day].0 += 1;
+                response.record(cfg.latency.request_latency_us(true, size, classified));
+            } else {
+                let admit = admission.decide(req.object, &[], now, truth);
+                if admit {
+                    evicted.clear();
+                    cache.insert(req.object, size, now, &mut evicted);
+                    stats.record_admitted_miss(size);
+                    observer(CacheEvent::Insert { object: req.object, size });
+                    for e in &evicted {
+                        stats.record_eviction(e.size);
+                        observer(CacheEvent::Evict { object: e.key, size: e.size });
+                    }
+                } else {
+                    cache.on_bypass(&req.object, size, now);
+                    stats.record_bypassed_miss(size);
+                }
+                response.record(cfg.latency.request_latency_us(false, size, classified));
+            }
+        }
         None
     };
 
@@ -421,6 +469,192 @@ pub fn run_with_observer(
             .collect(),
         criteria,
         classifier,
+    }
+}
+
+/// The Proposal fast path: requests are processed in blocks that never span
+/// a retrain boundary, so each block's features can be scored in one
+/// [`Classifier::score_rows`] sweep over a flat reusable buffer instead of
+/// one tree walk per request. Decisions, confusion/history bookkeeping and
+/// Figure-5 day accounting still run in exact per-request order, which is
+/// why the results are bit-identical to the per-request loop (the harness
+/// differential oracle holds this to `RunFingerprint` equality).
+#[allow(clippy::too_many_arguments)]
+fn run_proposal_blocks(
+    trace: &Trace,
+    index: &ReaccessIndex,
+    cfg: &RunConfig,
+    plan: &RunPlan<'_>,
+    criteria: &CriteriaSolution,
+    m: u64,
+    cache: &mut (dyn Cache<ObjectId> + Send),
+    stats: &mut CacheStats,
+    response: &mut ResponseTime,
+    evicted: &mut Vec<Evicted<ObjectId>>,
+    day_hits: &mut Vec<(u64, u64)>,
+    observer: &mut dyn FnMut(CacheEvent),
+) -> ClassifierReport {
+    let mut c = ClassifierAdmission::new(m, criteria.history_table_capacity());
+    c.use_history = cfg.training.use_history;
+
+    let v = cfg.training.cost.resolve(cfg.capacity, trace.unique_bytes());
+    let schedule = plan.schedule;
+    if let Some(s) = schedule {
+        assert_eq!(s.m, m, "model schedule was built for a different M");
+        assert_eq!(s.v.to_bits(), v.to_bits(), "model schedule was built for a different v");
+    }
+    // The schedule replaces the trainer/sampler pair wholesale: installs
+    // replay at their recorded request indices.
+    let mut trainer = schedule.is_none().then(|| DailyTrainer::new(cfg.training.clone(), v));
+    let mut sampler = MinuteSampler::new(cfg.training.records_per_minute);
+    let mut next_install = 0usize;
+
+    let planned_features = plan.features;
+    if let Some(f) = planned_features {
+        assert_eq!(f.len(), trace.len(), "feature stream must match the trace");
+    }
+    let mut extractor = planned_features.is_none().then(|| FeatureExtractor::new(trace));
+
+    let mut per_day: Vec<DayMetrics> = Vec::new();
+    let mut day_start_confusion = ConfusionMatrix::default();
+    let mut current_day = 0u64;
+
+    let mut block_feats: Vec<[f32; N_FEATURES]> = Vec::with_capacity(SCORE_BLOCK);
+    let mut flat: Vec<f32> = Vec::with_capacity(SCORE_BLOCK * N_FEATURES);
+    let mut scores: Vec<f32> = Vec::with_capacity(SCORE_BLOCK);
+
+    let n = trace.len();
+    let mut i = 0usize;
+    while i < n {
+        // Retrains/installs due at the block head (§4.4.3).
+        if let Some(tr) = trainer.as_mut() {
+            if let Some(model) = tr.maybe_retrain(trace.requests[i].ts, &mut sampler) {
+                c.model = Some(model);
+            }
+        } else if let Some(s) = schedule {
+            while next_install < s.installs.len() && s.installs[next_install].0 == i as u64 {
+                c.model = Some((*s.installs[next_install].1).clone());
+                next_install += 1;
+            }
+        }
+
+        // Cut the block before the next retrain boundary so the model is
+        // constant across it.
+        let mut j = (i + SCORE_BLOCK).min(n);
+        if let Some(tr) = trainer.as_ref() {
+            for k in (i + 1)..j {
+                if tr.would_fire(trace.requests[k].ts) {
+                    j = k;
+                    break;
+                }
+            }
+        } else if let Some(s) = schedule {
+            if next_install < s.installs.len() {
+                j = j.min(s.installs[next_install].0 as usize);
+            }
+        }
+
+        // Features for [i, j): from the shared stream or extracted now.
+        let feats: &[[f32; N_FEATURES]] = match planned_features {
+            Some(all) => &all[i..j],
+            None => {
+                let fx = extractor.as_mut().expect("extractor present without a feature plan");
+                block_feats.clear();
+                for req in &trace.requests[i..j] {
+                    block_feats.push(fx.extract(trace, req));
+                    fx.update(trace, req);
+                }
+                &block_feats
+            }
+        };
+        if trainer.is_some() {
+            for (k, f) in (i..j).zip(feats.iter()) {
+                sampler.offer(trace.requests[k].ts, *f, index.is_one_time(k, m));
+            }
+        }
+
+        // One batched scoring sweep for the whole block.
+        let has_model = c.model.is_some();
+        if let Some(model) = &c.model {
+            flat.clear();
+            for f in feats {
+                flat.extend_from_slice(f);
+            }
+            scores.clear();
+            model.score_rows(&flat, N_FEATURES, &mut scores);
+        }
+
+        // Exact per-request decision pass.
+        for k in i..j {
+            let req = &trace.requests[k];
+            let now = k as u64;
+            let size = trace.photo(req.object).size as u64;
+            let truth = index.is_one_time(k, m);
+
+            // Day roll-over for Figure 5 accounting.
+            let day = req.ts / DAY;
+            if day != current_day {
+                per_day.push(DayMetrics {
+                    day: current_day,
+                    confusion: confusion_delta(&c.confusion, &day_start_confusion),
+                });
+                day_start_confusion = c.confusion;
+                current_day = day;
+            }
+
+            let day = day as usize;
+            if day_hits.len() <= day {
+                day_hits.resize(day + 1, (0, 0));
+            }
+            day_hits[day].1 += 1;
+            if cache.contains(&req.object) {
+                cache.on_hit(&req.object, now);
+                stats.record_hit(size);
+                day_hits[day].0 += 1;
+                response.record(cfg.latency.request_latency_us(true, size, true));
+            } else {
+                let predicted = has_model.then(|| scores[k - i] >= 0.5);
+                let admit = classifier_apply(
+                    predicted,
+                    &mut c.history,
+                    &mut c.confusion,
+                    c.use_history,
+                    c.m,
+                    req.object,
+                    now,
+                    truth,
+                );
+                if admit {
+                    evicted.clear();
+                    cache.insert(req.object, size, now, evicted);
+                    stats.record_admitted_miss(size);
+                    observer(CacheEvent::Insert { object: req.object, size });
+                    for e in evicted.iter() {
+                        stats.record_eviction(e.size);
+                        observer(CacheEvent::Evict { object: e.key, size: e.size });
+                    }
+                } else {
+                    cache.on_bypass(&req.object, size, now);
+                    stats.record_bypassed_miss(size);
+                }
+                response.record(cfg.latency.request_latency_us(false, size, true));
+            }
+        }
+        i = j;
+    }
+
+    per_day.push(DayMetrics {
+        day: current_day,
+        confusion: confusion_delta(&c.confusion, &day_start_confusion),
+    });
+    ClassifierReport {
+        overall: c.confusion,
+        per_day,
+        rectifications: c.history.rectifications(),
+        trainings: trainer
+            .map(|t| t.trainings)
+            .or_else(|| schedule.map(|s| s.trainings))
+            .unwrap_or(0),
     }
 }
 
@@ -555,6 +789,37 @@ mod tests {
             r.per_day_hit_rate[0],
             late_avg
         );
+    }
+
+    #[test]
+    fn planned_run_matches_inline_run_exactly() {
+        let t = trace();
+        let index = ReaccessIndex::build(&t);
+        let cfg = RunConfig::new(PolicyKind::Lru, Mode::Proposal, cap_for(&t, 0.02));
+        let inline = run_with_index(&t, &index, &cfg);
+
+        let features = FeatureExtractor::extract_all(&t);
+        let avg = t.avg_object_size().max(1.0);
+        let criteria = solve_criteria(&index, cfg.capacity, avg, cfg.criteria_iterations);
+        let v = cfg.training.cost.resolve(cfg.capacity, t.unique_bytes());
+        let schedule = ModelSchedule::build(&t, &index, &features, criteria.m, v, &cfg.training);
+        assert!(!schedule.installs.is_empty(), "9-day trace must install models");
+
+        // Features alone, then features + prerecorded schedule: both must be
+        // bit-identical to the inline run.
+        let feats_only =
+            run_with_plan(&t, &index, &cfg, &RunPlan { features: Some(&features), schedule: None });
+        assert_eq!(feats_only.fingerprint(), inline.fingerprint());
+        let planned = run_with_plan(
+            &t,
+            &index,
+            &cfg,
+            &RunPlan { features: Some(&features), schedule: Some(&schedule) },
+        );
+        assert_eq!(planned.fingerprint(), inline.fingerprint());
+        assert_eq!(planned.per_day_hit_rate, inline.per_day_hit_rate);
+        let (a, b) = (planned.classifier.unwrap(), inline.classifier.unwrap());
+        assert_eq!(a.per_day.len(), b.per_day.len());
     }
 
     #[test]

@@ -104,6 +104,104 @@ pub fn differential_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFai
     Ok(())
 }
 
+/// The hot-path exactness oracle: the batched + memoized admission path
+/// (the service defaults: multi-request worker batches, per-shard
+/// epoch-keyed decision cache) must produce a fingerprint bit-identical to
+/// the per-request reference path (`max_batch = 1`, decision cache off)
+/// for every admission mode — including under an injected swap-fault
+/// schedule that deterministically drops every other model install on the
+/// exact 1×1 inline topology.
+pub fn differential_hot_path(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    use otae_serve::{FaultPlan, SwapFault};
+    use std::sync::Arc;
+
+    /// Deterministically drops every odd-numbered install attempt.
+    #[derive(Debug)]
+    struct DropOddSwaps;
+    impl FaultPlan for DropOddSwaps {
+        fn swap_fault(&self, attempt: u64) -> SwapFault {
+            if attempt % 2 == 1 {
+                SwapFault::Drop
+            } else {
+                SwapFault::Install
+            }
+        }
+    }
+
+    let trace = case_trace(seed, n_objects);
+    let index = ReaccessIndex::build(&trace);
+    let capacity = cap(&trace, 0.02);
+
+    for mode in [Mode::Original, Mode::Ideal, Mode::Proposal, Mode::SecondHit] {
+        // Swap faults only exist on the training path, so the faulted rung
+        // is Proposal-only.
+        let rungs: &[bool] = if mode == Mode::Proposal { &[false, true] } else { &[false] };
+        for &faulted in rungs {
+            let mut reference = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+            reference.max_batch = 1;
+            reference.decision_cache = false;
+            let mut batched = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+            if batched.max_batch <= 1 || !batched.decision_cache {
+                return Err(fail(
+                    seed,
+                    "hot-path oracle misconfigured: service defaults are not \
+                     batched + memoized"
+                        .into(),
+                ));
+            }
+            if faulted {
+                let plan: Arc<dyn FaultPlan> = Arc::new(DropOddSwaps);
+                reference.faults = Arc::clone(&plan);
+                batched.faults = plan;
+            }
+            let a = serve_trace_with_index(&trace, &index, &reference, &LoadConfig::default());
+            let b = serve_trace_with_index(&trace, &index, &batched, &LoadConfig::default());
+            if faulted {
+                // The schedule must actually bite, identically on both sides
+                // (drops are not part of the fingerprint).
+                if a.faults.dropped_installs == 0 || a.model_swaps == 0 {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "hot-path[swap-fault]: schedule did not bite \
+                             (dropped {}, swaps {})",
+                            a.faults.dropped_installs, a.model_swaps
+                        ),
+                    ));
+                }
+                if b.faults.dropped_installs != a.faults.dropped_installs
+                    || b.model_swaps != a.model_swaps
+                {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "hot-path[swap-fault]: batched run saw different faults \
+                             (dropped {} vs {}, swaps {} vs {})",
+                            b.faults.dropped_installs,
+                            a.faults.dropped_installs,
+                            b.model_swaps,
+                            a.model_swaps
+                        ),
+                    ));
+                }
+            }
+            if b.fingerprint() != a.fingerprint() {
+                return Err(fail(
+                    seed,
+                    format!(
+                        "hot-path[{mode:?}{}]: batched+memoized serve diverges from \
+                         the per-request path\n  per-request: {:?}\n  batched:     {:?}",
+                        if faulted { ", swap-fault" } else { "" },
+                        a.fingerprint(),
+                        b.fingerprint()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Rung 3a: with the admission gate disabled (Original mode) the served
 /// system is exactly the plain replacement policy — same fingerprint as a
 /// bare pipeline run, for several policies.
@@ -168,6 +266,7 @@ pub fn metamorphic_capacity_monotone(seed: u64, n_objects: usize) -> Result<(), 
 /// The full oracle: differential across modes plus both metamorphic checks.
 pub fn full_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
     differential_oracle(seed, n_objects)?;
+    differential_hot_path(seed, n_objects)?;
     metamorphic_gate_disabled(seed, n_objects)?;
     metamorphic_capacity_monotone(seed, n_objects)?;
     Ok(())
@@ -185,5 +284,10 @@ mod tests {
     #[test]
     fn differential_exactness_holds_for_proposal() {
         differential_mode(5, 1_500, Mode::Proposal).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn hot_path_is_exact_including_under_swap_faults() {
+        differential_hot_path(7, 2_000).unwrap_or_else(|e| panic!("{e}"));
     }
 }

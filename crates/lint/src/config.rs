@@ -114,6 +114,7 @@ impl Rule {
                 "crates/serve/src/loadgen.rs",
                 "crates/serve/src/shard.rs",
                 "crates/serve/src/request.rs",
+                "crates/serve/src/decision_cache.rs",
             ],
         }
     }
@@ -165,6 +166,9 @@ mod tests {
     #[test]
     fn scoping_honours_prefixes_and_allowlists() {
         assert!(Rule::NoPanicInServe.in_scope("crates/serve/src/service.rs"));
+        assert!(Rule::NoPanicInServe.in_scope("crates/serve/src/decision_cache.rs"));
+        assert!(Rule::BoundedChannel.in_scope("crates/serve/src/decision_cache.rs"));
+        assert!(Rule::AdvisoryClonePerRequest.in_scope("crates/serve/src/decision_cache.rs"));
         assert!(!Rule::NoPanicInServe.in_scope("crates/ml/src/tree.rs"));
         assert!(Rule::NoWallClock.in_scope("crates/serve/src/service.rs"));
         assert!(!Rule::NoWallClock.in_scope("crates/serve/src/clock.rs"));

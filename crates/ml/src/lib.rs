@@ -72,6 +72,14 @@ pub trait Classifier: Send + Sync {
     fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
         self.score_batch(data).into_iter().map(|s| s >= 0.5).collect()
     }
+    /// Positive-class confidences for rows packed in a flat row-major
+    /// buffer, appended to `out`. `rows.len()` must be a multiple of
+    /// `n_features` (and `n_features > 0`). This is the allocation-free hot
+    /// path: callers reuse both the row buffer and the output vector.
+    fn score_rows(&self, rows: &[f32], n_features: usize, out: &mut Vec<f32>) {
+        assert!(n_features > 0, "score_rows requires at least one feature");
+        out.extend(rows.chunks_exact(n_features).map(|row| self.score(row)));
+    }
     /// Display name (matches Table 1 rows).
     fn name(&self) -> &'static str;
 }

@@ -14,7 +14,14 @@ use std::sync::Arc;
 /// requests see the new one.
 #[derive(Debug, Default)]
 pub struct AdmissionGate {
-    model: RwLock<Option<Arc<DecisionTree>>>,
+    /// Model plus its epoch, updated together under the lock so a snapshot
+    /// can never pair a model with another epoch (decision caches key
+    /// memoized predictions by epoch — a mismatched pair would let a cached
+    /// decision survive a swap).
+    slot: RwLock<(Option<Arc<DecisionTree>>, u64)>,
+    /// Lock-free mirror of the epoch, so workers can poll "did the model
+    /// change?" with one relaxed load instead of taking the read lock per
+    /// request. May briefly lag the locked epoch; it never runs ahead.
     swaps: AtomicU64,
 }
 
@@ -27,7 +34,15 @@ impl AdmissionGate {
 
     /// Snapshot the current model (cheap: read-lock + `Arc` clone).
     pub fn current(&self) -> Option<Arc<DecisionTree>> {
-        self.model.read().clone()
+        self.slot.read().0.clone()
+    }
+
+    /// Snapshot the current model together with its epoch (the install
+    /// count at the time the model was installed). The pair is read under
+    /// one lock, so it is always internally consistent.
+    pub fn current_with_epoch(&self) -> (Option<Arc<DecisionTree>>, u64) {
+        let slot = self.slot.read();
+        (slot.0.clone(), slot.1)
     }
 
     /// Install a freshly trained model, replacing the previous one.
@@ -37,11 +52,17 @@ impl AdmissionGate {
 
     /// Install an already-shared model.
     pub fn install_arc(&self, model: Arc<DecisionTree>) {
-        *self.model.write() = Some(model);
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        let epoch = {
+            let mut slot = self.slot.write();
+            slot.0 = Some(model);
+            slot.1 += 1;
+            slot.1
+        };
+        self.swaps.store(epoch, Ordering::Release);
     }
 
-    /// Number of models installed so far (0 = still cold).
+    /// Number of models installed so far (0 = still cold). Also the current
+    /// model epoch — a cheap staleness hint for cached gate snapshots.
     pub fn swaps(&self) -> u64 {
         self.swaps.load(Ordering::Relaxed)
     }
@@ -79,6 +100,21 @@ mod tests {
         let m = gate.current().expect("installed");
         assert!(m.predict(&[0.9]));
         assert!(!m.predict(&[0.1]));
+    }
+
+    #[test]
+    fn epoch_tracks_installs_and_stays_paired_with_the_model() {
+        let gate = AdmissionGate::new();
+        let (m, e) = gate.current_with_epoch();
+        assert!(m.is_none());
+        assert_eq!(e, 0);
+        gate.install(tree(0.5));
+        let (m, e) = gate.current_with_epoch();
+        assert!(m.is_some());
+        assert_eq!(e, 1);
+        gate.install(tree(0.2));
+        assert_eq!(gate.current_with_epoch().1, 2);
+        assert_eq!(gate.swaps(), 2);
     }
 
     #[test]

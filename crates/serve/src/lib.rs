@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod decision_cache;
 pub mod fault;
 pub mod gate;
 pub mod loadgen;
@@ -49,14 +50,15 @@ pub mod service;
 pub mod shard;
 
 pub use clock::{ServiceClock, VirtualClock};
+pub use decision_cache::{feature_bits, DecisionCache, FeatureBits};
 pub use fault::{
     silence_injected_panics, FaultPlan, FaultReport, InjectedFault, NoFaults, RetrainFault,
     SampleFault, SwapFault,
 };
 pub use gate::AdmissionGate;
-pub use loadgen::LoadConfig;
+pub use loadgen::{LoadConfig, SAMPLE_FLUSH};
 pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
-pub use retrainer::{run_retrainer, RetrainerReport, TrainMsg};
+pub use retrainer::{run_retrainer, RetrainerReport, TrainBatch, TrainMsg};
 pub use service::{serve_trace, serve_trace_with_index, ServeConfig, ServeReport, TrainerMode};
 pub use shard::{ShardedCache, Snapshot};
 
@@ -76,9 +78,12 @@ mod thread_safety_assertions {
         // Work items crossing the client ⇒ worker channel.
         assert_send::<PreparedRequest>();
         assert_send::<TrainMsg>();
+        assert_send::<TrainBatch>();
         // Shared service state read by every worker.
         assert_send_sync::<AdmissionGate>();
         assert_send_sync::<ShardedCache>();
+        // Per-shard memoization state lives inside the shard mutex.
+        assert_send::<DecisionCache>();
         // Determinism seams shared across client/worker/retrainer threads.
         assert_send_sync::<VirtualClock>();
         assert_send_sync::<ServiceClock>();

@@ -6,6 +6,7 @@
 //! that client threads can then submit and worker threads process in any
 //! interleaving without touching shared extractor state.
 
+use crate::fault::SwapFault;
 use crate::gate::AdmissionGate;
 use crate::service::{ServeConfig, TrainerMode};
 use otae_core::daily::{DailyTrainer, MinuteSampler};
@@ -22,7 +23,14 @@ pub enum ModelSource {
     /// this exact snapshot. This makes a 1-shard/1-worker replay reproduce
     /// the single-threaded simulator request for request, because a queued
     /// request can never observe a model trained after its enqueue point.
-    Stamped(Option<Arc<DecisionTree>>),
+    /// `epoch` is the gate's install count when the snapshot was taken —
+    /// the key the per-shard decision cache memoizes verdicts under.
+    Stamped {
+        /// The snapshotted model (`None` while the gate is cold).
+        model: Option<Arc<DecisionTree>>,
+        /// Gate epoch the snapshot was taken at.
+        epoch: u64,
+    },
     /// Model resolved by the worker at dispatch time from the shared
     /// [`AdmissionGate`] — the production path exercised by the background
     /// retrainer.
@@ -54,6 +62,9 @@ pub struct PreparedTrace {
     pub requests: Vec<PreparedRequest>,
     /// Daily trainings completed during prepare (inline trainer only).
     pub trainings: u32,
+    /// Installs dropped by an injected [`SwapFault::Drop`] (inline trainer
+    /// only; the background path accounts its own drops in the retrainer).
+    pub dropped_installs: u32,
 }
 
 /// Walk the trace once, extracting features and (for the inline trainer)
@@ -75,13 +86,24 @@ pub fn prepare(
     let mut extractor = FeatureExtractor::new(trace);
 
     let mut requests = Vec::with_capacity(trace.len());
+    let mut swap_attempt = 0u64;
+    let mut dropped_installs = 0u32;
     for (i, req) in trace.requests.iter().enumerate() {
         let truth = index.is_one_time(i, m);
         let mut features = [0.0f32; N_FEATURES];
         if is_proposal {
             if inline {
                 if let Some(model) = trainer.maybe_retrain(req.ts, &mut sampler) {
-                    gate.install(model);
+                    // The same swap-fault seam the background retrainer
+                    // consults: a dropped install leaves the previous model
+                    // (and epoch) in place, deterministically, so the
+                    // differential oracle can exercise swap faults on the
+                    // exact 1×1 inline path too.
+                    match cfg.faults.swap_fault(swap_attempt) {
+                        SwapFault::Install => gate.install(model),
+                        SwapFault::Drop => dropped_installs += 1,
+                    }
+                    swap_attempt += 1;
                 }
             }
             features = extractor.extract(trace, req);
@@ -93,9 +115,10 @@ pub fn prepare(
         let model = if !is_proposal {
             // Original/Ideal/SecondHit never consult a model; stamp None so
             // workers skip the gate entirely.
-            ModelSource::Stamped(None)
+            ModelSource::Stamped { model: None, epoch: 0 }
         } else if inline {
-            ModelSource::Stamped(gate.current())
+            let (model, epoch) = gate.current_with_epoch();
+            ModelSource::Stamped { model, epoch }
         } else {
             ModelSource::Gate
         };
@@ -109,7 +132,7 @@ pub fn prepare(
             model,
         });
     }
-    PreparedTrace { requests, trainings: trainer.trainings }
+    PreparedTrace { requests, trainings: trainer.trainings, dropped_installs }
 }
 
 #[cfg(test)]
@@ -132,7 +155,10 @@ mod tests {
         assert_eq!(p.requests.len(), t.len());
         assert_eq!(p.trainings, 0);
         assert!(!gate.is_warm());
-        assert!(p.requests.iter().all(|r| matches!(r.model, ModelSource::Stamped(None))));
+        assert!(p
+            .requests
+            .iter()
+            .all(|r| matches!(r.model, ModelSource::Stamped { model: None, .. })));
         // idx is the trace position.
         assert!(p.requests.iter().enumerate().all(|(i, r)| r.idx == i as u64));
     }
@@ -150,12 +176,49 @@ mod tests {
         let first_stamped = p
             .requests
             .iter()
-            .position(|r| matches!(&r.model, ModelSource::Stamped(Some(_))))
+            .position(|r| matches!(&r.model, ModelSource::Stamped { model: Some(_), .. }))
             .expect("some request must carry a model");
         assert!(first_stamped > 0, "day 0 runs cold");
         assert!(p.requests[..first_stamped]
             .iter()
-            .all(|r| matches!(&r.model, ModelSource::Stamped(None))));
+            .all(|r| matches!(&r.model, ModelSource::Stamped { model: None, .. })));
+        // Stamped epochs are nondecreasing and track the install count.
+        let mut last_epoch = 0;
+        for r in &p.requests {
+            if let ModelSource::Stamped { epoch, .. } = r.model {
+                assert!(epoch >= last_epoch);
+                last_epoch = epoch;
+            }
+        }
+        assert_eq!(last_epoch, gate.swaps());
+    }
+
+    #[test]
+    fn inline_proposal_swap_faults_drop_installs_deterministically() {
+        use crate::fault::FaultPlan;
+
+        /// Drops every even-numbered install attempt.
+        #[derive(Debug)]
+        struct DropEvenSwaps;
+        impl FaultPlan for DropEvenSwaps {
+            fn swap_fault(&self, attempt: u64) -> SwapFault {
+                if attempt.is_multiple_of(2) {
+                    SwapFault::Drop
+                } else {
+                    SwapFault::Install
+                }
+            }
+        }
+
+        let t = small_trace();
+        let index = ReaccessIndex::build(&t);
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Proposal, 1 << 24);
+        cfg.faults = Arc::new(DropEvenSwaps);
+        let gate = AdmissionGate::new();
+        let p = prepare(&t, &index, &cfg, &gate, 100, 2.0);
+        assert!(p.trainings >= 7);
+        assert_eq!(p.dropped_installs, p.trainings.div_ceil(2), "even attempts dropped");
+        assert_eq!(gate.swaps(), (p.trainings / 2) as u64, "odd attempts installed");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The background retrainer thread (the production training path).
 //!
-//! Client threads forward one [`TrainMsg`] per submitted request; the
-//! retrainer owns the minute-capped sampler and the daily-training
+//! Client threads forward one [`TrainMsg`] per submitted request, batched
+//! into [`TrainBatch`] flushes so the sample channel (and the condvar wake
+//! behind it) is touched once per ~[`SAMPLE_FLUSH`](crate::SAMPLE_FLUSH)
+//! requests rather than per request; the retrainer owns the minute-capped
+//! sampler and the daily-training
 //! schedule, and installs each freshly fitted tree into the shared
 //! [`AdmissionGate`](crate::AdmissionGate) — a hot swap the request
 //! workers observe without ever blocking on training. Every step consults
@@ -26,6 +29,13 @@ pub struct TrainMsg {
     /// Offline one-time-access label.
     pub one_time: bool,
 }
+
+/// A client-side flush of forwarded samples: what actually travels on the
+/// sample channel. Batching is a transport detail — the retrainer consumes
+/// the flattened message stream, so per-message accounting (`seen` counts,
+/// stall deadlines, minute-sampler offers) is identical to an unbatched
+/// channel carrying the same messages in the same per-client order.
+pub type TrainBatch = Vec<TrainMsg>;
 
 /// What the retrainer thread did over one run.
 ///
@@ -57,7 +67,7 @@ pub struct RetrainerReport {
 /// and trainer tolerate the small interleaving skew, which matches how a
 /// production log tailer would behave.
 pub fn run_retrainer(
-    rx: Receiver<TrainMsg>,
+    rx: Receiver<TrainBatch>,
     gate: &AdmissionGate,
     training: &TrainingConfig,
     v: f32,
@@ -71,7 +81,10 @@ pub fn run_retrainer(
     let mut attempt = 0u32;
     let mut swap_attempt = 0u64;
     let mut seen = 0u64;
-    for msg in rx.iter() {
+    // Batches are flattened here: `seen` counts messages, not flushes, so a
+    // `RetrainFault::Stall { messages }` deadline means the same thing at
+    // every flush size.
+    for msg in rx.iter().flatten() {
         seen += 1;
         if let Some((model, due)) = pending.take() {
             if seen >= due {
@@ -136,15 +149,23 @@ mod tests {
     use crossbeam::channel::unbounded;
     use otae_trace::diurnal::DAY;
 
-    /// Two days of separable samples (x > 0.5 means one-time).
-    fn feed_two_days(tx: &crossbeam::channel::Sender<TrainMsg>) {
+    /// Two days of separable samples (x > 0.5 means one-time), flushed in
+    /// uneven batches so the tests exercise the batched transport.
+    fn feed_two_days(tx: &crossbeam::channel::Sender<TrainBatch>) {
+        let mut batch = TrainBatch::new();
         for day in 0..2u64 {
             for i in 0..600u64 {
                 let ts = day * DAY + i * 120;
                 let mut features = [0.0f32; N_FEATURES];
                 features[0] = (i % 100) as f32 / 100.0;
-                tx.send(TrainMsg { ts, features, one_time: (i % 100) >= 50 }).unwrap();
+                batch.push(TrainMsg { ts, features, one_time: (i % 100) >= 50 });
+                if batch.len() == 97 {
+                    tx.send(std::mem::take(&mut batch)).unwrap();
+                }
             }
+        }
+        if !batch.is_empty() {
+            tx.send(batch).unwrap();
         }
     }
 
@@ -171,7 +192,7 @@ mod tests {
 
     #[test]
     fn empty_stream_never_trains() {
-        let (tx, rx) = unbounded::<TrainMsg>();
+        let (tx, rx) = unbounded::<TrainBatch>();
         drop(tx);
         let gate = AdmissionGate::new();
         let report = run_retrainer(rx, &gate, &TrainingConfig::default(), 2.0, &NoFaults);

@@ -8,7 +8,7 @@ use crate::gate::AdmissionGate;
 use crate::loadgen::{replay_client, ClientReport, LoadConfig};
 use crate::request::{prepare, ModelSource, PreparedRequest};
 use crate::retrainer::{run_retrainer, RetrainerReport};
-use crate::shard::{Params, ShardedCache, Snapshot};
+use crate::shard::{BatchScratch, Params, ShardedCache, Snapshot};
 use crossbeam::channel::{bounded, unbounded, Receiver};
 use otae_core::baseline::SecondHitAdmission;
 use otae_core::pipeline::{Mode, PolicyKind};
@@ -60,6 +60,15 @@ pub struct ServeConfig {
     pub criteria_iterations: usize,
     /// Override the computed one-time-access threshold `M`.
     pub m_override: Option<u64>,
+    /// Most requests a worker drains from the queue per batch (minimum 1).
+    /// Batched requests are grouped by shard and their classifier verdicts
+    /// resolved with one `score_rows` call per (model, epoch) run under a
+    /// single lock acquisition. `1` restores the exact per-request path.
+    pub max_batch: usize,
+    /// Memoize classifier verdicts in a per-shard, model-epoch-keyed
+    /// decision cache (invalidated wholesale on every hot-swap). Decisions
+    /// are bit-identical either way; only repeat tree walks are saved.
+    pub decision_cache: bool,
     /// Time source for pacing and duration caps (wall by default; virtual
     /// for deterministic harness runs).
     pub clock: ServiceClock,
@@ -84,6 +93,8 @@ impl ServeConfig {
             latency: LatencyModel::default(),
             criteria_iterations: 3,
             m_override: None,
+            max_batch: 64,
+            decision_cache: true,
             clock: ServiceClock::Wall,
             faults: Arc::new(NoFaults),
         }
@@ -184,6 +195,7 @@ pub fn serve_trace_with_index(
         classified: cfg.mode != Mode::Original,
         use_history: cfg.training.use_history,
         m,
+        decision_cache: cfg.decision_cache,
     };
     let sharded = ShardedCache::new(
         cfg.shards,
@@ -226,7 +238,8 @@ pub fn serve_trace_with_index(
                 let sharded = &sharded;
                 let gate = &gate;
                 let panics = &panics;
-                s.spawn(move |_| run_worker(rx, sharded, gate, plan, panics))
+                let max_batch = cfg.max_batch;
+                s.spawn(move |_| run_worker(rx, sharded, gate, plan, panics, max_batch))
             })
             .collect();
         drop(req_rx);
@@ -276,7 +289,7 @@ pub fn serve_trace_with_index(
     faults.corrupted_samples = client_reports.iter().map(|r| r.corrupted_samples).sum();
     faults.failed_trainings = retrain_report.failed;
     faults.deferred_installs = retrain_report.deferred;
-    faults.dropped_installs = retrain_report.dropped_installs;
+    faults.dropped_installs = retrain_report.dropped_installs + prepared.dropped_installs;
     faults.shard_panics = panics.load(Ordering::Acquire);
 
     let snapshot = sharded.snapshot();
@@ -299,30 +312,86 @@ pub fn serve_trace_with_index(
 }
 
 /// Drain the request queue into the sharded cache until every client hangs
-/// up, resolving each request's admission model per its [`ModelSource`].
-/// Injected shard panics are caught here — the request is consumed, the
-/// panic counted, and the worker keeps draining.
+/// up: block for the first request, then opportunistically pull up to
+/// `max_batch - 1` more without blocking, group the batch by shard and
+/// process each shard's subsequence as one segment (one lock acquisition,
+/// batched classifier scoring). Gate-resolved requests share a cached
+/// model snapshot that is refreshed at most once per batch, and only when
+/// the gate's lock-free epoch hint says it moved — the read lock and `Arc`
+/// clone leave the per-request path entirely. Injected shard panics are
+/// caught here — the request is consumed, the panic counted, and the
+/// worker keeps draining; the requests before the faulted one in its shard
+/// group are flushed first, so shard-local order is preserved.
 fn run_worker(
     rx: Receiver<PreparedRequest>,
     sharded: &ShardedCache,
     gate: &AdmissionGate,
     plan: &dyn FaultPlan,
     panics: &AtomicU64,
+    max_batch: usize,
 ) {
-    for req in rx.iter() {
-        let model: Option<Arc<DecisionTree>> = match &req.model {
-            ModelSource::Stamped(model) => model.clone(),
-            ModelSource::Gate => gate.current(),
-        };
-        if plan.shard_panic(sharded.shard_of(req.object), req.idx) {
-            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                sharded.process_with_injected_panic(&req)
-            }));
-            debug_assert!(unwound.is_err());
-            panics.fetch_add(1, Ordering::AcqRel);
-            continue;
+    let max_batch = max_batch.max(1);
+    let mut batch: Vec<PreparedRequest> = Vec::with_capacity(max_batch);
+    let mut scratch = BatchScratch::new();
+    // Cached gate snapshot. The sentinel hint (`u64::MAX`) marks "never
+    // snapshotted"; real epochs count installs from 0.
+    let mut gate_hint = u64::MAX;
+    let mut gate_model: Option<Arc<DecisionTree>> = None;
+    let mut gate_epoch = 0u64;
+    let mut groups: Vec<Vec<usize>> = (0..sharded.shard_count()).map(|_| Vec::new()).collect();
+    let mut touched: Vec<usize> = Vec::with_capacity(sharded.shard_count());
+
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
         }
-        sharded.process(&req, model.as_deref());
+        if batch.iter().any(|r| matches!(r.model, ModelSource::Gate)) {
+            let hint = gate.swaps();
+            if hint != gate_hint {
+                let (model, epoch) = gate.current_with_epoch();
+                gate_model = model;
+                gate_epoch = epoch;
+                gate_hint = hint;
+            }
+        }
+        for s in touched.drain(..) {
+            groups[s].clear();
+        }
+        for (i, req) in batch.iter().enumerate() {
+            let s = sharded.shard_of(req.object);
+            if groups[s].is_empty() {
+                touched.push(s);
+            }
+            groups[s].push(i);
+        }
+        for &s in &touched {
+            let mut segment: Vec<(&PreparedRequest, Option<&DecisionTree>, u64)> =
+                Vec::with_capacity(groups[s].len());
+            for &i in &groups[s] {
+                let req = &batch[i];
+                if plan.shard_panic(s, req.idx) {
+                    sharded.process_segment(s, &segment, &mut scratch);
+                    segment.clear();
+                    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sharded.process_with_injected_panic(req)
+                    }));
+                    debug_assert!(unwound.is_err());
+                    panics.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    let (model, epoch) = match &req.model {
+                        ModelSource::Stamped { model, epoch } => (model.as_deref(), *epoch),
+                        ModelSource::Gate => (gate_model.as_deref(), gate_epoch),
+                    };
+                    segment.push((req, model, epoch));
+                }
+            }
+            sharded.process_segment(s, &segment, &mut scratch);
+        }
     }
 }
 
@@ -524,6 +593,7 @@ mod tests {
             classified: true,
             use_history: true,
             m,
+            decision_cache: true,
         };
         let sharded = ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None);
         let gate = AdmissionGate::new();
@@ -557,7 +627,7 @@ mod tests {
                     let sharded = &sharded;
                     let gate = &gate;
                     let panics = &panics;
-                    s.spawn(move |_| run_worker(rx, sharded, gate, &NoFaults, panics))
+                    s.spawn(move |_| run_worker(rx, sharded, gate, &NoFaults, panics, 64))
                 })
                 .collect();
             drop(rx);

@@ -7,14 +7,15 @@
 //! state evolves exactly like a small single-threaded simulator over the
 //! subsequence of requests routed to it.
 
+use crate::decision_cache::{feature_bits, DecisionCache};
 use crate::request::PreparedRequest;
 use otae_cache::{Cache, CacheStats, Evicted};
 use otae_core::baseline::SecondHitAdmission;
-use otae_core::classifier_decide;
+use otae_core::classifier_apply;
 use otae_core::pipeline::{Mode, PolicyKind};
-use otae_core::HistoryTable;
+use otae_core::{HistoryTable, N_FEATURES};
 use otae_device::{LatencyModel, ResponseTime};
-use otae_ml::{ConfusionMatrix, DecisionTree};
+use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
 use otae_trace::{ObjectId, Trace};
 use parking_lot::Mutex;
 
@@ -26,6 +27,40 @@ pub(crate) struct Params {
     pub classified: bool,
     pub use_history: bool,
     pub m: u64,
+    /// Memoize classifier verdicts in the per-shard [`DecisionCache`].
+    pub decision_cache: bool,
+}
+
+/// How a request's classifier verdict is obtained (Proposal mode).
+pub(crate) enum Verdict<'a> {
+    /// Resolve under the shard lock: decision cache first (when enabled),
+    /// then a fresh `model.predict`. This is the un-batched reference path
+    /// the exactness tests compare the batched pass against; production
+    /// workers always go through [`ShardedCache::process_segment`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    Resolve(Option<&'a DecisionTree>, u64),
+    /// Already resolved by the batched scoring pass.
+    Ready(Option<bool>),
+}
+
+/// Reusable buffers for the batched scoring pass — one per worker, so the
+/// hot path allocates nothing per request.
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    /// Per-segment resolved verdicts (`None` = no model installed).
+    preds: Vec<Option<bool>>,
+    /// Flat `[f32; N_FEATURES] × k` row buffer for `score_rows`.
+    rows: Vec<f32>,
+    /// Scores coming back from the model, parallel to `miss_idx`.
+    scored: Vec<f32>,
+    /// Segment positions whose verdict was not memoized.
+    miss_idx: Vec<usize>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One shard's private state (guarded by its mutex).
@@ -36,15 +71,96 @@ pub(crate) struct ShardState {
     response: ResponseTime,
     confusion: ConfusionMatrix,
     evicted: Vec<Evicted<ObjectId>>,
+    decisions: DecisionCache,
 }
 
 impl ShardState {
-    /// Drive one request through this shard, mirroring the single-threaded
-    /// pipeline's per-request sequence exactly.
-    fn process(
+    /// Resolve one same-(model, epoch) run of `run` into `scratch.preds`
+    /// (positions `offset..offset + run.len()`): decision-cache hits answer
+    /// immediately; the misses are gathered into one flat row buffer and
+    /// scored with a single `score_rows` call, then memoized. Verdicts are
+    /// exactly `model.predict` for every request — memo hits by the cache's
+    /// epoch + bit-exact-feature guard, fresh scores because `score_rows`
+    /// walks the same flattened tree as `predict`.
+    fn resolve_run(
+        &mut self,
+        run: &[(&PreparedRequest, Option<&DecisionTree>, u64)],
+        model: &DecisionTree,
+        epoch: u64,
+        use_cache: bool,
+        scratch: &mut BatchScratch,
+        offset: usize,
+    ) {
+        scratch.rows.clear();
+        scratch.miss_idx.clear();
+        if use_cache {
+            self.decisions.ensure_epoch(epoch);
+            for (j, &(req, _, _)) in run.iter().enumerate() {
+                let bits = feature_bits(&req.features);
+                match self.decisions.lookup(req.object, &bits) {
+                    Some(v) => scratch.preds[offset + j] = Some(v),
+                    None => {
+                        scratch.miss_idx.push(offset + j);
+                        scratch.rows.extend_from_slice(&req.features);
+                    }
+                }
+            }
+        } else {
+            for (j, &(req, _, _)) in run.iter().enumerate() {
+                scratch.miss_idx.push(offset + j);
+                scratch.rows.extend_from_slice(&req.features);
+            }
+        }
+        if scratch.miss_idx.is_empty() {
+            return;
+        }
+        scratch.scored.clear();
+        model.score_rows(&scratch.rows, N_FEATURES, &mut scratch.scored);
+        for (&k, &score) in scratch.miss_idx.iter().zip(&scratch.scored) {
+            let v = score >= 0.5;
+            scratch.preds[k] = Some(v);
+            if use_cache {
+                let req = run[k - offset].0;
+                self.decisions.insert(req.object, feature_bits(&req.features), v);
+            }
+        }
+    }
+
+    /// The classifier's verdict for a miss: `None` while no model is
+    /// installed, else `Some(model.predict(features))` — memoized in the
+    /// decision cache when enabled. Memoization is exact: a hit requires
+    /// the same model epoch and bit-identical features, so the returned
+    /// verdict always equals a fresh `predict`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn admission_verdict(
         &mut self,
         req: &PreparedRequest,
         model: Option<&DecisionTree>,
+        epoch: u64,
+        use_cache: bool,
+    ) -> Option<bool> {
+        let model = model?;
+        if !use_cache {
+            return Some(model.predict(&req.features));
+        }
+        self.decisions.ensure_epoch(epoch);
+        let bits = feature_bits(&req.features);
+        if let Some(v) = self.decisions.lookup(req.object, &bits) {
+            return Some(v);
+        }
+        let v = model.predict(&req.features);
+        self.decisions.insert(req.object, bits, v);
+        Some(v)
+    }
+
+    /// Drive one request through this shard, mirroring the single-threaded
+    /// pipeline's per-request sequence exactly. The classifier verdict may
+    /// arrive precomputed (batched scoring); confusion and history
+    /// bookkeeping always runs here, in request order.
+    fn process(
+        &mut self,
+        req: &PreparedRequest,
+        verdict: Verdict<'_>,
         p: &Params,
         second_hit: Option<&Mutex<SecondHitAdmission>>,
     ) {
@@ -58,17 +174,24 @@ impl ShardState {
         let admit = match p.mode {
             Mode::Original => true,
             Mode::Ideal => !req.truth,
-            Mode::Proposal => classifier_decide(
-                model,
-                &mut self.history,
-                &mut self.confusion,
-                p.use_history,
-                p.m,
-                req.object,
-                &req.features,
-                now,
-                req.truth,
-            ),
+            Mode::Proposal => {
+                let predicted = match verdict {
+                    Verdict::Resolve(model, epoch) => {
+                        self.admission_verdict(req, model, epoch, p.decision_cache)
+                    }
+                    Verdict::Ready(predicted) => predicted,
+                };
+                classifier_apply(
+                    predicted,
+                    &mut self.history,
+                    &mut self.confusion,
+                    p.use_history,
+                    p.m,
+                    req.object,
+                    now,
+                    req.truth,
+                )
+            }
             // A missing doorkeeper is a wiring bug; degrade to admit-always
             // (Original behaviour) rather than unwind a worker thread.
             Mode::SecondHit => match second_hit {
@@ -139,6 +262,7 @@ impl ShardedCache {
                     response: ResponseTime::default(),
                     confusion: ConfusionMatrix::default(),
                     evicted: Vec::new(),
+                    decisions: DecisionCache::new(shard_history),
                 })
             })
             .collect();
@@ -160,10 +284,75 @@ impl ShardedCache {
         (z ^ (z >> 31)) as usize % self.shards.len()
     }
 
-    /// Route one request to its shard and process it under the shard lock.
-    pub(crate) fn process(&self, req: &PreparedRequest, model: Option<&DecisionTree>) {
+    /// Route one request to its shard and process it under the shard lock,
+    /// resolving the classifier verdict there (decision cache, then a fresh
+    /// `predict`). `epoch` is the gate epoch `model` was snapshotted at.
+    /// Reference path for the batched-equals-sequential tests; production
+    /// workers batch through [`ShardedCache::process_segment`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn process(&self, req: &PreparedRequest, model: Option<&DecisionTree>, epoch: u64) {
         let shard = &self.shards[self.shard_of(req.object)];
-        shard.lock().process(req, model, &self.params, self.second_hit.as_ref());
+        shard.lock().process(
+            req,
+            Verdict::Resolve(model, epoch),
+            &self.params,
+            self.second_hit.as_ref(),
+        );
+    }
+
+    /// Process a batch segment routed to shard `shard_idx` under one shard
+    /// lock: first a scoring pass that resolves every classifier verdict
+    /// (memo lookups, then one `score_rows` call per same-(model, epoch)
+    /// run), then the sequential per-request decision pass in arrival
+    /// order. Decisions are bit-identical to feeding the segment through
+    /// [`ShardedCache::process`] one request at a time — only the number of
+    /// lock acquisitions and tree walks changes.
+    pub(crate) fn process_segment(
+        &self,
+        shard_idx: usize,
+        segment: &[(&PreparedRequest, Option<&DecisionTree>, u64)],
+        scratch: &mut BatchScratch,
+    ) {
+        if segment.is_empty() {
+            return;
+        }
+        let p = &self.params;
+        let mut shard = self.shards[shard_idx].lock();
+        scratch.preds.clear();
+        scratch.preds.resize(segment.len(), None);
+        if p.mode == Mode::Proposal {
+            let mut start = 0;
+            while start < segment.len() {
+                let (_, model, epoch) = segment[start];
+                let mut end = start + 1;
+                while end < segment.len() {
+                    let (_, m2, e2) = segment[end];
+                    let same = match (model, m2) {
+                        (Some(a), Some(b)) => std::ptr::eq(a, b) && epoch == e2,
+                        (None, None) => true,
+                        _ => false,
+                    };
+                    if !same {
+                        break;
+                    }
+                    end += 1;
+                }
+                if let Some(model) = model {
+                    shard.resolve_run(
+                        &segment[start..end],
+                        model,
+                        epoch,
+                        p.decision_cache,
+                        scratch,
+                        start,
+                    );
+                }
+                start = end;
+            }
+        }
+        for (k, &(req, _, _)) in segment.iter().enumerate() {
+            shard.process(req, Verdict::Ready(scratch.preds[k]), p, self.second_hit.as_ref());
+        }
     }
 
     /// Route the request to its shard, take the shard lock, then panic with
@@ -215,6 +404,7 @@ mod tests {
             classified: mode != Mode::Original,
             use_history: true,
             m: 100,
+            decision_cache: true,
         }
     }
 
@@ -226,7 +416,7 @@ mod tests {
             size,
             features: [0.0; otae_core::N_FEATURES],
             truth,
-            model: ModelSource::Stamped(None),
+            model: ModelSource::Stamped { model: None, epoch: 0 },
         }
     }
 
@@ -261,7 +451,7 @@ mod tests {
     fn per_shard_counters_sum_to_merged() {
         let c = sharded(4, Mode::Original);
         for i in 0..500u64 {
-            c.process(&prepared(i, (i % 37) as u32, 1000, false), None);
+            c.process(&prepared(i, (i % 37) as u32, 1000, false), None, 0);
         }
         let snap = c.snapshot();
         assert_eq!(snap.stats.accesses, 500);
@@ -276,8 +466,8 @@ mod tests {
     #[test]
     fn ideal_mode_bypasses_one_time_objects() {
         let c = sharded(2, Mode::Ideal);
-        c.process(&prepared(0, 1, 1000, true), None);
-        c.process(&prepared(1, 2, 1000, false), None);
+        c.process(&prepared(0, 1, 1000, true), None, 0);
+        c.process(&prepared(1, 2, 1000, false), None, 0);
         let snap = c.snapshot();
         assert_eq!(snap.stats.bypasses, 1);
         assert_eq!(snap.stats.files_written, 1);
@@ -287,7 +477,7 @@ mod tests {
     fn injected_panic_leaves_shard_usable_and_counters_untouched() {
         crate::fault::silence_injected_panics();
         let c = sharded(2, Mode::Original);
-        c.process(&prepared(0, 1, 1000, false), None);
+        c.process(&prepared(0, 1, 1000, false), None, 0);
         let req = prepared(1, 1, 1000, false);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             c.process_with_injected_panic(&req)
@@ -295,10 +485,81 @@ mod tests {
         assert!(result.is_err(), "injection must unwind");
         // The shard recovered: same object still hits, counters saw exactly
         // the two *real* requests.
-        c.process(&prepared(2, 1, 1000, false), None);
+        c.process(&prepared(2, 1, 1000, false), None, 0);
         let snap = c.snapshot();
         assert_eq!(snap.stats.accesses, 2);
         assert_eq!(snap.stats.hits, 1);
+    }
+
+    /// The tentpole exactness claim at shard granularity: pushing a stream
+    /// through `process_segment` in arbitrary batch sizes — with and
+    /// without the decision cache — must leave counters bit-identical to
+    /// the one-request-at-a-time reference path, including across a model
+    /// swap mid-stream.
+    #[test]
+    fn batched_segments_match_per_request_processing_exactly() {
+        use otae_ml::{Dataset, TreeParams};
+        fn tree(threshold: f32) -> DecisionTree {
+            let mut d = Dataset::new(otae_core::N_FEATURES);
+            for i in 0..100 {
+                let mut row = [0.0f32; otae_core::N_FEATURES];
+                row[0] = i as f32 / 100.0;
+                d.push(&row, row[0] > threshold);
+            }
+            let mut t = DecisionTree::new(TreeParams::default());
+            t.fit(&d);
+            t
+        }
+        let model_a = tree(0.5);
+        let model_b = tree(0.2);
+        // A stream with repeats (memo hits), a swap at the midpoint, and
+        // truths that exercise both confusion outcomes.
+        let reqs: Vec<PreparedRequest> = (0..400u64)
+            .map(|i| {
+                let mut r = prepared(i, (i % 23) as u32, 500 + (i % 7) * 100, i % 3 == 0);
+                r.features[0] = (i % 10) as f32 / 10.0;
+                r
+            })
+            .collect();
+        let resolved: Vec<(&PreparedRequest, Option<&DecisionTree>, u64)> = reqs
+            .iter()
+            .enumerate()
+            .map(
+                |(i, r)| {
+                    if i < 200 {
+                        (r, Some(&model_a), 1u64)
+                    } else {
+                        (r, Some(&model_b), 2u64)
+                    }
+                },
+            )
+            .collect();
+
+        let reference = sharded(1, Mode::Proposal);
+        for &(req, model, epoch) in &resolved {
+            reference.process(req, model, epoch);
+        }
+        let want = reference.snapshot();
+        assert!(want.confusion.total() > 0, "models must have been consulted");
+        assert!(want.stats.bypasses > 0 && want.stats.files_written > 0);
+
+        for batch in [1usize, 3, 32, 400] {
+            for cache_on in [true, false] {
+                let trace =
+                    generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
+                let mut p = params(Mode::Proposal);
+                p.decision_cache = cache_on;
+                let c = ShardedCache::new(1, PolicyKind::Lru, 1 << 20, 64, &trace, p, None);
+                let mut scratch = BatchScratch::new();
+                for seg in resolved.chunks(batch) {
+                    c.process_segment(0, seg, &mut scratch);
+                }
+                let got = c.snapshot();
+                assert_eq!(got.stats, want.stats, "batch={batch} cache={cache_on}");
+                assert_eq!(got.confusion, want.confusion, "batch={batch} cache={cache_on}");
+                assert_eq!(got.rectifications, want.rectifications);
+            }
+        }
     }
 
     /// §4.4.2 across a hot swap: an object judged one-time under model A and
@@ -324,12 +585,12 @@ mod tests {
         let mut req = prepared(0, 7, 1000, true);
         req.features[0] = 0.9; // one-time under both models
         assert!(model_a.predict(&req.features) && model_b.predict(&req.features));
-        c.process(&req, Some(&model_a));
+        c.process(&req, Some(&model_a), 1);
         // Same object misses again within M (= 100 in these params), but the
         // gate has swapped to model B in between.
         let mut again = prepared(50, 7, 1000, true);
         again.features[0] = 0.9;
-        c.process(&again, Some(&model_b));
+        c.process(&again, Some(&model_b), 2);
         let snap = c.snapshot();
         assert_eq!(snap.rectifications, 1, "history must rectify across the swap");
         assert_eq!(snap.stats.bypasses, 1, "first miss bypassed");

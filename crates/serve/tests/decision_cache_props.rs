@@ -1,0 +1,113 @@
+//! Property: decision-cache coherence. For any request stream and any
+//! model hot-swap schedule, a verdict resolved through the memo protocol
+//! (ensure current epoch → lookup → predict-and-insert on miss) equals a
+//! fresh `Classifier::predict` against the model *currently* installed in
+//! the gate — i.e. a cached decision can never survive a swap or a feature
+//! change — and the memo never exceeds its capacity bound.
+
+use otae_core::N_FEATURES;
+use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+use otae_serve::{feature_bits, AdmissionGate, DecisionCache};
+use otae_trace::ObjectId;
+use proptest::prelude::*;
+
+fn tree(threshold: f32) -> DecisionTree {
+    let mut d = Dataset::new(N_FEATURES);
+    for i in 0..100 {
+        let mut row = [0.0f32; N_FEATURES];
+        row[0] = i as f32 / 100.0;
+        row[1] = 1.0 - row[0];
+        d.push(&row, row[0] > threshold);
+    }
+    let mut t = DecisionTree::new(TreeParams::default());
+    t.fit(&d);
+    t
+}
+
+/// Deterministic feature row per (object, variant): repeats of the same
+/// pair produce bit-identical rows (memo hits), a different variant for
+/// the same object produces different bits (the guard must miss).
+fn row_for(obj: u32, variant: u8) -> [f32; N_FEATURES] {
+    let mut row = [0.0f32; N_FEATURES];
+    let mut z = ((obj as u64) << 8) | variant as u64;
+    for v in row.iter_mut() {
+        z = z.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        *v = (z >> 40) as f32 / (1u64 << 24) as f32;
+    }
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The coherence invariant, under arbitrary interleavings of repeat
+    /// lookups, feature drift, and hot swaps.
+    #[test]
+    fn memoized_verdicts_always_match_a_fresh_predict_on_the_installed_model(
+        ops in proptest::collection::vec(
+            // (object, feature variant, swap roll — 0 of 0..20 ≈ 5% swaps)
+            (0u32..40, 0u8..4, 0u8..20),
+            1..400,
+        ),
+        capacity in 1usize..64,
+    ) {
+        let trees: Vec<DecisionTree> =
+            [0.2f32, 0.4, 0.6, 0.8].iter().map(|&t| tree(t)).collect();
+        let gate = AdmissionGate::new();
+        gate.install(trees[0].clone());
+        let mut cache = DecisionCache::new(capacity);
+        let mut swaps = 0usize;
+
+        for (obj, variant, swap_roll) in ops {
+            if swap_roll == 0 {
+                swaps += 1;
+                gate.install(trees[swaps % trees.len()].clone());
+            }
+            let (model, epoch) = gate.current_with_epoch();
+            let model = model.expect("gate was warmed above");
+
+            let row = row_for(obj, variant);
+            let bits = feature_bits(&row);
+            cache.ensure_epoch(epoch);
+            let verdict = match cache.lookup(ObjectId(obj), &bits) {
+                Some(v) => v,
+                None => {
+                    let v = model.predict(&row);
+                    cache.insert(ObjectId(obj), bits, v);
+                    v
+                }
+            };
+
+            prop_assert_eq!(
+                verdict,
+                model.predict(&row),
+                "memoized verdict diverged from the installed model \
+                 (obj {}, variant {}, epoch {})",
+                obj, variant, epoch
+            );
+            prop_assert!(cache.len() <= capacity, "memo exceeded its bound");
+            prop_assert_eq!(cache.epoch(), epoch);
+        }
+        prop_assert_eq!(gate.swaps(), swaps as u64 + 1);
+    }
+
+    /// A swap invalidates wholesale: immediately after pointing the cache
+    /// at a new epoch, every previously memoized object misses.
+    #[test]
+    fn every_memoized_verdict_dies_on_a_swap(
+        objs in proptest::collection::vec(0u32..100, 1..50),
+    ) {
+        let model = tree(0.5);
+        let mut cache = DecisionCache::new(64);
+        cache.ensure_epoch(1);
+        for &o in &objs {
+            let row = row_for(o, 0);
+            cache.insert(ObjectId(o), feature_bits(&row), model.predict(&row));
+        }
+        cache.ensure_epoch(2);
+        prop_assert!(cache.is_empty());
+        for &o in &objs {
+            prop_assert_eq!(cache.lookup(ObjectId(o), &feature_bits(&row_for(o, 0))), None);
+        }
+    }
+}
