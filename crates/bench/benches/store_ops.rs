@@ -1,0 +1,98 @@
+//! Segment-store operation latency: append batches at queue depths
+//! {1, 16, 64}, indexed reads against a populated store, and a full
+//! compaction pass over a churned device. Complements the
+//! `store_throughput` experiment bin (which records the `store_*`
+//! trajectory in `BENCH_serve.json`) with Criterion's statistical view.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use otae_serve::fill_payload;
+use otae_store::{MemBackend, NoStoreFaults, SegmentStore, StoreConfig};
+use std::sync::Arc;
+
+const APPENDS_PER_ITER: usize = 1_000;
+const KEYS: u64 = 256;
+
+fn open_mem(queue_depth: usize, compact: bool) -> SegmentStore {
+    let cfg = StoreConfig {
+        segment_bytes: 1 << 20,
+        queue_depth,
+        compact_trigger: if compact { Some(0.5) } else { None },
+    };
+    let (store, _) = SegmentStore::open(Arc::new(MemBackend::new()), cfg, Arc::new(NoStoreFaults))
+        .expect("open");
+    store
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Put `n` deterministic records and flush — the measured unit of the
+/// append benchmarks.
+fn append_batch(store: &SegmentStore, n: usize) {
+    let mut state = 0x5EEDu64;
+    let mut buf = Vec::new();
+    for _ in 0..n {
+        let r = splitmix(&mut state);
+        let key = r % KEYS;
+        fill_payload(key, 64 + (r % 512) as usize, &mut buf);
+        store.put(key, &buf).expect("put");
+    }
+    store.flush().expect("flush");
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append_1k");
+    group.sample_size(10);
+    for qd in [1usize, 16, 64] {
+        group.bench_function(BenchmarkId::new("queue_depth", qd), |b| {
+            // The vendored criterion stub has no iter_batched: a fresh
+            // store per iteration is built inside the measured closure
+            // (open cost is constant across queue depths, so relative
+            // numbers still isolate the queue).
+            b.iter(|| {
+                let store = open_mem(qd, false);
+                append_batch(&store, APPENDS_PER_ITER);
+                black_box(store)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let store = open_mem(64, false);
+    append_batch(&store, 10_000);
+    let mut state = 0xBEEFu64;
+    c.bench_function("store_get", |b| {
+        b.iter(|| {
+            let key = splitmix(&mut state) % KEYS;
+            black_box(store.get(black_box(key)).expect("get"))
+        })
+    });
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_compact_pass");
+    group.sample_size(10);
+    group.bench_function("churned_10k", |b| {
+        b.iter(|| {
+            // Overwrite churn: ~40 versions per key leave most sealed
+            // bytes dead, so a pass has real relocation work. Setup runs
+            // inside the measured closure (no iter_batched in the
+            // vendored criterion stub).
+            let store = open_mem(64, false);
+            append_batch(&store, 10_000);
+            black_box(store.compact().expect("compact"));
+            black_box(store)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_read, bench_compact);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension: segment-store append/read/compact throughput, recovery time
+//! and measured write amplification.
+fn main() {
+    otae_bench::experiments::store::run();
+}

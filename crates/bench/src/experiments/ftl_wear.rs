@@ -10,24 +10,18 @@ use crate::common::{f4, gb_to_bytes, standard_trace, Table};
 use otae_core::pipeline::{run_with_observer, CacheEvent};
 use otae_core::reaccess::ReaccessIndex;
 use otae_core::{Mode, PolicyKind, RunConfig};
-use otae_device::{FtlConfig, FtlSim};
+use otae_device::{FtlConfig, FtlSim, SsdWearModel, WearLedger};
 
 /// Size an FTL for the cache: 4 KiB pages (bounding the per-object rounding
 /// loss), 25 % filesystem-level slack over the cache's byte capacity, plus
 /// 12.5 % over-provisioning — a realistic cache-SSD provisioning.
-fn ftl_for(capacity: u64) -> FtlSim {
+fn ftl_config_for(capacity: u64) -> FtlConfig {
     let page_size = 4 * 1024u32;
     let pages_per_block = 256u32;
     let block_bytes = page_size as u64 * pages_per_block as u64;
     let visible = ((capacity as f64 * 1.25) as u64).div_ceil(block_bytes).max(8) as u32;
     let op = (visible / 8).max(2); // 12.5 % over-provisioning
-    FtlSim::new(FtlConfig {
-        page_size,
-        pages_per_block,
-        blocks: visible + op,
-        op_blocks: op,
-        gc_threshold: 4,
-    })
+    FtlConfig { page_size, pages_per_block, blocks: visible + op, op_blocks: op, gc_threshold: 4 }
 }
 
 /// Run the FTL wear comparison (LRU replacement, 6 GB-equivalent cache).
@@ -35,6 +29,11 @@ pub fn run() {
     let trace = standard_trace();
     let index = ReaccessIndex::build(&trace);
     let cap = gb_to_bytes(&trace, 6.0);
+    let cfg = ftl_config_for(cap);
+    // Endurance model sized to this device; WA in the model is irrelevant
+    // here because every ledger carries a measured GC stream.
+    let wear =
+        SsdWearModel { capacity: cfg.visible_bytes(), pe_cycles: 3000, write_amplification: 1.5 };
 
     let mut t = Table::new(
         "FTL-level wear (greedy-GC page-mapped flash under the cache)",
@@ -45,12 +44,13 @@ pub fn run() {
             "measured WA",
             "erases",
             "max/mean block wear",
+            "life consumed",
             "relative lifetime",
         ],
     );
-    let mut baseline_physical = 0u64;
+    let mut baseline_life = 0.0f64;
     for mode in [Mode::Original, Mode::SecondHit, Mode::Proposal, Mode::Ideal] {
-        let mut ftl = ftl_for(cap);
+        let mut ftl = FtlSim::new(cfg);
         let mut dropped = 0u64;
         run_with_observer(
             &trace,
@@ -66,21 +66,22 @@ pub fn run() {
             },
         );
         let s = ftl.stats();
+        // Lifetime runs on measured bytes: the FTL exports its page
+        // counters as a byte ledger, the wear model's only input format.
+        let ledger: WearLedger = ftl.wear_ledger();
+        let life = wear.life_consumed(&ledger);
         if mode == Mode::Original {
-            baseline_physical = s.physical_pages;
+            baseline_life = life;
         }
-        let lifetime = if s.physical_pages == 0 {
-            f64::INFINITY
-        } else {
-            baseline_physical as f64 / s.physical_pages as f64
-        };
+        let lifetime = if life == 0.0 { f64::INFINITY } else { baseline_life / life };
         t.push_row(vec![
             mode.name().into(),
             s.host_pages.to_string(),
             s.physical_pages.to_string(),
-            f4(s.write_amplification()),
+            f4(ledger.write_amplification()),
             s.erases.to_string(),
             format!("{}/{:.1}", ftl.max_erases(), ftl.mean_erases()),
+            format!("{:.3}%", life * 100.0),
             format!("{lifetime:.2}x"),
         ]);
         if dropped > 0 {

@@ -12,6 +12,7 @@ pub mod figures;
 pub mod ftl_wear;
 pub mod online;
 pub mod serve;
+pub mod store;
 pub mod table1;
 pub mod tails;
 pub mod tiered;

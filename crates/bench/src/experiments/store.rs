@@ -1,0 +1,204 @@
+//! Extension: segment-store throughput and recovery cost — append, read
+//! and compaction ops/s at several queue depths, the wall time of the
+//! recovery scan, and the *measured* write amplification of an
+//! overwrite-churn workload. The `store_*` numbers are merged into the
+//! repo-root `BENCH_serve.json` next to the serve trajectory (the store
+//! lives under the same service).
+//!
+//! Wall-clock timing is deliberate here: `otae-serve` is barred from
+//! timing anything (otae-lint: no-wall-clock), so the store's
+//! `store_recovery_ms` acceptance number is measured in this crate.
+
+use crate::common::{f4, smoke_mode, BenchJson, Table};
+use otae_serve::fill_payload;
+use otae_store::{MemBackend, NoStoreFaults, SegmentStore, StoreConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queue depths swept for the append path (the bounded-channel seam).
+const QUEUE_DEPTHS: [usize; 3] = [1, 16, 64];
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn open_mem(backend: &MemBackend, queue_depth: usize, compact: bool) -> SegmentStore {
+    let cfg = StoreConfig {
+        segment_bytes: 1 << 20,
+        queue_depth,
+        compact_trigger: if compact { Some(0.5) } else { None },
+    };
+    let (store, _) = SegmentStore::open(Arc::new(backend.clone()), cfg, Arc::new(NoStoreFaults))
+        .expect("in-memory store open cannot fail");
+    store
+}
+
+/// Append `n` puts over `keys` distinct keys (deterministic payload sizes
+/// 64..1088 bytes) and flush; returns elapsed seconds.
+fn append_run(store: &SegmentStore, n: usize, keys: u64) -> f64 {
+    let mut state = 0x5EED_0A11u64;
+    let mut buf = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let r = splitmix(&mut state);
+        let key = r % keys;
+        fill_payload(key, 64 + (r % 1024) as usize, &mut buf);
+        store.put(key, &buf).expect("bench put");
+    }
+    store.flush().expect("bench flush");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Run the store sweep; prints the table, writes
+/// `results/store_throughput.csv`, and merges `store_*` stages and the
+/// acceptance metrics (`store_append_ops`, `store_recovery_ms`,
+/// `write_amplification`) into `BENCH_serve.json`.
+pub fn run() {
+    let smoke = smoke_mode();
+    let n_appends = if smoke { 2_000 } else { 200_000 };
+    let n_reads = if smoke { 2_000 } else { 200_000 };
+    let keys = (n_appends / 4).max(16) as u64;
+
+    let mut table = Table::new(
+        "segment store — append/read/compact throughput, recovery, measured WA",
+        &["stage", "queue_depth", "ops", "wall_s", "ops_per_s"],
+    );
+    let mut json = BenchJson::new("store_throughput");
+    let mut best_append = 0.0f64;
+
+    // Append path at each queue depth: same op stream, fresh device.
+    for &qd in &QUEUE_DEPTHS {
+        let backend = MemBackend::new();
+        let store = open_mem(&backend, qd, false);
+        let wall = append_run(&store, n_appends, keys);
+        let ops = n_appends as f64 / wall;
+        best_append = best_append.max(ops);
+        json.stage(&format!("store_append_q{qd}"), wall, ops);
+        table.push_row(vec![
+            "append".into(),
+            qd.to_string(),
+            n_appends.to_string(),
+            f4(wall),
+            format!("{ops:.0}"),
+        ]);
+    }
+
+    // A churned device shared by the read / compact / recovery stages:
+    // every key overwritten ~4× so sealed segments carry dead bytes.
+    let backend = MemBackend::new();
+    let store = open_mem(&backend, 64, false);
+    append_run(&store, n_appends, keys);
+
+    let mut state = 0xBEEFu64;
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..n_reads {
+        let key = splitmix(&mut state) % keys;
+        if store.get(key).expect("bench get").is_some() {
+            hits += 1;
+        }
+    }
+    let read_wall = t0.elapsed().as_secs_f64();
+    let read_ops = n_reads as f64 / read_wall;
+    assert!(hits > 0, "read stage must actually hit live records");
+    json.stage("store_read", read_wall, read_ops);
+    table.push_row(vec![
+        "read".into(),
+        "64".into(),
+        n_reads.to_string(),
+        f4(read_wall),
+        format!("{read_ops:.0}"),
+    ]);
+
+    // Compaction: rewrite live records out of the deadest segments until
+    // progress stops. Ops here are compaction passes.
+    let t0 = Instant::now();
+    let mut passes = 0u64;
+    loop {
+        let report = store.compact().expect("bench compact");
+        if report.victim.is_none() {
+            break;
+        }
+        passes += 1;
+        if passes >= 64 {
+            break;
+        }
+    }
+    let compact_wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let compact_ops = passes as f64 / compact_wall;
+    json.stage("store_compact", compact_wall, compact_ops);
+    table.push_row(vec![
+        "compact".into(),
+        "64".into(),
+        passes.to_string(),
+        f4(compact_wall),
+        format!("{compact_ops:.0}"),
+    ]);
+
+    let stats = store.stats();
+    let wa = stats.write_amplification();
+    let live = stats.live_records;
+    drop(store); // clean shutdown; the device's bytes survive
+
+    // Recovery: reopen the churned + compacted device and time the scan.
+    let t0 = Instant::now();
+    let (recovered, report) = SegmentStore::open(
+        Arc::new(backend.clone()),
+        StoreConfig { segment_bytes: 1 << 20, queue_depth: 64, compact_trigger: None },
+        Arc::new(NoStoreFaults),
+    )
+    .expect("recovery open");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.live_records, live, "recovery must rebuild the same index");
+    let recovered_per_s =
+        if recovery_ms > 0.0 { report.records as f64 / (recovery_ms / 1e3) } else { 0.0 };
+    json.stage("store_recovery", recovery_ms / 1e3, recovered_per_s);
+    table.push_row(vec![
+        "recovery".into(),
+        "-".into(),
+        report.records.to_string(),
+        f4(recovery_ms / 1e3),
+        format!("{recovered_per_s:.0}"),
+    ]);
+    drop(recovered);
+
+    json.metric("store_append_ops", best_append);
+    json.metric("store_recovery_ms", recovery_ms);
+    json.metric("write_amplification", wa);
+    println!(
+        "store: best append {best_append:.0} ops/s, recovery {recovery_ms:.2} ms, \
+         measured WA {wa:.3} (GC {} of {} physical bytes)",
+        stats.gc_bytes,
+        stats.physical_bytes()
+    );
+    table.emit("store_throughput");
+    json.merge_write("BENCH_serve.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_recovery_paths_report_sane_numbers() {
+        let backend = MemBackend::new();
+        let store = open_mem(&backend, 16, false);
+        let wall = append_run(&store, 500, 64);
+        assert!(wall > 0.0);
+        let s = store.stats();
+        assert_eq!(s.acked_puts, 500);
+        assert!(s.write_amplification() >= 1.0);
+        drop(store);
+        let (_, report) = SegmentStore::open(
+            Arc::new(backend.clone()),
+            StoreConfig { segment_bytes: 1 << 20, queue_depth: 16, compact_trigger: None },
+            Arc::new(NoStoreFaults),
+        )
+        .expect("reopen");
+        assert_eq!(report.records, 500);
+    }
+}

@@ -13,6 +13,7 @@
 //! greedy victim selection (fewest valid pages), relocation of valid pages
 //! on erase, and per-block program/erase wear counters.
 
+use crate::wear::WearLedger;
 use otae_fxhash::FxHashMap;
 
 /// FTL geometry and policy parameters.
@@ -146,6 +147,17 @@ impl FtlSim {
     /// Cumulative statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    /// The device's cumulative write stream as a byte ledger: host pages
+    /// and GC-relocated pages scaled by the page size. This is how FTL
+    /// output reaches [`SsdWearModel`](crate::SsdWearModel) — page counts
+    /// never feed the wear model directly.
+    pub fn wear_ledger(&self) -> WearLedger {
+        let mut ledger = WearLedger::new();
+        ledger.record_host_write(self.stats.host_pages * self.cfg.page_size as u64);
+        ledger.record_gc_write(self.stats.relocated_pages * self.cfg.page_size as u64);
+        ledger
     }
 
     /// Live (valid) bytes currently stored.
@@ -409,6 +421,23 @@ mod tests {
         f.write_object(7, 4096).unwrap();
         assert_eq!(f.live_bytes(), 4096, "old pages must be invalidated");
         assert_eq!(f.stats().host_pages, 4);
+    }
+
+    #[test]
+    fn wear_ledger_mirrors_page_counters_in_bytes() {
+        let mut f = FtlSim::new(small());
+        for i in 0..3000u64 {
+            if i >= 150 {
+                f.invalidate_object(i - 150);
+            }
+            f.write_object(i, 4096).expect("bounded live set");
+        }
+        let s = f.stats();
+        let l = f.wear_ledger();
+        assert_eq!(l.host_bytes(), s.host_pages * 4096);
+        assert_eq!(l.gc_bytes(), s.relocated_pages * 4096);
+        assert_eq!(l.physical_bytes(), s.physical_pages * 4096);
+        assert!((l.write_amplification() - s.write_amplification()).abs() < 1e-12);
     }
 
     #[test]

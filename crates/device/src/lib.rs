@@ -15,4 +15,4 @@ pub mod wear;
 
 pub use ftl::{FtlConfig, FtlSim, FtlStats};
 pub use latency::{LatencyModel, ResponseTime};
-pub use wear::SsdWearModel;
+pub use wear::{SsdWearModel, WearLedger};

@@ -7,7 +7,10 @@
 //! dropped model swaps, and shard panic-and-recover — while a differential
 //! oracle checks the concurrent implementation against the single-threaded
 //! simulator (exactly where deterministic, by conservation elsewhere, plus
-//! metamorphic properties).
+//! metamorphic properties). The segment store gets its own rungs
+//! ([`store_oracle`]): scripted writer crashes with torn tails followed by
+//! a recovery scan that must rebuild exactly the acknowledged state, and a
+//! differential check that attaching the store never changes decisions.
 //!
 //! Every failure report carries the trace seed and the fault schedule, and
 //! prints the one-line `cargo run -p otae-harness -- --seed … --plan …`
@@ -18,6 +21,7 @@
 pub mod oracle;
 pub mod plan;
 pub mod run;
+pub mod store_oracle;
 
 pub use oracle::{
     differential_hot_path, differential_mode, differential_oracle, full_oracle,
@@ -25,3 +29,4 @@ pub use oracle::{
 };
 pub use plan::{Fault, FaultSchedule, ScriptedPlan};
 pub use run::{case_trace, run_case, CaseConfig, HarnessFailure};
+pub use store_oracle::{differential_store, store_recovery_oracle};

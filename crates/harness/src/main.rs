@@ -49,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn smoke(seed: u64, objects: usize) -> Result<(), HarnessFailure> {
-    eprintln!("harness smoke: differential + metamorphic oracle (seed {seed})");
+    eprintln!("harness smoke: differential + metamorphic + store oracles (seed {seed})");
     full_oracle(seed, objects)?;
     for plan in ["training-outage", "stalled-swaps", "shard-chaos"] {
         let Some(schedule) = FaultSchedule::by_name(plan) else {

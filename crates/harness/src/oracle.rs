@@ -263,12 +263,15 @@ pub fn metamorphic_capacity_monotone(seed: u64, n_objects: usize) -> Result<(), 
     Ok(())
 }
 
-/// The full oracle: differential across modes plus both metamorphic checks.
+/// The full oracle: differential across modes plus both metamorphic checks,
+/// and the segment-store recovery + differential rungs.
 pub fn full_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
     differential_oracle(seed, n_objects)?;
     differential_hot_path(seed, n_objects)?;
     metamorphic_gate_disabled(seed, n_objects)?;
     metamorphic_capacity_monotone(seed, n_objects)?;
+    crate::store_oracle::store_recovery_oracle(seed)?;
+    crate::store_oracle::differential_store(seed, n_objects)?;
     Ok(())
 }
 

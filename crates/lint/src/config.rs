@@ -107,9 +107,13 @@ impl Rule {
             Rule::NoSiphash => &[],
             Rule::NoWallClock => &[],
             Rule::NoUnseededRng => &[],
-            Rule::NoPanicInServe => &["crates/serve/src/", "crates/harness/src/"],
+            Rule::NoPanicInServe => {
+                &["crates/serve/src/", "crates/harness/src/", "crates/store/src/"]
+            }
             Rule::NoFloatNondeterminism => &["crates/ml/src/", "crates/core/src/"],
-            Rule::BoundedChannel => &["crates/serve/src/", "crates/harness/src/"],
+            Rule::BoundedChannel => {
+                &["crates/serve/src/", "crates/harness/src/", "crates/store/src/"]
+            }
             Rule::AdvisoryClonePerRequest => &[
                 "crates/serve/src/loadgen.rs",
                 "crates/serve/src/shard.rs",

@@ -586,6 +586,16 @@ mod tests {
     }
 
     #[test]
+    fn store_sources_are_in_scope_for_panic_and_channel_rules() {
+        let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_at("crates/store/src/store.rs", unwrap), [("no-panic-in-serve", 1)]);
+        let unbounded = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert_eq!(rules_at("crates/store/src/store.rs", unbounded), [("bounded-channel", 1)]);
+        // Out-of-scope crates stay exempt.
+        assert!(rules_at("crates/trace/src/codec.rs", unwrap).is_empty());
+    }
+
+    #[test]
     fn allow_comment_suppresses_same_and_next_line() {
         let same = "fn f() { let t = Instant::now(); } // otae-lint: allow(no-wall-clock)\n";
         assert!(rules_at("crates/serve/src/service.rs", same).is_empty());

@@ -111,6 +111,10 @@ pub struct FaultReport {
     /// True when the retrainer thread itself died; the service keeps
     /// serving with whatever model the gate last held.
     pub retrainer_failure: bool,
+    /// Segment-store operations that failed (a refused open degrades the
+    /// run to storeless serving; put/remove/flush errors after a store
+    /// crash each count once). Always zero when no store is attached.
+    pub store_failures: u64,
 }
 
 impl FaultReport {

@@ -48,6 +48,7 @@ pub mod request;
 pub mod retrainer;
 pub mod service;
 pub mod shard;
+pub mod store_layer;
 
 pub use clock::{ServiceClock, VirtualClock};
 pub use decision_cache::{feature_bits, DecisionCache, FeatureBits};
@@ -61,6 +62,7 @@ pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
 pub use retrainer::{run_retrainer, RetrainerReport, TrainBatch, TrainMsg};
 pub use service::{serve_trace, serve_trace_with_index, ServeConfig, ServeReport, TrainerMode};
 pub use shard::{ShardedCache, Snapshot};
+pub use store_layer::{fill_payload, StoreMode, StoreSnapshot};
 
 /// Compile-time thread-safety guarantees for everything the service moves
 /// across or shares between threads. A regression (e.g. an `Rc` slipping
@@ -89,6 +91,10 @@ mod thread_safety_assertions {
         assert_send_sync::<ServiceClock>();
         assert_send_sync::<NoFaults>();
         assert_send_sync::<std::sync::Arc<dyn FaultPlan>>();
+        // Per-shard segment stores live inside the shard mutex; their
+        // writer threads are owned by the store itself.
+        assert_send::<crate::store_layer::ShardStore>();
+        assert_send_sync::<StoreMode>();
         // Classifier state moved into shards and the retrainer.
         assert_send_sync::<otae_ml::DecisionTree>();
         assert_send_sync::<otae_core::HistoryTable>();

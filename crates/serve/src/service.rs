@@ -9,6 +9,7 @@ use crate::loadgen::{replay_client, ClientReport, LoadConfig};
 use crate::request::{prepare, ModelSource, PreparedRequest};
 use crate::retrainer::{run_retrainer, RetrainerReport};
 use crate::shard::{BatchScratch, Params, ShardedCache, Snapshot};
+use crate::store_layer::{ShardStore, StoreMode};
 use crossbeam::channel::{bounded, unbounded, Receiver};
 use otae_core::baseline::SecondHitAdmission;
 use otae_core::pipeline::{Mode, PolicyKind};
@@ -75,6 +76,12 @@ pub struct ServeConfig {
     /// Fault-injection schedule ([`NoFaults`] by default). Faults apply to
     /// the background training path and the shard request path.
     pub faults: Arc<dyn FaultPlan>,
+    /// Segment-store backing for admitted objects ([`StoreMode::None`] by
+    /// default — the storeless pre-store behaviour).
+    pub store: StoreMode,
+    /// Tuning for the attached stores (segment size, write-queue depth,
+    /// compaction trigger). Ignored when `store` is `None`.
+    pub store_config: otae_store::StoreConfig,
 }
 
 impl ServeConfig {
@@ -97,6 +104,8 @@ impl ServeConfig {
             decision_cache: true,
             clock: ServiceClock::Wall,
             faults: Arc::new(NoFaults),
+            store: StoreMode::None,
+            store_config: otae_store::StoreConfig::default(),
         }
     }
 }
@@ -197,6 +206,17 @@ pub fn serve_trace_with_index(
         m,
         decision_cache: cfg.decision_cache,
     };
+    // Build one segment store per shard before serving starts. A failed
+    // open (disk mode only) degrades to storeless serving — recorded as a
+    // store failure, never an unwind.
+    let (stores, store_open_failures) =
+        match ShardStore::build(&cfg.store, cfg.store_config, cfg.shards) {
+            Ok(stores) => (stores, 0u64),
+            Err(e) => {
+                eprintln!("warning: segment store disabled, open failed: {e}");
+                (Vec::new(), 1)
+            }
+        };
     let sharded = ShardedCache::new(
         cfg.shards,
         cfg.policy,
@@ -205,6 +225,7 @@ pub fn serve_trace_with_index(
         trace,
         params,
         second_hit,
+        stores,
     );
 
     let background = cfg.mode == Mode::Proposal && cfg.trainer == TrainerMode::Background;
@@ -292,7 +313,11 @@ pub fn serve_trace_with_index(
     faults.dropped_installs = retrain_report.dropped_installs + prepared.dropped_installs;
     faults.shard_panics = panics.load(Ordering::Acquire);
 
+    // Every worker has joined: drain the store write queues so the
+    // snapshot's byte counters cover every acknowledged append.
+    sharded.flush_stores();
     let snapshot = sharded.snapshot();
+    faults.store_failures = store_open_failures + snapshot.store.as_ref().map_or(0, |s| s.errors);
     let response = snapshot.response.clone();
     ServeReport {
         mode: cfg.mode,
@@ -566,6 +591,71 @@ mod tests {
         assert_eq!(r.faults.worker_failures, 0, "workers must survive injected panics");
     }
 
+    /// With a memory store attached, every admitted miss lands as an acked
+    /// put and every eviction as an acked tombstone — the store's measured
+    /// counters must reconcile exactly with the cache's decision counters.
+    #[test]
+    fn memory_store_reconciles_with_cache_counters() {
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Ideal, cap(&t));
+        cfg.shards = 2;
+        cfg.workers = 2;
+        cfg.store = StoreMode::Memory;
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert!(r.faults.is_clean());
+        let s = &r.snapshot.stats;
+        let store = r.snapshot.store.as_ref().expect("store snapshot");
+        assert_eq!(store.errors, 0);
+        assert_eq!(store.stats.acked_puts, s.files_written);
+        assert_eq!(store.stats.acked_removes, s.evictions);
+        assert_eq!(store.stats.live_records, s.files_written - s.evictions);
+        // Host bytes = payload bytes (the cache's byte-write counter)
+        // plus framing overhead; never less.
+        assert!(store.stats.host_bytes > s.bytes_written);
+        assert!(store.wear_ledger().host_bytes() == store.stats.host_bytes);
+        assert!(store.write_amplification() >= 1.0);
+    }
+
+    /// Store traffic is a pure side effect: the decision stream (and hence
+    /// the fingerprint) is bit-identical with the store on or off.
+    #[test]
+    fn store_never_changes_decisions() {
+        let t = trace();
+        for mode in [Mode::Original, Mode::Ideal] {
+            let mut with = ServeConfig::new(PolicyKind::Lru, mode, cap(&t));
+            with.store = StoreMode::Memory;
+            let without = ServeConfig::new(PolicyKind::Lru, mode, cap(&t));
+            let a = serve_trace(&t, &with, &LoadConfig::default());
+            let b = serve_trace(&t, &without, &LoadConfig::default());
+            assert_eq!(a.fingerprint(), b.fingerprint(), "mode {mode:?}");
+            assert!(a.snapshot.store.is_some());
+            assert!(b.snapshot.store.is_none());
+        }
+    }
+
+    /// Disk mode writes real segment files under per-shard directories and
+    /// reports the same reconciliation as memory mode.
+    #[test]
+    fn disk_store_writes_real_segments() {
+        let root = std::env::temp_dir()
+            .join("otae-serve-store-test")
+            .join(format!("pid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let t = trace();
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, Mode::Ideal, cap(&t));
+        cfg.shards = 2;
+        cfg.store = StoreMode::Disk(root.clone());
+        let r = serve_trace(&t, &cfg, &LoadConfig::default());
+        assert!(r.faults.is_clean());
+        let store = r.snapshot.store.as_ref().expect("store snapshot");
+        assert_eq!(store.stats.acked_puts, r.snapshot.stats.files_written);
+        for shard in 0..2 {
+            let dir = root.join(format!("shard-{shard:02}"));
+            assert!(dir.is_dir(), "missing {}", dir.display());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     fn tree(threshold: f32) -> DecisionTree {
         let mut d = Dataset::new(otae_core::N_FEATURES);
         for i in 0..100 {
@@ -595,7 +685,8 @@ mod tests {
             m,
             decision_cache: true,
         };
-        let sharded = ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None);
+        let sharded =
+            ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None, Vec::new());
         let gate = AdmissionGate::new();
         gate.install(tree(0.5)); // warm before replay so every decision consults a model
         let n = 40_000.min(t.len());

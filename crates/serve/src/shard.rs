@@ -9,6 +9,7 @@
 
 use crate::decision_cache::{feature_bits, DecisionCache};
 use crate::request::PreparedRequest;
+use crate::store_layer::{ShardStore, StoreSnapshot};
 use otae_cache::{Cache, CacheStats, Evicted};
 use otae_core::baseline::SecondHitAdmission;
 use otae_core::classifier_apply;
@@ -72,6 +73,9 @@ pub(crate) struct ShardState {
     confusion: ConfusionMatrix,
     evicted: Vec<Evicted<ObjectId>>,
     decisions: DecisionCache,
+    /// Segment store backing this shard (admitted bytes + tombstones);
+    /// `None` runs the service storeless, exactly as before.
+    store: Option<ShardStore>,
 }
 
 impl ShardState {
@@ -203,8 +207,14 @@ impl ShardState {
             self.evicted.clear();
             self.cache.insert(req.object, req.size, now, &mut self.evicted);
             self.stats.record_admitted_miss(req.size);
+            if let Some(store) = self.store.as_mut() {
+                store.on_admit(req.object.0 as u64, req.size);
+            }
             for e in &self.evicted {
                 self.stats.record_eviction(e.size);
+                if let Some(store) = self.store.as_mut() {
+                    store.on_evict(e.key.0 as u64);
+                }
             }
         } else {
             self.cache.on_bypass(&req.object, req.size, now);
@@ -229,6 +239,8 @@ pub struct Snapshot {
     pub rectifications: u64,
     /// Per-shard cache counters, indexed by shard.
     pub per_shard: Vec<CacheStats>,
+    /// Merged segment-store counters (`None` when serving storeless).
+    pub store: Option<StoreSnapshot>,
 }
 
 /// N independent cache shards keyed by object-id hash.
@@ -241,6 +253,7 @@ pub struct ShardedCache {
 impl ShardedCache {
     /// Build `n_shards` shards of `policy`, splitting `capacity` (and the
     /// history-table budget) evenly across them.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         n_shards: usize,
         policy: PolicyKind,
@@ -249,10 +262,13 @@ impl ShardedCache {
         trace: &Trace,
         params: Params,
         second_hit: Option<SecondHitAdmission>,
+        stores: Vec<ShardStore>,
     ) -> Self {
         assert!(n_shards > 0, "need at least one shard");
+        assert!(stores.is_empty() || stores.len() == n_shards, "need zero stores or one per shard");
         let shard_capacity = capacity / n_shards as u64;
         let shard_history = history_capacity.div_ceil(n_shards).max(1);
+        let mut stores = stores.into_iter();
         let shards = (0..n_shards)
             .map(|_| {
                 Mutex::new(ShardState {
@@ -263,6 +279,7 @@ impl ShardedCache {
                     confusion: ConfusionMatrix::default(),
                     evicted: Vec::new(),
                     decisions: DecisionCache::new(shard_history),
+                    store: stores.next(),
                 })
             })
             .collect();
@@ -367,6 +384,17 @@ impl ShardedCache {
         std::panic::panic_any(crate::fault::InjectedFault { shard: shard_idx, request: req.idx });
     }
 
+    /// Drain every shard store's write queue so the next snapshot reports
+    /// fully acknowledged byte counters. No-op when serving storeless.
+    pub fn flush_stores(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            if let Some(store) = s.store.as_mut() {
+                store.flush();
+            }
+        }
+    }
+
     /// Capture a merged + per-shard statistics snapshot. Shards are locked
     /// one at a time, so a snapshot taken mid-replay is a slightly stale
     /// but internally consistent per-shard view.
@@ -376,6 +404,7 @@ impl ShardedCache {
         let mut confusion = ConfusionMatrix::default();
         let mut rectifications = 0u64;
         let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut store: Option<StoreSnapshot> = None;
         for shard in &self.shards {
             let s = shard.lock();
             stats.merge(&s.stats);
@@ -386,8 +415,11 @@ impl ShardedCache {
             confusion.tn += s.confusion.tn;
             rectifications += s.history.rectifications();
             per_shard.push(s.stats);
+            if let Some(shard_store) = s.store.as_ref() {
+                store.get_or_insert_with(StoreSnapshot::default).merge(&shard_store.snapshot());
+            }
         }
-        Snapshot { stats, response, confusion, rectifications, per_shard }
+        Snapshot { stats, response, confusion, rectifications, per_shard, store }
     }
 }
 
@@ -422,7 +454,7 @@ mod tests {
 
     fn sharded(n: usize, mode: Mode) -> ShardedCache {
         let trace = generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
-        ShardedCache::new(n, PolicyKind::Lru, 1 << 20, 64, &trace, params(mode), None)
+        ShardedCache::new(n, PolicyKind::Lru, 1 << 20, 64, &trace, params(mode), None, Vec::new())
     }
 
     #[test]
@@ -549,7 +581,8 @@ mod tests {
                     generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
                 let mut p = params(Mode::Proposal);
                 p.decision_cache = cache_on;
-                let c = ShardedCache::new(1, PolicyKind::Lru, 1 << 20, 64, &trace, p, None);
+                let c =
+                    ShardedCache::new(1, PolicyKind::Lru, 1 << 20, 64, &trace, p, None, Vec::new());
                 let mut scratch = BatchScratch::new();
                 for seg in resolved.chunks(batch) {
                     c.process_segment(0, seg, &mut scratch);

@@ -1,0 +1,219 @@
+//! Optional segment-store backing under the shards.
+//!
+//! With a store enabled, every admitted miss writes the object's actual
+//! bytes (a deterministic pattern of the object's real size) into a
+//! per-shard [`SegmentStore`], and every eviction appends a tombstone.
+//! Bypassed misses write **nothing** — which is the paper's entire point:
+//! the bytes the admission gate refuses are bytes the flash never
+//! programs. The stores' measured byte counters (host appends + compaction
+//! rewrites) feed the SSD wear model as a [`WearLedger`], replacing the
+//! simulator's synthetic `bytes_written` with an observed write stream.
+//!
+//! Store operations are pure side effects of the admission decision: the
+//! decision stream is bit-identical with the store on or off, which the
+//! harness's differential oracle asserts.
+
+use otae_device::WearLedger;
+use otae_store::{
+    FileBackend, MemBackend, NoStoreFaults, SegmentStore, StoreConfig, StoreError, StoreStats,
+    MAX_PAYLOAD,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where the service persists admitted objects' bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StoreMode {
+    /// No store: admission is accounted but nothing is persisted (the
+    /// pre-store service behaviour).
+    #[default]
+    None,
+    /// Deterministic in-memory backend — no filesystem involved, used by
+    /// the harness's differential and recovery oracles.
+    Memory,
+    /// Real segment files under per-shard subdirectories of this root.
+    Disk(PathBuf),
+}
+
+impl StoreMode {
+    /// Whether a store is attached at all.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, StoreMode::None)
+    }
+}
+
+/// One shard's store handle plus its reusable payload buffer and error
+/// tally. Lives inside the shard mutex, so store traffic is ordered
+/// exactly like the shard's decision stream.
+pub(crate) struct ShardStore {
+    store: SegmentStore,
+    buf: Vec<u8>,
+    errors: u64,
+}
+
+impl ShardStore {
+    /// Build one store per shard. Memory mode cannot fail; disk mode
+    /// surfaces backend I/O errors to the caller (which degrades to
+    /// storeless serving rather than unwinding).
+    pub(crate) fn build(
+        mode: &StoreMode,
+        cfg: StoreConfig,
+        shards: usize,
+    ) -> Result<Vec<ShardStore>, StoreError> {
+        let mut out = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let store = match mode {
+                StoreMode::None => return Ok(Vec::new()),
+                StoreMode::Memory => {
+                    SegmentStore::open(Arc::new(MemBackend::new()), cfg, Arc::new(NoStoreFaults))?.0
+                }
+                StoreMode::Disk(root) => {
+                    let backend = FileBackend::new(root.join(format!("shard-{shard:02}")))?;
+                    SegmentStore::open(Arc::new(backend), cfg, Arc::new(NoStoreFaults))?.0
+                }
+            };
+            out.push(ShardStore { store, buf: Vec::new(), errors: 0 });
+        }
+        Ok(out)
+    }
+
+    /// Persist an admitted object: a deterministic payload of its real
+    /// size (clamped to the record cap), so recovery oracles can verify
+    /// content, not just presence.
+    pub(crate) fn on_admit(&mut self, key: u64, size: u64) {
+        let len = size.min(MAX_PAYLOAD as u64) as usize;
+        fill_payload(key, len, &mut self.buf);
+        if self.store.put(key, &self.buf).is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Record an eviction as a tombstone (the dead bytes it strands are
+    /// what compaction later reclaims — and re-writes, which is the
+    /// measured write amplification).
+    pub(crate) fn on_evict(&mut self, key: u64) {
+        if self.store.remove(key).is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Drain the write queue so `snapshot` sees every acknowledged byte.
+    pub(crate) fn flush(&mut self) {
+        if self.store.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot { stats: self.store.stats(), errors: self.errors }
+    }
+}
+
+/// Merged store statistics across all shards, reported in the service
+/// [`Snapshot`](crate::shard::Snapshot) when a store is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreSnapshot {
+    /// Measured store counters (appends, compactions, live set), summed
+    /// over shards.
+    pub stats: StoreStats,
+    /// Store operations that failed (0 in healthy runs; non-zero only
+    /// after a store crash or backend I/O error).
+    pub errors: u64,
+}
+
+impl StoreSnapshot {
+    /// Fold another shard's store snapshot into this one.
+    pub fn merge(&mut self, other: &StoreSnapshot) {
+        self.stats.merge(&other.stats);
+        self.errors += other.errors;
+    }
+
+    /// Measured write amplification of the combined stores.
+    pub fn write_amplification(&self) -> f64 {
+        self.stats.write_amplification()
+    }
+
+    /// The combined write stream in the wear model's ingestion format.
+    pub fn wear_ledger(&self) -> WearLedger {
+        self.stats.wear_ledger()
+    }
+}
+
+/// Deterministic payload for object `key`: the SplitMix64 finalizer of the
+/// key, repeated as little-endian words to `len` bytes. Cheap to generate,
+/// unique per object, and reproducible anywhere (the recovery oracle
+/// recomputes it to verify read-back content).
+pub fn fill_payload(key: u64, len: usize, buf: &mut Vec<u8>) {
+    let mut z = key;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let word = z.to_le_bytes();
+    buf.clear();
+    buf.reserve(len);
+    while buf.len() + 8 <= len {
+        buf.extend_from_slice(&word);
+    }
+    buf.extend_from_slice(&word[..len - buf.len()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_and_sized() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            fill_payload(42, len, &mut a);
+            fill_payload(42, len, &mut b);
+            assert_eq!(a.len(), len);
+            assert_eq!(a, b);
+        }
+        fill_payload(1, 64, &mut a);
+        fill_payload(2, 64, &mut b);
+        assert_ne!(a, b, "different keys must differ");
+    }
+
+    #[test]
+    fn memory_stores_absorb_admits_and_evicts() {
+        let mut stores =
+            ShardStore::build(&StoreMode::Memory, StoreConfig::default(), 2).expect("memory");
+        assert_eq!(stores.len(), 2);
+        stores[0].on_admit(7, 500);
+        stores[0].on_admit(8, 300);
+        stores[0].on_evict(7);
+        stores[1].on_admit(9, 100);
+        let mut merged = StoreSnapshot::default();
+        for s in &mut stores {
+            s.flush();
+            merged.merge(&s.snapshot());
+        }
+        assert_eq!(merged.stats.acked_puts, 3);
+        assert_eq!(merged.stats.acked_removes, 1);
+        assert_eq!(merged.stats.live_records, 2);
+        assert_eq!(merged.errors, 0);
+        assert!(merged.stats.host_bytes > 900);
+        assert_eq!(merged.wear_ledger().host_bytes(), merged.stats.host_bytes);
+    }
+
+    #[test]
+    fn none_mode_builds_no_stores() {
+        let stores = ShardStore::build(&StoreMode::None, StoreConfig::default(), 4).expect("none");
+        assert!(stores.is_empty());
+        assert!(!StoreMode::None.is_enabled());
+        assert!(StoreMode::Memory.is_enabled());
+    }
+
+    #[test]
+    fn oversized_objects_are_clamped_not_errored() {
+        let mut stores =
+            ShardStore::build(&StoreMode::Memory, StoreConfig::default(), 1).expect("memory");
+        stores[0].on_admit(1, MAX_PAYLOAD as u64 + 10_000);
+        stores[0].flush();
+        let snap = stores[0].snapshot();
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.stats.acked_puts, 1);
+    }
+}

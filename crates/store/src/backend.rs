@@ -1,0 +1,329 @@
+//! Segment storage backends: where segment bytes physically live.
+//!
+//! Two implementations ship:
+//!
+//! - [`FileBackend`] — real files under a root directory, hash-prefixed
+//!   into 256 subdirectories (`<root>/<xx>/seg-<id>.seg`) so a large store
+//!   never piles every segment into one directory.
+//! - [`MemBackend`] — an `Arc`-shared in-memory map with identical
+//!   semantics. Because the bytes live in the shared handle rather than the
+//!   [`SegmentStore`](crate::SegmentStore), a harness can "crash" a store
+//!   (drop it mid-write) and reopen the same backend to exercise the
+//!   recovery scan deterministically, with no filesystem, wall clock, or
+//!   entropy involved.
+
+use crate::StoreError;
+use otae_fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifier of one segment file (monotonically increasing).
+pub type SegmentId = u32;
+
+/// Byte-level operations on segment files. Implementations must be safe to
+/// call concurrently (append from the writer thread, reads from shard
+/// threads).
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Create an empty segment. Fails if it already exists.
+    fn create(&self, seg: SegmentId) -> Result<(), StoreError>;
+    /// Append bytes to a segment's tail.
+    fn append(&self, seg: SegmentId, data: &[u8]) -> Result<(), StoreError>;
+    /// Read `len` bytes at `offset`.
+    fn read_at(&self, seg: SegmentId, offset: u64, len: usize) -> Result<Vec<u8>, StoreError>;
+    /// Read a whole segment (recovery / compaction scans).
+    fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError>;
+    /// Current length of a segment in bytes.
+    fn len(&self, seg: SegmentId) -> Result<u64, StoreError>;
+    /// Truncate a segment to `len` bytes (recovery repair, fault injection).
+    fn truncate(&self, seg: SegmentId, len: u64) -> Result<(), StoreError>;
+    /// Delete a segment (compaction reclaim).
+    fn delete(&self, seg: SegmentId) -> Result<(), StoreError>;
+    /// All existing segment ids, sorted ascending.
+    fn list(&self) -> Result<Vec<SegmentId>, StoreError>;
+}
+
+/// In-memory backend; clone the handle to share the same "device".
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    segments: Arc<Mutex<FxHashMap<SegmentId, Vec<u8>>>>,
+}
+
+impl MemBackend {
+    /// Fresh empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all segments (test/diagnostic helper).
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.lock().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Backend for MemBackend {
+    fn create(&self, seg: SegmentId) -> Result<(), StoreError> {
+        let mut map = self.segments.lock();
+        if map.contains_key(&seg) {
+            return Err(StoreError::Corrupt(format!("segment {seg} already exists")));
+        }
+        map.insert(seg, Vec::new());
+        Ok(())
+    }
+
+    fn append(&self, seg: SegmentId, data: &[u8]) -> Result<(), StoreError> {
+        let mut map = self.segments.lock();
+        match map.get_mut(&seg) {
+            Some(bytes) => {
+                bytes.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(StoreError::MissingSegment(seg)),
+        }
+    }
+
+    fn read_at(&self, seg: SegmentId, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        let map = self.segments.lock();
+        let bytes = map.get(&seg).ok_or(StoreError::MissingSegment(seg))?;
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| StoreError::Corrupt("read range overflows".into()))?;
+        if end > bytes.len() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "read past end of segment {seg}: {end} > {}",
+                bytes.len()
+            )));
+        }
+        Ok(bytes[offset as usize..end as usize].to_vec())
+    }
+
+    fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError> {
+        let map = self.segments.lock();
+        map.get(&seg).cloned().ok_or(StoreError::MissingSegment(seg))
+    }
+
+    fn len(&self, seg: SegmentId) -> Result<u64, StoreError> {
+        let map = self.segments.lock();
+        map.get(&seg).map(|b| b.len() as u64).ok_or(StoreError::MissingSegment(seg))
+    }
+
+    fn truncate(&self, seg: SegmentId, len: u64) -> Result<(), StoreError> {
+        let mut map = self.segments.lock();
+        let bytes = map.get_mut(&seg).ok_or(StoreError::MissingSegment(seg))?;
+        if len < bytes.len() as u64 {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn delete(&self, seg: SegmentId) -> Result<(), StoreError> {
+        let mut map = self.segments.lock();
+        map.remove(&seg).map(|_| ()).ok_or(StoreError::MissingSegment(seg))
+    }
+
+    fn list(&self) -> Result<Vec<SegmentId>, StoreError> {
+        let map = self.segments.lock();
+        let mut ids: Vec<SegmentId> = map.keys().copied().collect();
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+/// Real-file backend rooted at a directory, with segments hash-prefixed
+/// into 256 two-hex-digit subdirectories.
+#[derive(Debug)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+/// SplitMix64 finalizer — the same mix the serve layer shards with, reused
+/// here to spread sequential segment ids across prefix directories.
+fn mix(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FileBackend {
+    /// Open (creating the root directory if needed).
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// Root directory of this backend.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path_of(&self, seg: SegmentId) -> PathBuf {
+        let prefix = (mix(seg as u64) & 0xFF) as u8;
+        self.root.join(format!("{prefix:02x}")).join(format!("seg-{seg:08}.seg"))
+    }
+
+    fn open_existing(&self, seg: SegmentId) -> Result<File, StoreError> {
+        match File::open(self.path_of(seg)) {
+            Ok(f) => Ok(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::MissingSegment(seg))
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+}
+
+impl Backend for FileBackend {
+    fn create(&self, seg: SegmentId) -> Result<(), StoreError> {
+        let path = self.path_of(seg);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(StoreError::Corrupt(format!("segment {seg} already exists")))
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    fn append(&self, seg: SegmentId, data: &[u8]) -> Result<(), StoreError> {
+        let path = self.path_of(seg);
+        let mut f = match OpenOptions::new().append(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingSegment(seg))
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn read_at(&self, seg: SegmentId, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        let mut f = self.open_existing(seg)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError> {
+        let mut f = self.open_existing(seg)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self, seg: SegmentId) -> Result<u64, StoreError> {
+        let f = self.open_existing(seg)?;
+        Ok(f.metadata()?.len())
+    }
+
+    fn truncate(&self, seg: SegmentId, len: u64) -> Result<(), StoreError> {
+        let path = self.path_of(seg);
+        let f = match OpenOptions::new().write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingSegment(seg))
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        if f.metadata()?.len() > len {
+            f.set_len(len)?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, seg: SegmentId) -> Result<(), StoreError> {
+        match fs::remove_file(self.path_of(seg)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::MissingSegment(seg))
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<SegmentId>, StoreError> {
+        let mut ids = Vec::new();
+        for prefix in fs::read_dir(&self.root)? {
+            let prefix = prefix?;
+            if !prefix.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(prefix.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(id) = name.strip_prefix("seg-").and_then(|n| n.strip_suffix(".seg"))
+                else {
+                    continue;
+                };
+                if let Ok(id) = id.parse::<SegmentId>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn Backend) {
+        backend.create(3).unwrap();
+        assert!(backend.create(3).is_err(), "double create must fail");
+        backend.append(3, b"hello ").unwrap();
+        backend.append(3, b"world").unwrap();
+        assert_eq!(backend.len(3).unwrap(), 11);
+        assert_eq!(backend.read_at(3, 6, 5).unwrap(), b"world");
+        assert_eq!(backend.read_all(3).unwrap(), b"hello world");
+        assert!(backend.read_at(3, 8, 10).is_err(), "read past end must fail");
+
+        backend.create(1).unwrap();
+        backend.create(10).unwrap();
+        assert_eq!(backend.list().unwrap(), vec![1, 3, 10]);
+
+        backend.truncate(3, 5).unwrap();
+        assert_eq!(backend.read_all(3).unwrap(), b"hello");
+        backend.truncate(3, 100).unwrap(); // growing truncate is a no-op
+        assert_eq!(backend.len(3).unwrap(), 5);
+
+        backend.delete(1).unwrap();
+        assert!(backend.delete(1).is_err());
+        assert!(backend.append(1, b"x").is_err());
+        assert_eq!(backend.list().unwrap(), vec![3, 10]);
+    }
+
+    #[test]
+    fn mem_backend_semantics() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_semantics() {
+        let dir = std::env::temp_dir().join(format!("otae-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = FileBackend::new(&dir).unwrap();
+        exercise(&backend);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_backend_clones_share_the_device() {
+        let a = MemBackend::new();
+        let b = a.clone();
+        a.create(0).unwrap();
+        a.append(0, b"persisted").unwrap();
+        drop(a); // "crash": the handle dies, the device survives
+        assert_eq!(b.read_all(0).unwrap(), b"persisted");
+    }
+}

@@ -1,0 +1,61 @@
+//! Crash-fault seams for the segment writer.
+//!
+//! The writer consults the plan at exactly one point: *after* a host record
+//! has been durably appended to the active segment and *before* the index
+//! is updated and the write acknowledged. That is the only window in which
+//! an append-only store can disagree with its index, and therefore the
+//! window every recovery invariant is stated against (DESIGN.md §12).
+
+/// Scripted crash behaviour, consulted once per appended host record.
+/// `seq` is the 0-based append sequence number (puts and tombstones share
+/// the counter), so schedules replay bit-exactly from the operation order.
+pub trait StoreFaultPlan: std::fmt::Debug + Send + Sync {
+    /// Return `true` to kill the writer after record `seq` hit the segment
+    /// but before the index/acknowledgement update. The store is then
+    /// permanently crashed: queued and future operations fail with
+    /// [`StoreError::Crashed`](crate::StoreError::Crashed).
+    fn crash_after_append(&self, seq: u64) -> bool {
+        let _ = seq;
+        false
+    }
+
+    /// When the crash at `seq` fires, how many tail bytes of the active
+    /// segment are torn away (simulating a record that never fully reached
+    /// the medium). Capped at the just-appended record's length: an
+    /// append-only store may lose its in-flight record but never an
+    /// acknowledged one.
+    fn torn_tail_bytes(&self, seq: u64) -> u64 {
+        let _ = seq;
+        0
+    }
+}
+
+/// The default plan: no crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoStoreFaults;
+
+impl StoreFaultPlan for NoStoreFaults {}
+
+/// Crash once at a fixed sequence number, optionally tearing tail bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashAt {
+    /// Sequence number of the fatal append.
+    pub seq: u64,
+    /// Tail bytes to tear off the active segment when the crash fires
+    /// (clamped to the in-flight record).
+    pub torn_tail: u64,
+}
+
+impl StoreFaultPlan for CrashAt {
+    fn crash_after_append(&self, seq: u64) -> bool {
+        seq == self.seq
+    }
+
+    fn torn_tail_bytes(&self, seq: u64) -> u64 {
+        if seq == self.seq {
+            self.torn_tail
+        } else {
+            0
+        }
+    }
+}

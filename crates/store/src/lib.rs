@@ -1,0 +1,72 @@
+//! # otae-store — append-only SSD-backed segment store
+//!
+//! The value store under `otae-serve`'s shards: what actually absorbs the
+//! byte stream the paper's admission gate is trying to shrink. Objects are
+//! framed as checksummed records ([`record`]) appended to hash-prefixed
+//! segment files ([`backend`]); a background [`SegmentStore`] writer
+//! drains a **bounded** queue (explicit backpressure), rolls segments at a
+//! size threshold, and compacts the deadest sealed segment when dead bytes
+//! pile up. The in-memory index ([`index`]) is rebuilt on open by a
+//! recovery scan that tolerates one torn tail record — the only damage a
+//! crash can legitimately leave behind.
+//!
+//! ```text
+//!   put/remove ──bounded queue──▶ writer thread ──append──▶ seg-N (active)
+//!                                   │   ▲                   seg-… (sealed)
+//!                            index update                     │
+//!                          (ack after append)            compaction:
+//!                                                     rewrite live records,
+//!                                                     delete victim
+//! ```
+//!
+//! Every byte handed to the backend is counted: `host_bytes` (caller puts
+//! and tombstones) and `gc_bytes` (compaction rewrites) make
+//! [`StoreStats::write_amplification`] a *measured* quantity, exported as
+//! an [`otae_device::WearLedger`] so SSD-lifetime projections run on the
+//! real write stream instead of a synthetic counter.
+//!
+//! Determinism seams: the [`Backend`] trait has an `Arc`-shared in-memory
+//! implementation ([`MemBackend`]) whose bytes survive a dropped store, so
+//! harness oracles can crash (via a scripted [`StoreFaultPlan`]) and
+//! reopen the same "device" with no filesystem, wall clock, or entropy
+//! involved.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod fault;
+pub mod index;
+pub mod record;
+pub mod store;
+
+pub use backend::{Backend, FileBackend, MemBackend, SegmentId};
+pub use fault::{CrashAt, NoStoreFaults, StoreFaultPlan};
+pub use index::{Location, SegmentInfo, StoreIndex};
+pub use record::{
+    crc32, decode_record, encode_record, Record, RecordError, RecordKind, HEADER_LEN, MAX_PAYLOAD,
+};
+pub use store::{
+    CompactReport, RecoveryReport, SegmentStore, StoreConfig, StoreError, StoreStats,
+    SEGMENT_HEADER_LEN, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+
+/// Compile-time thread-safety guarantees: the store is shared across shard
+/// threads and its writer; a `!Send` type slipping into the store fails
+/// compilation here rather than at a distant spawn site.
+#[allow(dead_code)]
+mod thread_safety_assertions {
+    use super::*;
+
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+
+    const _: () = {
+        assert_send_sync::<SegmentStore>();
+        assert_send_sync::<MemBackend>();
+        assert_send_sync::<FileBackend>();
+        assert_send_sync::<NoStoreFaults>();
+        assert_send_sync::<std::sync::Arc<dyn Backend>>();
+        assert_send_sync::<std::sync::Arc<dyn StoreFaultPlan>>();
+        assert_send::<StoreStats>();
+    };
+}

@@ -1,0 +1,1024 @@
+//! The segment store proper: a bounded-queue background writer, an
+//! in-memory index rebuilt by a recovery scan, and deadest-first
+//! compaction that reports rewritten bytes as measured write
+//! amplification.
+
+use crate::backend::{Backend, SegmentId};
+use crate::fault::StoreFaultPlan;
+use crate::index::{Location, StoreIndex};
+use crate::record::{decode_record, encode_record, Record, RecordKind, MAX_PAYLOAD};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use otae_device::WearLedger;
+use otae_fxhash::FxHashMap;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Magic + version prefix of every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"OSEG";
+/// On-disk format version.
+pub const SEGMENT_VERSION: u16 = 1;
+/// Bytes of segment header preceding the first record.
+pub const SEGMENT_HEADER_LEN: u64 = 6;
+
+/// Store failure modes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// On-disk state that violates the format (bad magic, impossible
+    /// offsets, mid-log corruption).
+    Corrupt(String),
+    /// A segment the index or a scan expected is gone.
+    MissingSegment(SegmentId),
+    /// The writer thread crashed (injected fault or unrecoverable backend
+    /// error); the store accepts no further writes.
+    Crashed,
+    /// Payload exceeds the per-record cap.
+    PayloadTooLarge(u64),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+            StoreError::MissingSegment(s) => write!(f, "missing segment {s}"),
+            StoreError::Crashed => write!(f, "store writer crashed; no further writes accepted"),
+            StoreError::PayloadTooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Seal the active segment and roll to a new one once its record bytes
+    /// reach this threshold.
+    pub segment_bytes: u64,
+    /// Depth of the bounded write queue between callers and the writer
+    /// thread — the explicit backpressure bound (otae-lint:
+    /// bounded-channel).
+    pub queue_depth: usize,
+    /// Auto-compact when dead bytes across sealed segments exceed this
+    /// fraction of their total bytes. `None` disables auto-compaction
+    /// (explicit [`SegmentStore::compact`] still works).
+    pub compact_trigger: Option<f64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { segment_bytes: 8 << 20, queue_depth: 64, compact_trigger: Some(0.5) }
+    }
+}
+
+/// Cumulative store statistics. Byte counters are *measured* — they count
+/// bytes actually handed to the backend, so `write_amplification` is an
+/// observation, not a model parameter.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreStats {
+    /// Record bytes appended on behalf of callers (puts + tombstones).
+    pub host_bytes: u64,
+    /// Record bytes appended by compaction rewrites (GC traffic).
+    pub gc_bytes: u64,
+    /// Put records appended for callers.
+    pub put_records: u64,
+    /// Tombstone records appended for callers.
+    pub tombstone_records: u64,
+    /// Puts acknowledged (index updated after a durable append).
+    pub acked_puts: u64,
+    /// Removes acknowledged.
+    pub acked_removes: u64,
+    /// Compaction passes completed.
+    pub compactions: u64,
+    /// Records rewritten live out of compaction victims.
+    pub rewritten_records: u64,
+    /// Segments created (including the initial active segment).
+    pub segments_created: u64,
+    /// Segments deleted by compaction.
+    pub segments_deleted: u64,
+    /// Live keys in the index at snapshot time.
+    pub live_records: u64,
+    /// Live record bytes at snapshot time.
+    pub live_bytes: u64,
+    /// Segments existing at snapshot time.
+    pub segments: u64,
+}
+
+impl StoreStats {
+    /// Bytes physically appended to segments (host + GC).
+    pub fn physical_bytes(&self) -> u64 {
+        self.host_bytes + self.gc_bytes
+    }
+
+    /// Measured write amplification: physical bytes per host byte (1.0
+    /// before any host write).
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_bytes == 0 {
+            1.0
+        } else {
+            self.physical_bytes() as f64 / self.host_bytes as f64
+        }
+    }
+
+    /// The byte stream as a wear-model ledger (host vs. GC split).
+    pub fn wear_ledger(&self) -> WearLedger {
+        let mut ledger = WearLedger::default();
+        ledger.record_host_write(self.host_bytes);
+        ledger.record_gc_write(self.gc_bytes);
+        ledger
+    }
+
+    /// Fold another store's counters into this one (per-shard merge).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.host_bytes += other.host_bytes;
+        self.gc_bytes += other.gc_bytes;
+        self.put_records += other.put_records;
+        self.tombstone_records += other.tombstone_records;
+        self.acked_puts += other.acked_puts;
+        self.acked_removes += other.acked_removes;
+        self.compactions += other.compactions;
+        self.rewritten_records += other.rewritten_records;
+        self.segments_created += other.segments_created;
+        self.segments_deleted += other.segments_deleted;
+        self.live_records += other.live_records;
+        self.live_bytes += other.live_bytes;
+        self.segments += other.segments;
+    }
+}
+
+/// What a recovery scan found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments scanned.
+    pub segments: u64,
+    /// Records replayed into the index (puts + tombstones).
+    pub records: u64,
+    /// Live keys after the replay.
+    pub live_records: u64,
+    /// Whether a torn tail record was found (and truncated away).
+    pub torn_tail: bool,
+    /// Bytes discarded by the torn-tail repair.
+    pub truncated_bytes: u64,
+}
+
+/// One compaction pass's outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The victim segment, if any sealed segment existed.
+    pub victim: Option<SegmentId>,
+    /// Live record bytes rewritten into the active segment (GC writes).
+    pub rewritten_bytes: u64,
+    /// Records rewritten (live puts + still-shadowing tombstones).
+    pub rewritten_records: u64,
+    /// Bytes reclaimed (victim file size minus rewritten bytes).
+    pub reclaimed_bytes: u64,
+}
+
+struct Counters {
+    host_bytes: AtomicU64,
+    gc_bytes: AtomicU64,
+    put_records: AtomicU64,
+    tombstone_records: AtomicU64,
+    acked_puts: AtomicU64,
+    acked_removes: AtomicU64,
+    compactions: AtomicU64,
+    rewritten_records: AtomicU64,
+    segments_created: AtomicU64,
+    segments_deleted: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Self {
+            host_bytes: AtomicU64::new(0),
+            gc_bytes: AtomicU64::new(0),
+            put_records: AtomicU64::new(0),
+            tombstone_records: AtomicU64::new(0),
+            acked_puts: AtomicU64::new(0),
+            acked_removes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            rewritten_records: AtomicU64::new(0),
+            segments_created: AtomicU64::new(0),
+            segments_deleted: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared {
+    index: Mutex<StoreIndex>,
+    /// Readers hold this shared across index-lookup + backend-read so a
+    /// compaction cannot delete a segment out from under an in-flight
+    /// `get`; the compactor takes it exclusively only for the final
+    /// delete-and-forget step. Lock order is always `io` before `index`.
+    io: RwLock<()>,
+    counters: Counters,
+    crashed: AtomicBool,
+}
+
+enum Cmd {
+    Put { key: u64, payload: Vec<u8> },
+    Remove { key: u64 },
+    Flush(Sender<()>),
+    Compact(Sender<Result<CompactReport, StoreError>>),
+}
+
+/// Append-only segment store with a background writer.
+///
+/// `put`/`remove` enqueue onto a bounded queue (blocking when full — the
+/// backpressure seam); the writer thread appends framed records to the
+/// active segment, rolls segments at the configured size, updates the
+/// index only after the append succeeded, and compacts the deadest sealed
+/// segment when enough dead bytes accumulate. Dropping the store shuts the
+/// writer down after draining the queue.
+pub struct SegmentStore {
+    shared: Arc<Shared>,
+    backend: Arc<dyn Backend>,
+    tx: Option<Sender<Cmd>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("crashed", &self.is_crashed())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentStore {
+    /// Open a store over `backend`: scan existing segments to rebuild the
+    /// index (repairing at most one torn tail record in the newest
+    /// segment), then start the writer on a fresh active segment.
+    pub fn open(
+        backend: Arc<dyn Backend>,
+        cfg: StoreConfig,
+        faults: Arc<dyn StoreFaultPlan>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let mut index = StoreIndex::new();
+        let mut report = RecoveryReport::default();
+        let existing = backend.list()?;
+        let last = existing.last().copied();
+        for &seg in &existing {
+            scan_segment(backend.as_ref(), seg, &mut index, &mut report, last == Some(seg))?;
+            index.seal_segment(seg);
+        }
+        report.live_records = index.len() as u64;
+
+        let active = existing.last().map_or(0, |&s| s + 1);
+        create_segment(backend.as_ref(), active)?;
+        index.add_segment(active);
+
+        let shared = Arc::new(Shared {
+            index: Mutex::new(index),
+            io: RwLock::new(()),
+            counters: Counters::new(),
+            crashed: AtomicBool::new(false),
+        });
+        shared.counters.segments_created.store(1, Ordering::Relaxed);
+
+        let (tx, rx) = bounded::<Cmd>(cfg.queue_depth.max(1));
+        let writer = Writer {
+            backend: Arc::clone(&backend),
+            shared: Arc::clone(&shared),
+            cfg,
+            faults,
+            active,
+            active_bytes: 0,
+            seq: 0,
+            buf: Vec::new(),
+        };
+        let handle = std::thread::spawn(move || writer.run(rx));
+        Ok((Self { shared, backend, tx: Some(tx), handle: Some(handle) }, report))
+    }
+
+    fn sender(&self) -> Result<&Sender<Cmd>, StoreError> {
+        if self.is_crashed() {
+            return Err(StoreError::Crashed);
+        }
+        self.tx.as_ref().ok_or(StoreError::Crashed)
+    }
+
+    /// Enqueue a value write. Blocks while the write queue is full; the
+    /// write is acknowledged (visible to `get`, counted in `acked_puts`)
+    /// only after the writer has durably appended it and updated the
+    /// index.
+    pub fn put(&self, key: u64, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() as u64 > MAX_PAYLOAD as u64 {
+            return Err(StoreError::PayloadTooLarge(payload.len() as u64));
+        }
+        self.sender()?
+            .send(Cmd::Put { key, payload: payload.to_vec() })
+            .map_err(|_| StoreError::Crashed)
+    }
+
+    /// Enqueue a deletion (a durable tombstone record).
+    pub fn remove(&self, key: u64) -> Result<(), StoreError> {
+        self.sender()?.send(Cmd::Remove { key }).map_err(|_| StoreError::Crashed)
+    }
+
+    /// Block until every operation enqueued before this call has been
+    /// applied (or the writer crashed).
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let (done_tx, done_rx) = bounded::<()>(1);
+        self.sender()?.send(Cmd::Flush(done_tx)).map_err(|_| StoreError::Crashed)?;
+        done_rx.recv().map_err(|_| StoreError::Crashed)
+    }
+
+    /// Run one compaction pass on the writer thread (after draining the
+    /// queue ahead of it) and return its report.
+    pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let (done_tx, done_rx) = bounded::<Result<CompactReport, StoreError>>(1);
+        self.sender()?.send(Cmd::Compact(done_tx)).map_err(|_| StoreError::Crashed)?;
+        done_rx.recv().map_err(|_| StoreError::Crashed)?
+    }
+
+    /// Read a key's current payload. Reflects acknowledged writes only; an
+    /// enqueued-but-unapplied put is not yet visible.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let _io = self.shared.io.read();
+        let loc = match self.shared.index.lock().get(key) {
+            Some(loc) => loc,
+            None => return Ok(None),
+        };
+        let bytes = self.backend.read_at(loc.segment, loc.offset, loc.len as usize)?;
+        let (record, _) = decode_record(&bytes)
+            .map_err(|e| StoreError::Corrupt(format!("indexed record unreadable: {e}")))?;
+        if record.key != key || record.kind != RecordKind::Put {
+            return Err(StoreError::Corrupt(format!(
+                "index pointed key {key} at a record for key {} ({:?})",
+                record.key, record.kind
+            )));
+        }
+        Ok(Some(record.payload.to_vec()))
+    }
+
+    /// Whether the writer has crashed (injected fault or backend failure).
+    pub fn is_crashed(&self) -> bool {
+        self.shared.crashed.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of cumulative statistics plus current index occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.shared.counters;
+        let (live_records, live_bytes, segments) = {
+            let ix = self.shared.index.lock();
+            (ix.len() as u64, ix.live_bytes(), ix.segment_count() as u64)
+        };
+        StoreStats {
+            host_bytes: c.host_bytes.load(Ordering::Relaxed),
+            gc_bytes: c.gc_bytes.load(Ordering::Relaxed),
+            put_records: c.put_records.load(Ordering::Relaxed),
+            tombstone_records: c.tombstone_records.load(Ordering::Relaxed),
+            acked_puts: c.acked_puts.load(Ordering::Relaxed),
+            acked_removes: c.acked_removes.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            rewritten_records: c.rewritten_records.load(Ordering::Relaxed),
+            segments_created: c.segments_created.load(Ordering::Relaxed),
+            segments_deleted: c.segments_deleted.load(Ordering::Relaxed),
+            live_records,
+            live_bytes,
+            segments,
+        }
+    }
+
+    /// Sorted `(key, location)` pairs of every live record — the
+    /// deterministic index digest the recovery oracle compares.
+    pub fn live_entries(&self) -> Vec<(u64, Location)> {
+        self.shared.index.lock().live_entries()
+    }
+
+    /// The backend handle (a harness reopens the same backend after a
+    /// simulated crash).
+    pub fn backend(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend)
+    }
+}
+
+impl Drop for SegmentStore {
+    fn drop(&mut self) {
+        // Closing the channel lets the writer drain the queue and exit.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn create_segment(backend: &dyn Backend, seg: SegmentId) -> Result<(), StoreError> {
+    backend.create(seg)?;
+    let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+    header.extend_from_slice(&SEGMENT_MAGIC);
+    header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    backend.append(seg, &header)
+}
+
+/// Replay one segment's records into the index. `tolerate_tail` is true
+/// only for the newest segment: a decode failure there is the torn tail a
+/// crash legitimately leaves behind and is truncated away; anywhere else
+/// it is corruption and fails the scan.
+fn scan_segment(
+    backend: &dyn Backend,
+    seg: SegmentId,
+    index: &mut StoreIndex,
+    report: &mut RecoveryReport,
+    tolerate_tail: bool,
+) -> Result<(), StoreError> {
+    let bytes = backend.read_all(seg)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || bytes[..4] != SEGMENT_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != SEGMENT_VERSION
+    {
+        return Err(StoreError::Corrupt(format!("segment {seg}: bad or short header")));
+    }
+    index.add_segment(seg);
+    report.segments += 1;
+    let mut offset = SEGMENT_HEADER_LEN;
+    while (offset as usize) < bytes.len() {
+        match decode_record(&bytes[offset as usize..]) {
+            Ok((record, consumed)) => {
+                apply_record(index, seg, offset, &record, consumed);
+                report.records += 1;
+                offset += consumed;
+            }
+            Err(err) => {
+                if !tolerate_tail {
+                    return Err(StoreError::Corrupt(format!(
+                        "segment {seg}: record at offset {offset} unreadable mid-log: {err}"
+                    )));
+                }
+                let torn = bytes.len() as u64 - offset;
+                backend.truncate(seg, offset)?;
+                report.torn_tail = true;
+                report.truncated_bytes += torn;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_record(
+    index: &mut StoreIndex,
+    seg: SegmentId,
+    offset: u64,
+    record: &Record<'_>,
+    len: u64,
+) {
+    match record.kind {
+        RecordKind::Put => index.apply_put(record.key, Location { segment: seg, offset, len }),
+        RecordKind::Tombstone => index.apply_tombstone(record.key, seg, len),
+    }
+}
+
+struct Writer {
+    backend: Arc<dyn Backend>,
+    shared: Arc<Shared>,
+    cfg: StoreConfig,
+    faults: Arc<dyn StoreFaultPlan>,
+    active: SegmentId,
+    /// Record bytes in the active segment (excludes the segment header).
+    active_bytes: u64,
+    /// Host append sequence (puts + tombstones), the fault-seam clock.
+    seq: u64,
+    buf: Vec<u8>,
+}
+
+enum WriterStep {
+    Ok,
+    Crashed,
+}
+
+impl Writer {
+    fn run(mut self, rx: Receiver<Cmd>) {
+        while let Ok(cmd) = rx.recv() {
+            let step = match cmd {
+                Cmd::Put { key, payload } => self.append_host(key, RecordKind::Put, &payload),
+                Cmd::Remove { key } => self.append_host(key, RecordKind::Tombstone, &[]),
+                Cmd::Flush(done) => {
+                    let _ = done.send(());
+                    WriterStep::Ok
+                }
+                Cmd::Compact(done) => {
+                    let _ = done.send(self.compact_once());
+                    WriterStep::Ok
+                }
+            };
+            if matches!(step, WriterStep::Crashed) {
+                return self.crash(rx);
+            }
+            if let Some(trigger) = self.cfg.compact_trigger {
+                if self.should_auto_compact(trigger) && self.compact_once().is_err() {
+                    return self.crash(rx);
+                }
+            }
+        }
+    }
+
+    /// Terminal crash state: mark the store crashed, then drain and drop
+    /// every remaining command until the handle side hangs up. Returning
+    /// without the drain would strand commands already buffered in the
+    /// channel — the store handle still holds `tx`, so a queued
+    /// `Cmd::Flush` would keep its reply sender alive forever and the
+    /// caller's `recv()` would deadlock instead of seeing `Crashed`.
+    fn crash(self, rx: Receiver<Cmd>) {
+        self.shared.crashed.store(true, Ordering::Release);
+        while rx.recv().is_ok() {}
+    }
+
+    fn should_auto_compact(&self, trigger: f64) -> bool {
+        let ix = self.shared.index.lock();
+        let dead = ix.sealed_dead_bytes();
+        if dead == 0 {
+            return false;
+        }
+        let sealed_total: u64 = (0..=self.active)
+            .filter_map(|s| ix.segment_info(s))
+            .filter(|i| i.sealed)
+            .map(|i| i.total_bytes)
+            .sum();
+        sealed_total > 0 && dead as f64 > trigger * sealed_total as f64
+    }
+
+    /// Roll the active segment if it reached the size threshold.
+    fn maybe_roll(&mut self) -> Result<(), StoreError> {
+        if self.active_bytes < self.cfg.segment_bytes {
+            return Ok(());
+        }
+        let next = self.active + 1;
+        create_segment(self.backend.as_ref(), next)?;
+        {
+            let mut ix = self.shared.index.lock();
+            ix.seal_segment(self.active);
+            ix.add_segment(next);
+        }
+        self.shared.counters.segments_created.fetch_add(1, Ordering::Relaxed);
+        self.active = next;
+        self.active_bytes = 0;
+        Ok(())
+    }
+
+    /// Append one caller record: roll if due, append, consult the crash
+    /// seam, then index + acknowledge. Unrecoverable backend errors crash
+    /// the store rather than silently dropping writes.
+    fn append_host(&mut self, key: u64, kind: RecordKind, payload: &[u8]) -> WriterStep {
+        if self.maybe_roll().is_err() {
+            return WriterStep::Crashed;
+        }
+        self.buf.clear();
+        let len = encode_record(key, kind, payload, &mut self.buf);
+        if self.backend.append(self.active, &self.buf).is_err() {
+            return WriterStep::Crashed;
+        }
+        let offset = SEGMENT_HEADER_LEN + self.active_bytes;
+        let c = &self.shared.counters;
+        c.host_bytes.fetch_add(len, Ordering::Relaxed);
+        match kind {
+            RecordKind::Put => c.put_records.fetch_add(1, Ordering::Relaxed),
+            RecordKind::Tombstone => c.tombstone_records.fetch_add(1, Ordering::Relaxed),
+        };
+
+        let seq = self.seq;
+        self.seq += 1;
+        if self.faults.crash_after_append(seq) {
+            let torn = self.faults.torn_tail_bytes(seq).min(len);
+            if torn > 0 {
+                let keep = SEGMENT_HEADER_LEN + self.active_bytes + (len - torn);
+                let _ = self.backend.truncate(self.active, keep);
+            }
+            return WriterStep::Crashed;
+        }
+
+        {
+            let mut ix = self.shared.index.lock();
+            match kind {
+                RecordKind::Put => {
+                    ix.apply_put(key, Location { segment: self.active, offset, len })
+                }
+                RecordKind::Tombstone => ix.apply_tombstone(key, self.active, len),
+            }
+        }
+        match kind {
+            RecordKind::Put => c.acked_puts.fetch_add(1, Ordering::Relaxed),
+            RecordKind::Tombstone => c.acked_removes.fetch_add(1, Ordering::Relaxed),
+        };
+        self.active_bytes += len;
+        WriterStep::Ok
+    }
+
+    /// Append one GC rewrite into the active segment (no fault seam, no
+    /// host accounting) and return its location.
+    fn append_gc(
+        &mut self,
+        key: u64,
+        kind: RecordKind,
+        payload: &[u8],
+    ) -> Result<Location, StoreError> {
+        self.maybe_roll()?;
+        self.buf.clear();
+        let len = encode_record(key, kind, payload, &mut self.buf);
+        self.backend.append(self.active, &self.buf)?;
+        let loc =
+            Location { segment: self.active, offset: SEGMENT_HEADER_LEN + self.active_bytes, len };
+        self.active_bytes += len;
+        self.shared.counters.gc_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(loc)
+    }
+
+    /// One compaction pass: pick the deadest sealed segment, rewrite what
+    /// is still needed from it (live puts; tombstones that still shadow an
+    /// older put elsewhere), then delete it. Rewritten bytes are the GC
+    /// half of the measured write amplification.
+    fn compact_once(&mut self) -> Result<CompactReport, StoreError> {
+        let victim = {
+            let ix = self.shared.index.lock();
+            ix.deadest_segment()
+        };
+        let Some((victim, _)) = victim else {
+            return Ok(CompactReport::default());
+        };
+        let bytes = self.backend.read_all(victim)?;
+        if bytes.len() < SEGMENT_HEADER_LEN as usize || bytes[..4] != SEGMENT_MAGIC {
+            return Err(StoreError::Corrupt(format!("compaction victim {victim}: bad header")));
+        }
+
+        // Pass 1: how many put records for each key live *in this segment*
+        // (any version), so pass 2 can tell whether a tombstone still
+        // shadows a put in some other segment.
+        let mut puts_here: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut offset = SEGMENT_HEADER_LEN;
+        while (offset as usize) < bytes.len() {
+            let (record, consumed) = decode_record(&bytes[offset as usize..]).map_err(|e| {
+                StoreError::Corrupt(format!(
+                    "compaction victim {victim}: record at {offset} unreadable: {e}"
+                ))
+            })?;
+            if record.kind == RecordKind::Put {
+                *puts_here.entry(record.key).or_insert(0) += 1;
+            }
+            offset += consumed;
+        }
+
+        // Pass 2: rewrite what must survive.
+        let mut report = CompactReport { victim: Some(victim), ..CompactReport::default() };
+        let mut offset = SEGMENT_HEADER_LEN;
+        while (offset as usize) < bytes.len() {
+            let (record, consumed) = decode_record(&bytes[offset as usize..])
+                .map_err(|e| StoreError::Corrupt(format!("victim {victim} reread: {e}")))?;
+            let from = Location { segment: victim, offset, len: consumed };
+            match record.kind {
+                RecordKind::Put => {
+                    let is_current = self.shared.index.lock().get(record.key) == Some(from);
+                    if is_current {
+                        let to = self.append_gc(record.key, RecordKind::Put, record.payload)?;
+                        report.rewritten_bytes += consumed;
+                        report.rewritten_records += 1;
+                        self.shared.index.lock().relocate(record.key, from, to);
+                    }
+                }
+                RecordKind::Tombstone => {
+                    let shadows_elsewhere = {
+                        let ix = self.shared.index.lock();
+                        ix.get(record.key).is_none()
+                            && ix.puts_on_disk(record.key)
+                                > puts_here.get(&record.key).copied().unwrap_or(0)
+                    };
+                    if shadows_elsewhere {
+                        self.append_gc(record.key, RecordKind::Tombstone, &[])?;
+                        report.rewritten_bytes += consumed;
+                        report.rewritten_records += 1;
+                    }
+                }
+            }
+            offset += consumed;
+        }
+
+        // Reclaim: exclusive `io` so no reader holds a location into the
+        // victim across its deletion.
+        {
+            let _io = self.shared.io.write();
+            self.backend.delete(victim)?;
+            self.shared.index.lock().forget_segment(victim, &puts_here);
+        }
+        report.reclaimed_bytes = (bytes.len() as u64).saturating_sub(report.rewritten_bytes);
+        let c = &self.shared.counters;
+        c.compactions.fetch_add(1, Ordering::Relaxed);
+        c.segments_deleted.fetch_add(1, Ordering::Relaxed);
+        c.rewritten_records.fetch_add(report.rewritten_records, Ordering::Relaxed);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::fault::{CrashAt, NoStoreFaults};
+
+    fn cfg(segment_bytes: u64) -> StoreConfig {
+        StoreConfig { segment_bytes, queue_depth: 8, compact_trigger: None }
+    }
+
+    fn open_mem(backend: &MemBackend, cfg: StoreConfig) -> (SegmentStore, RecoveryReport) {
+        SegmentStore::open(Arc::new(backend.clone()), cfg, Arc::new(NoStoreFaults)).expect("open")
+    }
+
+    fn payload(key: u64, len: usize) -> Vec<u8> {
+        let word = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes();
+        (0..len).map(|i| word[i % 8]).collect()
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let backend = MemBackend::new();
+        let (store, rec) = open_mem(&backend, cfg(1 << 20));
+        assert_eq!(rec, RecoveryReport::default());
+        for k in 0..100u64 {
+            store.put(k, &payload(k, 64 + (k as usize % 32))).unwrap();
+        }
+        store.remove(17).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.get(3).unwrap().unwrap(), payload(3, 67));
+        assert_eq!(store.get(17).unwrap(), None);
+        assert_eq!(store.get(1000).unwrap(), None);
+        let s = store.stats();
+        assert_eq!(s.acked_puts, 100);
+        assert_eq!(s.acked_removes, 1);
+        assert_eq!(s.live_records, 99);
+        assert_eq!(s.gc_bytes, 0);
+        assert!((s.write_amplification() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_roll_and_recovery_rebuilds_the_index() {
+        let backend = MemBackend::new();
+        let entries = {
+            let (store, _) = open_mem(&backend, cfg(2_000));
+            for k in 0..200u64 {
+                store.put(k, &payload(k, 100)).unwrap();
+            }
+            for k in 0..50u64 {
+                store.remove(k).unwrap();
+            }
+            store.flush().unwrap();
+            assert!(store.stats().segments > 3, "tiny segments must roll");
+            store.live_entries()
+        }; // store dropped = clean shutdown
+
+        let (reopened, rec) = open_mem(&backend, cfg(2_000));
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.live_records, 150);
+        assert_eq!(reopened.live_entries(), entries, "recovery must rebuild the exact index");
+        assert_eq!(reopened.get(10).unwrap(), None, "tombstones survive recovery");
+        assert_eq!(reopened.get(60).unwrap().unwrap(), payload(60, 100));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes_and_reports_wa() {
+        let backend = MemBackend::new();
+        let (store, _) = open_mem(&backend, cfg(4_000));
+        for k in 0..200u64 {
+            store.put(k, &payload(k, 100)).unwrap();
+        }
+        // Overwrite the first half: their old records go dead.
+        for k in 0..100u64 {
+            store.put(k, &payload(k, 80)).unwrap();
+        }
+        store.flush().unwrap();
+        let before = store.stats();
+        assert!(before.segments > 2);
+
+        let mut rewritten = 0u64;
+        let mut compactions = 0;
+        while compactions < 10 {
+            let r = store.compact().unwrap();
+            let Some(_) = r.victim else { break };
+            rewritten += r.rewritten_bytes;
+            compactions += 1;
+            if store.stats().segments <= 2 {
+                break;
+            }
+        }
+        let after = store.stats();
+        assert!(after.compactions > 0);
+        assert_eq!(after.gc_bytes, rewritten);
+        assert!(after.write_amplification() > 1.0, "rewrites must show up as WA");
+        // Every key still readable with its latest value.
+        for k in 0..200u64 {
+            let want = if k < 100 { payload(k, 80) } else { payload(k, 100) };
+            assert_eq!(store.get(k).unwrap().unwrap(), want, "key {k}");
+        }
+        // And the store still recovers cleanly after compaction.
+        let entries = store.live_entries();
+        drop(store);
+        let (reopened, rec) = open_mem(&backend, cfg(4_000));
+        assert!(!rec.torn_tail);
+        assert_eq!(reopened.live_entries().len(), entries.len());
+        for k in 0..200u64 {
+            let want = if k < 100 { payload(k, 80) } else { payload(k, 100) };
+            assert_eq!(reopened.get(k).unwrap().unwrap(), want, "post-recovery key {k}");
+        }
+    }
+
+    #[test]
+    fn tombstones_still_shadowing_older_puts_are_rewritten() {
+        let backend = MemBackend::new();
+        // Tiny segments: each handful of records rolls a segment.
+        let (store, _) = open_mem(&backend, cfg(300));
+        store.put(1, &payload(1, 100)).unwrap(); // seg A
+        store.put(2, &payload(2, 100)).unwrap();
+        store.put(3, &payload(3, 100)).unwrap(); // rolls
+        store.remove(1).unwrap(); // tombstone lands in a later segment
+        store.put(4, &payload(4, 100)).unwrap();
+        store.put(5, &payload(5, 100)).unwrap();
+        store.flush().unwrap();
+
+        // Compact until only the active segment remains (or progress stops);
+        // at every intermediate state key 1 must stay deleted.
+        for _ in 0..20 {
+            let r = store.compact().unwrap();
+            if r.victim.is_none() {
+                break;
+            }
+            assert_eq!(store.get(1).unwrap(), None, "tombstone must not be lost");
+        }
+        let entries = store.live_entries();
+        drop(store);
+        let (reopened, _) = open_mem(&backend, cfg(300));
+        assert_eq!(reopened.get(1).unwrap(), None, "deletion survives recovery after GC");
+        assert_eq!(reopened.live_entries().len(), entries.len());
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_fraction() {
+        let backend = MemBackend::new();
+        let cfg = StoreConfig { segment_bytes: 2_000, queue_depth: 8, compact_trigger: Some(0.5) };
+        let (store, _) =
+            SegmentStore::open(Arc::new(backend.clone()), cfg, Arc::new(NoStoreFaults))
+                .expect("open");
+        // Heavy overwrite churn on a small key range: most sealed bytes die.
+        for round in 0..20u64 {
+            for k in 0..20u64 {
+                store.put(k, &payload(k ^ round, 100)).unwrap();
+            }
+        }
+        store.flush().unwrap();
+        let s = store.stats();
+        assert!(s.compactions > 0, "auto-compaction must have fired: {s:?}");
+        assert!(s.segments_deleted > 0);
+        assert!(s.write_amplification() > 1.0);
+        assert!(
+            s.segments < s.segments_created,
+            "space must be reclaimed: {} segments of {} created",
+            s.segments,
+            s.segments_created
+        );
+    }
+
+    #[test]
+    fn crash_between_append_and_index_update_loses_only_the_ack() {
+        let backend = MemBackend::new();
+        let plan = CrashAt { seq: 10, torn_tail: 0 };
+        let (store, _) =
+            SegmentStore::open(Arc::new(backend.clone()), cfg(1 << 20), Arc::new(plan))
+                .expect("open");
+        for k in 0..100u64 {
+            if store.put(k, &payload(k, 50)).is_err() {
+                break;
+            }
+        }
+        // Wait for the writer to die; puts eventually fail.
+        while !store.is_crashed() {
+            std::thread::yield_now();
+        }
+        assert!(store.put(999, b"x").is_err());
+        let stats = store.stats();
+        assert_eq!(stats.acked_puts, 10, "exactly the pre-crash appends are acked");
+        drop(store);
+
+        // Recovery sees the 11th record (durably appended, never acked).
+        let (reopened, rec) = open_mem(&backend, cfg(1 << 20));
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.live_records, 11);
+        assert_eq!(reopened.get(10).unwrap().unwrap(), payload(10, 50));
+    }
+
+    #[test]
+    fn flush_enqueued_around_a_crash_errors_instead_of_hanging() {
+        // Regression: a `Cmd::Flush` buffered in the channel when the
+        // writer crashes must have its reply sender dropped by the crash
+        // drain — otherwise the caller's recv() waits forever on a reply
+        // that can never come.
+        for seq in 0..6u64 {
+            let backend = MemBackend::new();
+            let plan = CrashAt { seq, torn_tail: 0 };
+            let (store, _) =
+                SegmentStore::open(Arc::new(backend.clone()), cfg(1 << 20), Arc::new(plan))
+                    .expect("open");
+            // Fill the queue past the crash point, then race a flush in.
+            for k in 0..8u64 {
+                if store.put(k, &payload(k, 40)).is_err() {
+                    break;
+                }
+            }
+            assert!(store.flush().is_err(), "flush after crash at seq {seq}");
+            assert!(matches!(store.compact(), Err(StoreError::Crashed)));
+            assert!(store.is_crashed());
+        }
+    }
+
+    #[test]
+    fn removing_a_key_that_was_never_put_is_a_durable_no_op() {
+        let backend = MemBackend::new();
+        let (store, _) = open_mem(&backend, cfg(1 << 20));
+        store.remove(42).unwrap();
+        store.put(1, &payload(1, 30)).unwrap();
+        store.remove(42).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.get(42).unwrap(), None);
+        let s = store.stats();
+        assert_eq!(s.acked_removes, 2);
+        assert_eq!(s.live_records, 1);
+        drop(store);
+        // The tombstones are real records: recovery replays them cleanly.
+        let (reopened, rec) = open_mem(&backend, cfg(1 << 20));
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.live_records, 1);
+        assert_eq!(reopened.get(42).unwrap(), None);
+        assert_eq!(reopened.get(1).unwrap().unwrap(), payload(1, 30));
+    }
+
+    #[test]
+    fn torn_tail_record_is_truncated_on_recovery() {
+        let backend = MemBackend::new();
+        let plan = CrashAt { seq: 5, torn_tail: 7 }; // tear 7 bytes off record 5
+        let (store, _) =
+            SegmentStore::open(Arc::new(backend.clone()), cfg(1 << 20), Arc::new(plan))
+                .expect("open");
+        for k in 0..100u64 {
+            if store.put(k, &payload(k, 50)).is_err() {
+                break;
+            }
+        }
+        while !store.is_crashed() {
+            std::thread::yield_now();
+        }
+        drop(store);
+
+        let (reopened, rec) = open_mem(&backend, cfg(1 << 20));
+        assert!(rec.torn_tail, "the partial record must be detected");
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(rec.live_records, 5, "torn record 5 is gone; 0..=4 survive");
+        assert_eq!(reopened.get(4).unwrap().unwrap(), payload(4, 50));
+        assert_eq!(reopened.get(5).unwrap(), None);
+        // The repaired log is clean: a third open sees no tear.
+        drop(reopened);
+        let (_, rec2) = open_mem(&backend, cfg(1 << 20));
+        assert!(!rec2.torn_tail);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error_not_a_silent_truncation() {
+        let backend = MemBackend::new();
+        {
+            let (store, _) = open_mem(&backend, cfg(500));
+            for k in 0..50u64 {
+                store.put(k, &payload(k, 60)).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Flip a byte in the middle of the FIRST segment (not the newest).
+        let segments = backend.list().unwrap();
+        assert!(segments.len() > 2);
+        let first = segments[0];
+        let mut bytes = backend.read_all(first).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        backend.truncate(first, 0).unwrap();
+        backend.append(first, &bytes).unwrap();
+
+        let err = SegmentStore::open(Arc::new(backend.clone()), cfg(500), Arc::new(NoStoreFaults))
+            .expect_err("mid-log corruption must fail the scan");
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_the_door() {
+        let backend = MemBackend::new();
+        let (store, _) = open_mem(&backend, cfg(1 << 20));
+        let big = vec![0u8; MAX_PAYLOAD as usize + 1];
+        assert!(matches!(store.put(1, &big), Err(StoreError::PayloadTooLarge(_))));
+    }
+}

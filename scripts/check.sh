@@ -26,4 +26,10 @@ if [[ "${OTAE_HARNESS_SMOKE:-0}" == "1" ]]; then
   cargo run --release -q -p otae-harness -- --smoke
 fi
 
+if [[ "${OTAE_STORE_SMOKE:-0}" == "1" ]]; then
+  echo "==> store smoke (segment-store throughput, recovery, measured WA)"
+  OTAE_BENCH_SMOKE=1 cargo run --release -q -p otae-bench --bin store_throughput
+  OTAE_BENCH_SMOKE=1 cargo bench -q -p otae-bench --bench store_ops -- --test
+fi
+
 echo "OK: fmt, otae-lint, clippy, tests and bench smoke all clean"

@@ -14,7 +14,7 @@
 //! here, separated from `main.rs`, so it is unit-testable.
 
 use otae_core::{run, Mode, PolicyKind, RunConfig};
-use otae_serve::{serve_trace, LoadConfig, ServeConfig, TrainerMode};
+use otae_serve::{serve_trace, LoadConfig, ServeConfig, StoreMode, TrainerMode};
 use otae_trace::codec::{read_binary, read_text, write_binary, write_text};
 use otae_trace::{generate, sample_objects, Trace, TraceConfig};
 use std::fmt::Write as _;
@@ -52,13 +52,16 @@ USAGE:
                                [--qps Q] [--duration-s S]
                                [--policy ...] [--mode ...]
                                [--trainer inline|background]
+                               [--store none|memory|disk[:DIR]]
                                [--capacity-frac F | --capacity-mb MB]
   otae convert <trace.bin> --out <trace.txt>
   otae import <trace.txt> --out <trace.bin>
 
 Defaults: objects=50000, seed=42, days=9, rate=0.01, policy=lru,
 mode=proposal, capacity-frac=0.02 (fraction of unique bytes),
-shards=4, workers=4, clients=2, qps=0 (unthrottled), trainer=background.";
+shards=4, workers=4, clients=2, qps=0 (unthrottled), trainer=background,
+store=none (memory = deterministic in-RAM segment store; disk:DIR =
+real segment files under DIR, default ./otae-store-data).";
 
 /// Simple `--key value` argument map with positional support.
 struct Args {
@@ -120,6 +123,21 @@ fn parse_policy(s: &str) -> Result<PolicyKind, CliError> {
         "gdsf" => PolicyKind::Gdsf,
         "belady" => PolicyKind::Belady,
         other => return Err(err(format!("unknown policy: {other}"))),
+    })
+}
+
+fn parse_store(s: &str) -> Result<StoreMode, CliError> {
+    let lower = s.to_ascii_lowercase();
+    Ok(match lower.as_str() {
+        "none" => StoreMode::None,
+        "memory" => StoreMode::Memory,
+        "disk" => StoreMode::Disk("otae-store-data".into()),
+        _ => match s.split_once(':') {
+            Some((kind, dir)) if kind.eq_ignore_ascii_case("disk") && !dir.is_empty() => {
+                StoreMode::Disk(dir.into())
+            }
+            _ => return Err(err(format!("unknown store: {s} (none|memory|disk[:DIR])"))),
+        },
     })
 }
 
@@ -306,10 +324,13 @@ fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
         other => return Err(err(format!("unknown trainer: {other} (inline|background)"))),
     };
 
+    let store = parse_store(args.get("store").unwrap_or("none"))?;
+
     let mut cfg = ServeConfig::new(policy, mode, capacity);
     cfg.shards = shards;
     cfg.workers = workers;
     cfg.trainer = trainer;
+    cfg.store = store;
     let load = LoadConfig { clients, target_qps: qps, duration };
     let r = serve_trace(&trace, &cfg, &load);
 
@@ -333,6 +354,14 @@ fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "latency p999      {:.1} us", r.latency_p999_us);
     let _ = writeln!(out, "model swaps       {}", r.model_swaps);
     let _ = writeln!(out, "trainings         {}", r.trainings);
+    if let Some(store) = r.snapshot.store.as_ref() {
+        let _ = writeln!(out, "store puts        {}", store.stats.acked_puts);
+        let _ = writeln!(out, "store host bytes  {}", store.stats.host_bytes);
+        let _ = writeln!(out, "store gc bytes    {}", store.stats.gc_bytes);
+        let _ = writeln!(out, "store compactions {}", store.stats.compactions);
+        let _ = writeln!(out, "store measured WA {:.4}", store.write_amplification());
+        let _ = writeln!(out, "store errors      {}", store.errors);
+    }
     let _ = writeln!(out, "per-shard (accesses / hit rate / write rate):");
     for (i, ps) in r.snapshot.per_shard.iter().enumerate() {
         let _ = writeln!(
@@ -490,9 +519,47 @@ mod tests {
     #[test]
     fn usage_documents_serve_bench() {
         assert!(USAGE.contains("serve-bench"));
-        for flag in ["--shards", "--workers", "--qps", "--duration-s"] {
+        for flag in ["--shards", "--workers", "--qps", "--duration-s", "--store"] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }
+    }
+
+    #[test]
+    fn store_flag_parses_all_forms() {
+        assert_eq!(parse_store("none").unwrap(), StoreMode::None);
+        assert_eq!(parse_store("memory").unwrap(), StoreMode::Memory);
+        assert_eq!(parse_store("MEMORY").unwrap(), StoreMode::Memory);
+        assert_eq!(parse_store("disk").unwrap(), StoreMode::Disk("otae-store-data".into()));
+        assert_eq!(parse_store("disk:/tmp/segs").unwrap(), StoreMode::Disk("/tmp/segs".into()));
+        assert!(parse_store("disk:").is_err());
+        assert!(parse_store("cloud").is_err());
+    }
+
+    #[test]
+    fn serve_bench_with_memory_store_reports_store_lines() {
+        let bin = temp_path("serve-store.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "1500", "--seed", "11"])
+            .expect("generate");
+        let out = run_cli(&[
+            "serve-bench",
+            &bin,
+            "--shards",
+            "2",
+            "--mode",
+            "ideal",
+            "--store",
+            "memory",
+        ])
+        .expect("serve-bench with store");
+        assert!(out.contains("store puts"), "store lines expected:\n{out}");
+        assert!(out.contains("store measured WA"));
+        assert!(out.contains("store errors      0"));
+        // Without the flag the store lines must not appear.
+        let plain =
+            run_cli(&["serve-bench", &bin, "--mode", "ideal"]).expect("storeless serve-bench");
+        assert!(!plain.contains("store puts"));
+        let e = run_cli(&["serve-bench", &bin, "--store", "floppy"]).unwrap_err();
+        assert!(e.0.contains("unknown store"));
     }
 
     #[test]
