@@ -1,0 +1,153 @@
+//! Compiled-inference microbench: the interpreted tree walk vs the
+//! compiled level-synchronous branchless walk vs compiled scoring behind
+//! the epoch-keyed decision memo, at the micro-batch sizes the serve
+//! workers actually drain ({1, 8, 32, 128} rows).
+//!
+//! The three arms make the same admission decisions bit-for-bit (the
+//! oracle and proptests enforce that); this bench measures what each
+//! representation costs per verdict. `OTAE_BENCH_SMOKE=1` shrinks the
+//! stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use otae_bench::common::smoke_mode;
+use otae_core::N_FEATURES;
+use otae_ml::{Classifier, CompiledTree, Dataset, DecisionTree, TreeParams};
+use otae_serve::{feature_bits, DecisionCache, FeatureBits};
+use otae_trace::ObjectId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+struct Workload {
+    tree: DecisionTree,
+    compiled: CompiledTree,
+    /// Request stream over a bounded object population (repeats exist).
+    objects: Vec<ObjectId>,
+    /// One fixed-width row per request, as the shard scratch stages them.
+    rows: Vec<[f32; N_FEATURES]>,
+    /// Precomputed bit patterns, one per request.
+    bits: Vec<FeatureBits>,
+}
+
+fn workload(n_requests: usize, n_objects: usize, seed: u64) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train = Dataset::new(N_FEATURES);
+    for _ in 0..4_000 {
+        let mut row = [0.0f32; N_FEATURES];
+        for v in row.iter_mut() {
+            *v = rng.gen();
+        }
+        let label = row[0] + 0.5 * row[3] > 0.9;
+        train.push(&row, label);
+    }
+    let mut tree = DecisionTree::new(TreeParams::default());
+    tree.fit(&train);
+    let compiled = CompiledTree::compile(&tree).expect("fitted tree compiles");
+
+    let pool: Vec<[f32; N_FEATURES]> = (0..n_objects)
+        .map(|_| {
+            let mut row = [0.0f32; N_FEATURES];
+            for v in row.iter_mut() {
+                *v = rng.gen();
+            }
+            row
+        })
+        .collect();
+    let mut objects = Vec::with_capacity(n_requests);
+    let mut rows = Vec::with_capacity(n_requests);
+    let mut bits = Vec::with_capacity(n_requests);
+    for i in 0..n_requests {
+        let obj = (i * i + i / 3) % n_objects;
+        objects.push(ObjectId(obj as u32));
+        rows.push(pool[obj]);
+        bits.push(feature_bits(&pool[obj]));
+    }
+    Workload { tree, compiled, objects, rows, bits }
+}
+
+fn bench_compiled_inference(c: &mut Criterion) {
+    let n_requests = if smoke_mode() { 1_024 } else { 16_384 };
+    let w = workload(n_requests, 512, 42);
+    let mut group = c.benchmark_group("compiled_inference");
+    group.sample_size(10);
+
+    for k in BATCH_SIZES {
+        group.bench_function(format!("interpreted_b{k}"), |b| {
+            // The reference arm: one pointer-chasing walk per row.
+            b.iter(|| {
+                let mut admitted = 0usize;
+                for chunk in w.rows.chunks(k) {
+                    for row in chunk {
+                        if w.tree.score(black_box(row)) < 0.5 {
+                            admitted += 1;
+                        }
+                    }
+                }
+                admitted
+            })
+        });
+        group.bench_function(format!("compiled_b{k}"), |b| {
+            let mut scores = Vec::with_capacity(k);
+            b.iter(|| {
+                let mut admitted = 0usize;
+                for chunk in w.rows.chunks(k) {
+                    scores.clear();
+                    w.compiled.score_rows_fixed(black_box(chunk), &mut scores);
+                    admitted += scores.iter().filter(|&&s| s < 0.5).count();
+                }
+                admitted
+            })
+        });
+        group.bench_function(format!("compiled_memo_b{k}"), |b| {
+            // The full shard resolve pass: memo lookups first, then one
+            // compiled sweep over the batch's misses. The cache persists
+            // across iterations, so after warm-up repeat objects answer
+            // from the memo and only evicted ones pay the compiled walk.
+            let mut cache = DecisionCache::new(1_024);
+            cache.ensure_epoch(1);
+            let mut miss_rows: Vec<[f32; N_FEATURES]> = Vec::with_capacity(k);
+            let mut miss_idx: Vec<usize> = Vec::with_capacity(k);
+            let mut scores: Vec<f32> = Vec::with_capacity(k);
+            b.iter(|| {
+                let mut admitted = 0usize;
+                let mut start = 0;
+                while start < w.objects.len() {
+                    let end = (start + k).min(w.objects.len());
+                    miss_rows.clear();
+                    miss_idx.clear();
+                    for i in start..end {
+                        match cache.lookup(w.objects[i], &w.bits[i]) {
+                            Some(v) => {
+                                if !v {
+                                    admitted += 1;
+                                }
+                            }
+                            None => {
+                                miss_idx.push(i);
+                                miss_rows.push(w.rows[i]);
+                            }
+                        }
+                    }
+                    if !miss_idx.is_empty() {
+                        scores.clear();
+                        w.compiled.score_rows_fixed(black_box(&miss_rows), &mut scores);
+                        for (&i, &s) in miss_idx.iter().zip(&scores) {
+                            let v = s >= 0.5;
+                            cache.insert(w.objects[i], w.bits[i], v);
+                            if !v {
+                                admitted += 1;
+                            }
+                        }
+                    }
+                    start = end;
+                }
+                admitted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled_inference);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Diagnostic: where does Proposal admission's serve-time overhead live?
+//!
+//! Replays the standard trace at 1×1 under a ladder of configurations that
+//! peel one cost layer at a time — admit-everything baseline, Proposal
+//! with pieces of the hot-path machinery disabled, and Proposal with
+//! training suppressed via a fail-all fault plan — and prints the
+//! throughput of each rung. Numbers are wall-clock on whatever machine
+//! runs this; the point is the *ratios* between adjacent rungs.
+
+use otae_bench::common::{gb_to_bytes, standard_trace};
+use otae_core::pipeline::{Mode, PolicyKind};
+use otae_core::ReaccessIndex;
+use otae_serve::{
+    serve_trace_with_index, FaultPlan, LoadConfig, RetrainFault, ServeConfig, TrainerMode,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Suppresses every training so the gate stays cold: isolates the cost of
+/// sampling + channel traffic + history bookkeeping from fit + scoring.
+#[derive(Debug)]
+struct FailAllTrainings;
+impl FaultPlan for FailAllTrainings {
+    fn retrain_fault(&self, _attempt: u32) -> RetrainFault {
+        RetrainFault::Fail
+    }
+}
+
+fn main() {
+    let trace = standard_trace();
+    let index = ReaccessIndex::build(&trace);
+    let capacity = gb_to_bytes(&trace, 10.0);
+    let load = LoadConfig { clients: 1, target_qps: 0.0, duration: None };
+
+    let base = |mode: Mode| {
+        let mut cfg = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+        cfg.shards = 1;
+        cfg.workers = 1;
+        cfg.trainer = TrainerMode::Background;
+        cfg
+    };
+
+    let mut rungs: Vec<(&str, ServeConfig)> = Vec::new();
+    rungs.push(("original (no gate)", base(Mode::Original)));
+    rungs.push(("proposal defaults (compiled + memo)", base(Mode::Proposal)));
+    {
+        let mut cfg = base(Mode::Proposal);
+        cfg.compiled_inference = false;
+        rungs.push(("proposal interpreted (memo on)", cfg));
+    }
+    {
+        let mut cfg = base(Mode::Proposal);
+        cfg.decision_cache = false;
+        rungs.push(("proposal no memo (compiled on)", cfg));
+    }
+    {
+        let mut cfg = base(Mode::Proposal);
+        cfg.faults = Arc::new(FailAllTrainings);
+        rungs.push(("proposal cold gate (fits suppressed)", cfg));
+    }
+    {
+        let mut cfg = base(Mode::Proposal);
+        cfg.training.records_per_minute = 0;
+        rungs.push(("proposal sampler cap 0", cfg));
+    }
+
+    // The once-daily fit, timed in isolation on the exact day-1 window the
+    // serve replay's retrainer sees (real trace features and labels).
+    {
+        use otae_core::daily::{train_tree, CostPolicy, Sample};
+        use otae_core::{solve_criteria, FeatureExtractor, N_FEATURES};
+        use otae_trace::diurnal::DAY;
+        let avg_size = trace.avg_object_size().max(1.0);
+        let m = solve_criteria(&index, capacity, avg_size, 3).m;
+        let v = CostPolicy::Auto.resolve(capacity, trace.unique_bytes());
+        let features = FeatureExtractor::extract_all(&trace);
+        let window: Vec<Sample> = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(_, req)| req.ts < DAY)
+            .map(|(i, req)| Sample {
+                ts: req.ts,
+                features: features[i],
+                one_time: index.is_one_time(i, m),
+            })
+            .collect();
+        let per_day = window.len();
+        let _ = train_tree(&window, v, 30);
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            std::hint::black_box(train_tree(std::hint::black_box(&window), v, 30));
+        }
+        println!(
+            "one daily fit on {} samples: {:.1} ms",
+            per_day,
+            t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+        );
+
+        // Phase split: dataset assembly vs. quantization vs. everything else.
+        let t0 = Instant::now();
+        let mut data = otae_ml::Dataset::new(N_FEATURES);
+        for _ in 0..reps {
+            data = otae_ml::Dataset::new(N_FEATURES);
+            for s in &window {
+                data.push(std::hint::black_box(&s.features), s.one_time);
+            }
+        }
+        println!("  dataset build: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3 / reps as f64);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(otae_ml::BinnedDataset::build(std::hint::black_box(&data), 256));
+        }
+        println!("  binning build: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3 / reps as f64);
+
+        // All eight boundary fits on their true windows, as the retrainer
+        // would see them: total isolated fit cost for one replay.
+        let mut sampler = otae_core::daily::MinuteSampler::new(100);
+        let mut next_boundary = DAY + 5 * 3600; // 05:00 of day 1
+        let mut windows: Vec<Vec<Sample>> = Vec::new();
+        for (i, req) in trace.requests.iter().enumerate() {
+            if req.ts >= next_boundary {
+                windows.push(
+                    sampler.window(next_boundary.saturating_sub(DAY), next_boundary).to_vec(),
+                );
+                while req.ts >= next_boundary {
+                    next_boundary += DAY;
+                }
+            }
+            sampler.offer(req.ts, features[i], index.is_one_time(i, m));
+        }
+        let t0 = Instant::now();
+        for w in &windows {
+            std::hint::black_box(train_tree(std::hint::black_box(w), v, 30));
+        }
+        let sizes: Vec<usize> = windows.iter().map(Vec::len).collect();
+        println!(
+            "all {} boundary fits (windows {:?}): {:.1} ms total",
+            windows.len(),
+            sizes,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+
+        // Phase split on the largest window (the steady-state fit size).
+        let big = windows.iter().max_by_key(|w| w.len()).expect("windows");
+        let t0 = Instant::now();
+        let mut bdata = otae_ml::Dataset::new(N_FEATURES);
+        for _ in 0..reps {
+            bdata = otae_ml::Dataset::new(N_FEATURES);
+            for s in big {
+                bdata.push(std::hint::black_box(&s.features), s.one_time);
+            }
+        }
+        let t_data = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(otae_ml::BinnedDataset::build(std::hint::black_box(&bdata), 256));
+        }
+        let t_bin = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(train_tree(std::hint::black_box(big), v, 30));
+        }
+        let t_fit = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        println!(
+            "largest window ({} samples): fit {t_fit:.1} ms = dataset {t_data:.1} + binning \
+             {t_bin:.1} + search {:.1} ms",
+            big.len(),
+            t_fit - t_data - t_bin
+        );
+    }
+
+    println!("{:<42} {:>14} {:>10}", "rung", "ops/s", "wall_s");
+    for (name, cfg) in rungs {
+        // Warmup, then best of 3.
+        let _ = serve_trace_with_index(&trace, &index, &cfg, &load);
+        let mut best = f64::MIN;
+        let mut wall = f64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+            let w = t0.elapsed().as_secs_f64();
+            if r.throughput_rps > best {
+                best = r.throughput_rps;
+                wall = w;
+            }
+        }
+        println!("{name:<42} {best:>14.0} {wall:>10.3}");
+    }
+}

@@ -17,6 +17,18 @@ const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 4), (8, 8)];
 /// the `proposal_speedup_vs_pr1` metric tracking the hot-path rework.
 const PR1_PROPOSAL_8X8_OPS: f64 = 352_854.128_037;
 
+/// The `proposal_8x8` ops/s recorded after the batching + memoization
+/// rework but before compiled inference — the denominator of the
+/// `compiled_speedup_vs_pr5` metric isolating what the branchless compiled
+/// scorer buys on top of batching.
+const PR5_PROPOSAL_8X8_OPS: f64 = 760_627.277_892;
+
+/// Measured replays per stage; the best (shortest wall) one is reported so
+/// a scheduler hiccup on one replay cannot masquerade as a topology effect.
+/// Five runs because single-replay walls on a loaded host wobble by ~10%,
+/// and the gate-overhead ratios divide two of them.
+const MEASURED_RUNS: usize = 5;
+
 /// Run the serve-throughput sweep; emits `results/serve_throughput.csv` and
 /// the machine-readable `BENCH_serve.json` perf trajectory at the repo
 /// root. `OTAE_BENCH_SMOKE=1` runs a single 1×1 tick and skips the JSON.
@@ -51,9 +63,26 @@ pub fn run() {
             cfg.workers = workers;
             cfg.trainer = TrainerMode::Background;
             let load = LoadConfig { clients: workers.min(4), target_qps: 0.0, duration: None };
-            let t0 = Instant::now();
-            let r = serve_trace_with_index(&trace, &index, &cfg, &load);
-            let wall = t0.elapsed().as_secs_f64();
+            // One discarded warmup replay, then best-of-N measured replays.
+            // The first replay at a topology pays one-time costs (page
+            // faults, lazy allocations, branch-predictor training) that
+            // earlier versions of this sweep charged entirely to whichever
+            // rung ran first — the source of the old 8×8-faster-than-4×4
+            // anomaly. Smoke mode keeps the single-run tick.
+            let runs = if smoke { 1 } else { MEASURED_RUNS };
+            if !smoke {
+                let _ = serve_trace_with_index(&trace, &index, &cfg, &load);
+            }
+            let mut best: Option<(f64, otae_serve::ServeReport)> = None;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let r = serve_trace_with_index(&trace, &index, &cfg, &load);
+                let wall = t0.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, r));
+                }
+            }
+            let (wall, r) = best.expect("at least one measured run");
             json.stage(
                 &format!("{}_{}x{}", mode.name().to_lowercase(), shards, workers),
                 wall,
@@ -87,10 +116,13 @@ pub fn run() {
     if let Some(&prop_last) = throughput[1].last() {
         if topologies.len() == TOPOLOGIES.len() {
             json.metric("proposal_speedup_vs_pr1", prop_last / PR1_PROPOSAL_8X8_OPS);
+            json.metric("compiled_speedup_vs_pr5", prop_last / PR5_PROPOSAL_8X8_OPS);
         }
     }
     table.emit("serve_throughput");
-    json.write("BENCH_serve.json");
+    // Merge rather than overwrite: the store experiment shares this
+    // artifact, and regenerating only the serve sweep must not lose it.
+    json.merge_write("BENCH_serve.json");
 }
 
 #[cfg(test)]

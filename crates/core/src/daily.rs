@@ -7,7 +7,7 @@
 //! sampled day takes well under a second at our scale.
 
 use crate::features::N_FEATURES;
-use otae_ml::{Classifier, Dataset, DecisionTree, SplitEngine, TreeParams};
+use otae_ml::{Classifier, CompiledTree, Dataset, DecisionTree, SplitEngine, TreeParams};
 use otae_trace::diurnal::DAY;
 
 /// Cost-matrix policy for Table 4's `v` (the false-positive cost).
@@ -163,6 +163,28 @@ pub fn train_tree_with(
     Some(tree)
 }
 
+/// A freshly trained tree together with its compiled form, built once at
+/// the train boundary so no scoring path ever pays compilation latency.
+/// `compiled` is `None` only when the tree cannot be packed into the
+/// compact node table (impossible for `fit`-built trees at the paper's
+/// split budget); consumers then keep the interpreted walk.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The interpreted tree (reference semantics; still serialized, still
+    /// the source of truth for decisions).
+    pub tree: DecisionTree,
+    /// Branchless SoA form of the same tree, bit-identical scores.
+    pub compiled: Option<CompiledTree>,
+}
+
+impl TrainedModel {
+    /// Compile `tree` once and pair the two representations.
+    pub fn new(tree: DecisionTree) -> Self {
+        let compiled = tree.compile().and_then(otae_ml::CompiledModel::into_tree);
+        Self { tree, compiled }
+    }
+}
+
 /// Daily retraining driver (§4.4.3): retrains at `retrain_hour` each day on
 /// the previous 24 hours of samples.
 #[derive(Debug)]
@@ -209,6 +231,16 @@ impl DailyTrainer {
             self.trainings += 1;
         }
         tree
+    }
+
+    /// [`DailyTrainer::maybe_retrain`], but the fresh tree is compiled at
+    /// the train boundary (amortized once per day, never per request).
+    pub fn maybe_retrain_compiled(
+        &mut self,
+        ts: u64,
+        sampler: &mut MinuteSampler,
+    ) -> Option<TrainedModel> {
+        self.maybe_retrain(ts, sampler).map(TrainedModel::new)
     }
 }
 

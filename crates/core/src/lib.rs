@@ -52,7 +52,7 @@ pub use admission::{
 pub use baseline::{BloomFilter, SecondHitAdmission};
 pub use cluster::{run_cluster, ClusterConfig, ClusterResult, HashRing};
 pub use criteria::{solve_criteria, CriteriaSolution};
-pub use daily::{DailyTrainer, MinuteSampler, TrainingConfig};
+pub use daily::{DailyTrainer, MinuteSampler, TrainedModel, TrainingConfig};
 pub use features::{FeatureExtractor, FEATURE_NAMES, N_FEATURES};
 pub use history::HistoryTable;
 pub use online::{run_online, run_online_with, OnlineModelKind};

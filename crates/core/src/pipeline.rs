@@ -16,7 +16,7 @@ use otae_cache::{
     ArcCache, Belady, Cache, CacheStats, Evicted, Fifo, Gdsf, Lfu, Lirs, Lru, S3Lru, TwoQ,
 };
 use otae_device::{LatencyModel, ResponseTime};
-use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
+use otae_ml::{Classifier, CompiledTree, ConfusionMatrix, DecisionTree};
 use otae_trace::diurnal::DAY;
 use otae_trace::{ObjectId, Trace};
 use std::sync::Arc;
@@ -522,18 +522,25 @@ fn run_proposal_blocks(
     let mut block_feats: Vec<[f32; N_FEATURES]> = Vec::with_capacity(SCORE_BLOCK);
     let mut flat: Vec<f32> = Vec::with_capacity(SCORE_BLOCK * N_FEATURES);
     let mut scores: Vec<f32> = Vec::with_capacity(SCORE_BLOCK);
+    // Branchless SoA twin of `c.model`, rebuilt at install boundaries only
+    // (see [`otae_ml::compiled`]); scores are bit-identical, so decisions
+    // cannot drift from the interpreted path.
+    let mut compiled: Option<CompiledTree> = None;
 
     let n = trace.len();
     let mut i = 0usize;
     while i < n {
         // Retrains/installs due at the block head (§4.4.3).
         if let Some(tr) = trainer.as_mut() {
-            if let Some(model) = tr.maybe_retrain(trace.requests[i].ts, &mut sampler) {
-                c.model = Some(model);
+            if let Some(model) = tr.maybe_retrain_compiled(trace.requests[i].ts, &mut sampler) {
+                compiled = model.compiled;
+                c.model = Some(model.tree);
             }
         } else if let Some(s) = schedule {
             while next_install < s.installs.len() && s.installs[next_install].0 == i as u64 {
-                c.model = Some((*s.installs[next_install].1).clone());
+                let tree = (*s.installs[next_install].1).clone();
+                compiled = tree.compile().and_then(otae_ml::CompiledModel::into_tree);
+                c.model = Some(tree);
                 next_install += 1;
             }
         }
@@ -573,15 +580,23 @@ fn run_proposal_blocks(
             }
         }
 
-        // One batched scoring sweep for the whole block.
+        // One batched scoring sweep for the whole block: the compiled
+        // level-synchronous walk scores the fixed-width rows in place; the
+        // interpreted fallback (a model that would not compile) still packs
+        // the flat buffer.
         let has_model = c.model.is_some();
         if let Some(model) = &c.model {
-            flat.clear();
-            for f in feats {
-                flat.extend_from_slice(f);
-            }
             scores.clear();
-            model.score_rows(&flat, N_FEATURES, &mut scores);
+            match &compiled {
+                Some(ct) => ct.score_rows_fixed(feats, &mut scores),
+                None => {
+                    flat.clear();
+                    for f in feats {
+                        flat.extend_from_slice(f);
+                    }
+                    model.score_rows(&flat, N_FEATURES, &mut scores);
+                }
+            }
         }
 
         // Exact per-request decision pass.

@@ -104,13 +104,13 @@ pub fn differential_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFai
     Ok(())
 }
 
-/// The hot-path exactness oracle: the batched + memoized admission path
-/// (the service defaults: multi-request worker batches, per-shard
-/// epoch-keyed decision cache) must produce a fingerprint bit-identical to
-/// the per-request reference path (`max_batch = 1`, decision cache off)
-/// for every admission mode — including under an injected swap-fault
-/// schedule that deterministically drops every other model install on the
-/// exact 1×1 inline topology.
+/// The hot-path exactness oracle, three-way: the per-request reference
+/// path (`max_batch = 1`, decision cache off, interpreted scoring), the
+/// batched + memoized path with the interpreted tree walk, and the same
+/// batched path with compiled branchless inference (the service defaults)
+/// must all produce bit-identical fingerprints for every admission mode —
+/// including under an injected swap-fault schedule that deterministically
+/// drops every other model install on the exact 1×1 inline topology.
 pub fn differential_hot_path(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
     use otae_serve::{FaultPlan, SwapFault};
     use std::sync::Arc;
@@ -140,42 +140,47 @@ pub fn differential_hot_path(seed: u64, n_objects: usize) -> Result<(), HarnessF
             let mut reference = ServeConfig::new(PolicyKind::Lru, mode, capacity);
             reference.max_batch = 1;
             reference.decision_cache = false;
-            let mut batched = ServeConfig::new(PolicyKind::Lru, mode, capacity);
-            if batched.max_batch <= 1 || !batched.decision_cache {
+            reference.compiled_inference = false;
+            let mut interpreted = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+            interpreted.compiled_inference = false;
+            let mut compiled = ServeConfig::new(PolicyKind::Lru, mode, capacity);
+            if compiled.max_batch <= 1 || !compiled.decision_cache || !compiled.compiled_inference {
                 return Err(fail(
                     seed,
                     "hot-path oracle misconfigured: service defaults are not \
-                     batched + memoized"
+                     batched + memoized + compiled"
                         .into(),
                 ));
             }
             if faulted {
                 let plan: Arc<dyn FaultPlan> = Arc::new(DropOddSwaps);
                 reference.faults = Arc::clone(&plan);
-                batched.faults = plan;
+                interpreted.faults = Arc::clone(&plan);
+                compiled.faults = plan;
             }
             let a = serve_trace_with_index(&trace, &index, &reference, &LoadConfig::default());
-            let b = serve_trace_with_index(&trace, &index, &batched, &LoadConfig::default());
-            if faulted {
-                // The schedule must actually bite, identically on both sides
-                // (drops are not part of the fingerprint).
-                if a.faults.dropped_installs == 0 || a.model_swaps == 0 {
-                    return Err(fail(
-                        seed,
-                        format!(
-                            "hot-path[swap-fault]: schedule did not bite \
-                             (dropped {}, swaps {})",
-                            a.faults.dropped_installs, a.model_swaps
-                        ),
-                    ));
-                }
-                if b.faults.dropped_installs != a.faults.dropped_installs
-                    || b.model_swaps != a.model_swaps
+            if faulted && (a.faults.dropped_installs == 0 || a.model_swaps == 0) {
+                // The schedule must actually bite.
+                return Err(fail(
+                    seed,
+                    format!(
+                        "hot-path[swap-fault]: schedule did not bite \
+                         (dropped {}, swaps {})",
+                        a.faults.dropped_installs, a.model_swaps
+                    ),
+                ));
+            }
+            for (arm, cfg) in [("batched", &interpreted), ("compiled", &compiled)] {
+                let b = serve_trace_with_index(&trace, &index, cfg, &LoadConfig::default());
+                if faulted
+                    && (b.faults.dropped_installs != a.faults.dropped_installs
+                        || b.model_swaps != a.model_swaps)
                 {
+                    // Drops are not part of the fingerprint; check them too.
                     return Err(fail(
                         seed,
                         format!(
-                            "hot-path[swap-fault]: batched run saw different faults \
+                            "hot-path[swap-fault]: {arm} run saw different faults \
                              (dropped {} vs {}, swaps {} vs {})",
                             b.faults.dropped_installs,
                             a.faults.dropped_installs,
@@ -184,18 +189,18 @@ pub fn differential_hot_path(seed: u64, n_objects: usize) -> Result<(), HarnessF
                         ),
                     ));
                 }
-            }
-            if b.fingerprint() != a.fingerprint() {
-                return Err(fail(
-                    seed,
-                    format!(
-                        "hot-path[{mode:?}{}]: batched+memoized serve diverges from \
-                         the per-request path\n  per-request: {:?}\n  batched:     {:?}",
-                        if faulted { ", swap-fault" } else { "" },
-                        a.fingerprint(),
-                        b.fingerprint()
-                    ),
-                ));
+                if b.fingerprint() != a.fingerprint() {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "hot-path[{mode:?}{}]: {arm} serve diverges from \
+                             the per-request path\n  per-request: {:?}\n  {arm}: {:?}",
+                            if faulted { ", swap-fault" } else { "" },
+                            a.fingerprint(),
+                            b.fingerprint()
+                        ),
+                    ));
+                }
             }
         }
     }

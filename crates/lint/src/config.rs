@@ -174,6 +174,7 @@ mod tests {
         assert!(Rule::BoundedChannel.in_scope("crates/serve/src/decision_cache.rs"));
         assert!(Rule::AdvisoryClonePerRequest.in_scope("crates/serve/src/decision_cache.rs"));
         assert!(!Rule::NoPanicInServe.in_scope("crates/ml/src/tree.rs"));
+        assert!(Rule::NoFloatNondeterminism.in_scope("crates/ml/src/compiled.rs"));
         assert!(Rule::NoWallClock.in_scope("crates/serve/src/service.rs"));
         assert!(!Rule::NoWallClock.in_scope("crates/serve/src/clock.rs"));
         assert!(!Rule::NoWallClock.in_scope("crates/bench/src/experiments/train.rs"));

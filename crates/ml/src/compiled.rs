@@ -1,0 +1,521 @@
+//! Compiled branchless inference over trained trees.
+//!
+//! The interpreted [`DecisionTree`] walk chases `Vec<Node>` enum variants:
+//! every level is a match on the node tag plus a data-dependent branch on
+//! `x <= threshold`, which the branch predictor cannot learn (split
+//! outcomes are what the tree *exists* to make data-dependent). A
+//! [`CompiledTree`] flattens the fitted tree into a contiguous packed node
+//! table — 12 bytes per node: `threshold: f32`, `left`/`right: u16`,
+//! `feature: u8` — and traverses it *level-synchronously* over a
+//! micro-batch of rows: each level computes
+//! `idx = if row[feat] <= thr { left } else { right }` for every lane,
+//! which LLVM lowers to a predicated select (cmov), so the only branches
+//! are the loop counters. Leaves are encoded as self-loops
+//! (`left == right == self`), so after `levels` steps every lane rests at
+//! its leaf regardless of path length, and a whole-batch "nothing moved"
+//! check exits early for shallow trees.
+//!
+//! Every score is **bit-identical** to the interpreted walk: the node
+//! table preserves node order, the comparison is the same `f32 <=`, and
+//! out-of-range feature indices read as `0.0` exactly like
+//! `DecisionTree::score` (`row.get(f).copied().unwrap_or(0.0)`). The
+//! ensemble wrappers ([`CompiledForest`], [`CompiledAdaBoost`]) replay the
+//! interpreted accumulation order, so their float sums match bitwise too.
+//!
+//! Compilation is fallible on purpose: trees wider than 256 features or
+//! deeper than a `u16` node table (possible only via
+//! [`DecisionTree::from_bytes`], never via `fit` with the paper's split
+//! budget) are rejected with an error and callers keep the interpreted
+//! path — degrading, never panicking.
+
+use crate::adaboost::AdaBoost;
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// Lanes per level-synchronous micro-batch: enough rows for the selects to
+/// pipeline, small enough that the lane state lives in registers/L1.
+const LANES: usize = 64;
+
+/// Below this many rows the level-synchronous walk's fixed costs (lane
+/// state setup, max-depth iteration) outweigh its select pipelining, so
+/// tiny batches take the scalar walk instead. Scores are bit-identical
+/// either way — this is purely a throughput crossover.
+const SCALAR_CUTOFF: usize = 8;
+
+/// One flattened node: 12 bytes, so a 61-split tree (the paper's budget is
+/// 30) fits in a handful of cache lines. A single indexed load per level
+/// step fetches everything the select needs — one bounds check, not four.
+#[derive(Debug, Clone, Copy)]
+struct CNode {
+    /// Split threshold; at a leaf this slot holds the *leaf score* instead
+    /// — the self-loop makes both select arms equal, so the comparison
+    /// outcome against it is irrelevant (even for NaN).
+    value: f32,
+    /// Left child; leaves point at themselves.
+    left: u16,
+    /// Right child; leaves point at themselves.
+    right: u16,
+    /// Split feature (0 for leaves — never consulted).
+    feature: u8,
+}
+
+/// A [`DecisionTree`] flattened into a contiguous node table for
+/// branchless batch scoring. Build one with [`CompiledTree::compile`] (or
+/// [`crate::Classifier::compile`]) once per train/swap; scoring never
+/// allocates.
+#[derive(Debug, Clone)]
+pub struct CompiledTree {
+    /// The packed node table, in source-tree node order.
+    nodes: Vec<CNode>,
+    /// Maximum root→leaf path length: the number of level steps after
+    /// which every lane has reached (and self-looped at) its leaf.
+    levels: u32,
+    /// Training width of the source tree (diagnostic only; scoring follows
+    /// the interpreted walk's out-of-range-reads-0.0 semantics).
+    n_features: usize,
+}
+
+impl CompiledTree {
+    /// Flatten a fitted tree. Fails (with a reason) when the tree cannot
+    /// be represented in the compact table: more than `u16::MAX + 1`
+    /// nodes, a split feature above `u8::MAX`, or non-forward child
+    /// pointers (impossible for `fit`-built trees; reachable only through
+    /// hand-crafted [`DecisionTree::from_bytes`] input).
+    pub fn compile(tree: &DecisionTree) -> Result<Self, String> {
+        let nodes = tree.raw_nodes();
+        let n = nodes.len();
+        if n == 0 {
+            return Err("empty tree".into());
+        }
+        if n > u16::MAX as usize + 1 {
+            return Err(format!("{n} nodes exceed the u16 node table"));
+        }
+        let mut packed = vec![CNode { value: 0.0, left: 0, right: 0, feature: 0 }; n];
+        for (i, node) in nodes.iter().enumerate() {
+            match *node {
+                Node::Leaf { score } => {
+                    packed[i] = CNode { value: score, left: i as u16, right: i as u16, feature: 0 };
+                }
+                Node::Split { feature, threshold: thr, left: l, right: r } => {
+                    if feature > u8::MAX as u16 {
+                        return Err(format!("split feature {feature} exceeds u8"));
+                    }
+                    if l as usize <= i || r as usize <= i || l as usize >= n || r as usize >= n {
+                        return Err("non-forward child pointer".into());
+                    }
+                    packed[i] = CNode {
+                        value: thr,
+                        left: l as u16,
+                        right: r as u16,
+                        feature: feature as u8,
+                    };
+                }
+            }
+        }
+        // Depth per node, children-first (children always at later
+        // indices, verified above, so one reverse sweep suffices).
+        let mut depth = vec![0u32; n];
+        for i in (0..n).rev() {
+            if let Node::Split { left: l, right: r, .. } = nodes[i] {
+                depth[i] = 1 + depth[l as usize].max(depth[r as usize]);
+            }
+        }
+        Ok(Self { nodes: packed, levels: depth[0], n_features: tree.n_features() })
+    }
+
+    /// Nodes in the flattened table.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum root→leaf path length (level steps per batch).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Training width of the source tree.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Score one row — bit-identical to `DecisionTree::score` on the
+    /// source tree (same comparisons, same out-of-range-reads-0.0).
+    pub fn score(&self, row: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            let n = self.nodes[i];
+            if n.left as usize == i {
+                // Leaves self-loop on both arms; splits always move
+                // forward, so `left == self` identifies a leaf — and the
+                // value slot holds its score.
+                return n.value;
+            }
+            let x = row.get(n.feature as usize).copied().unwrap_or(0.0);
+            i = if x <= n.value { n.left } else { n.right } as usize;
+        }
+    }
+
+    /// Hard decision at the 0.5 threshold.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.score(row) >= 0.5
+    }
+
+    /// Branchless level-synchronous scoring of fixed-width rows, appended
+    /// to `out`. This is the serve hot path: the `[f32; F]` rows kill the
+    /// per-row slice indirection and the node table stays in L1 across
+    /// the whole micro-batch.
+    pub fn score_rows_fixed<const F: usize>(&self, rows: &[[f32; F]], out: &mut Vec<f32>) {
+        out.reserve(rows.len());
+        for chunk in rows.chunks(LANES) {
+            if chunk.len() < SCALAR_CUTOFF {
+                out.extend(chunk.iter().map(|row| self.score(row)));
+                continue;
+            }
+            let mut idx = [0u16; LANES];
+            for _ in 0..self.levels {
+                let mut moved = 0u16;
+                for (lane, row) in chunk.iter().enumerate() {
+                    let cur = idx[lane];
+                    let n = self.nodes[cur as usize];
+                    let x = row.get(n.feature as usize).copied().unwrap_or(0.0);
+                    // Both arms are already-loaded values: a predicated
+                    // select, not a data-dependent branch.
+                    let next = if x <= n.value { n.left } else { n.right };
+                    moved |= next ^ cur;
+                    idx[lane] = next;
+                }
+                if moved == 0 {
+                    break; // every lane rests at a leaf
+                }
+            }
+            out.extend(idx[..chunk.len()].iter().map(|&i| self.nodes[i as usize].value));
+        }
+    }
+
+    /// Level-synchronous scoring of rows packed in a flat row-major
+    /// buffer, appended to `out` — the [`crate::Classifier::score_rows`]
+    /// calling convention. `rows.len()` must be a multiple of
+    /// `n_features` (> 0); the remainder is ignored, as with
+    /// `chunks_exact`.
+    pub fn score_rows(&self, rows: &[f32], n_features: usize, out: &mut Vec<f32>) {
+        assert!(n_features > 0, "score_rows requires at least one feature");
+        let n_rows = rows.len() / n_features;
+        out.reserve(n_rows);
+        let mut start = 0usize;
+        while start < n_rows {
+            let k = LANES.min(n_rows - start);
+            if k < SCALAR_CUTOFF {
+                out.extend(
+                    (start..start + k)
+                        .map(|r| self.score(&rows[r * n_features..(r + 1) * n_features])),
+                );
+                start += k;
+                continue;
+            }
+            let mut idx = [0u16; LANES];
+            for _ in 0..self.levels {
+                let mut moved = 0u16;
+                for lane in 0..k {
+                    let row = &rows[(start + lane) * n_features..(start + lane + 1) * n_features];
+                    let cur = idx[lane];
+                    let n = self.nodes[cur as usize];
+                    let x = row.get(n.feature as usize).copied().unwrap_or(0.0);
+                    let next = if x <= n.value { n.left } else { n.right };
+                    moved |= next ^ cur;
+                    idx[lane] = next;
+                }
+                if moved == 0 {
+                    break;
+                }
+            }
+            out.extend(idx[..k].iter().map(|&i| self.nodes[i as usize].value));
+            start += k;
+        }
+    }
+}
+
+/// A [`RandomForest`] with every member tree compiled. Scores replay the
+/// interpreted accumulation order (trees in fit order, sum then divide),
+/// so ensemble scores are bit-identical too.
+#[derive(Debug, Clone)]
+pub struct CompiledForest {
+    trees: Vec<CompiledTree>,
+}
+
+impl CompiledForest {
+    /// Compile every member of a fitted forest.
+    pub fn compile(forest: &RandomForest) -> Result<Self, String> {
+        let trees =
+            forest.trees().iter().map(CompiledTree::compile).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { trees })
+    }
+
+    /// Member trees.
+    pub fn trees(&self) -> &[CompiledTree] {
+        &self.trees
+    }
+
+    /// Mean member score — bit-identical to `RandomForest::score`.
+    pub fn score(&self, row: &[f32]) -> f32 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let votes: f32 = self.trees.iter().map(|t| t.score(row)).sum();
+        votes / self.trees.len() as f32
+    }
+
+    /// Batch scoring with the same per-row accumulation order as the
+    /// scalar path: member scores added in tree order, then divided.
+    pub fn score_rows(&self, rows: &[f32], n_features: usize, out: &mut Vec<f32>) {
+        assert!(n_features > 0, "score_rows requires at least one feature");
+        let n_rows = rows.len() / n_features;
+        let start = out.len();
+        out.resize(start + n_rows, 0.0);
+        if self.trees.is_empty() {
+            return;
+        }
+        let mut tmp = Vec::with_capacity(n_rows);
+        for tree in &self.trees {
+            tmp.clear();
+            tree.score_rows(rows, n_features, &mut tmp);
+            for (acc, s) in out[start..].iter_mut().zip(&tmp) {
+                *acc += *s;
+            }
+        }
+        let n = self.trees.len() as f32;
+        for v in &mut out[start..] {
+            *v /= n;
+        }
+    }
+}
+
+/// An [`AdaBoost`] ensemble with every stage tree compiled. The margin
+/// accumulates in stage order with the same ±1 votes, so scores match the
+/// interpreted ensemble bitwise.
+#[derive(Debug, Clone)]
+pub struct CompiledAdaBoost {
+    stages: Vec<(CompiledTree, f32)>,
+    alpha_sum: f32,
+}
+
+impl CompiledAdaBoost {
+    /// Compile every stage of a fitted booster.
+    pub fn compile(boost: &AdaBoost) -> Result<Self, String> {
+        let stages = boost
+            .stages()
+            .iter()
+            .map(|(tree, alpha)| CompiledTree::compile(tree).map(|t| (t, *alpha)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { stages, alpha_sum: boost.alpha_sum() })
+    }
+
+    /// Weighted-vote score — bit-identical to `AdaBoost::score`.
+    pub fn score(&self, row: &[f32]) -> f32 {
+        if self.stages.is_empty() {
+            return 0.0;
+        }
+        let mut margin = 0.0f32;
+        for (tree, alpha) in &self.stages {
+            let vote = if tree.predict(row) { 1.0 } else { -1.0 };
+            margin += alpha * vote;
+        }
+        (margin / self.alpha_sum + 1.0) * 0.5
+    }
+
+    /// Batch scoring, one row at a time (stage order per row, exactly as
+    /// the scalar path).
+    pub fn score_rows(&self, rows: &[f32], n_features: usize, out: &mut Vec<f32>) {
+        assert!(n_features > 0, "score_rows requires at least one feature");
+        out.extend(rows.chunks_exact(n_features).map(|row| self.score(row)));
+    }
+}
+
+/// A compiled model of any supported family, as returned by
+/// [`crate::Classifier::compile`].
+#[derive(Debug, Clone)]
+pub enum CompiledModel {
+    /// A compiled decision tree.
+    Tree(CompiledTree),
+    /// A compiled random forest.
+    Forest(CompiledForest),
+    /// A compiled AdaBoost ensemble.
+    Boost(CompiledAdaBoost),
+}
+
+impl CompiledModel {
+    /// Score one row (bit-identical to the source model's `score`).
+    pub fn score(&self, row: &[f32]) -> f32 {
+        match self {
+            CompiledModel::Tree(t) => t.score(row),
+            CompiledModel::Forest(f) => f.score(row),
+            CompiledModel::Boost(b) => b.score(row),
+        }
+    }
+
+    /// Batch-score flat rows (bit-identical to the source model's
+    /// `score_rows`).
+    pub fn score_rows(&self, rows: &[f32], n_features: usize, out: &mut Vec<f32>) {
+        match self {
+            CompiledModel::Tree(t) => t.score_rows(rows, n_features, out),
+            CompiledModel::Forest(f) => f.score_rows(rows, n_features, out),
+            CompiledModel::Boost(b) => b.score_rows(rows, n_features, out),
+        }
+    }
+
+    /// The compiled tree, when this is a tree model.
+    pub fn into_tree(self) -> Option<CompiledTree> {
+        match self {
+            CompiledModel::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Classifier, Dataset, TreeParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn dataset(n: usize, n_features: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new(n_features);
+        let mut row = vec![0.0f32; n_features];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.gen();
+            }
+            let label = row[0] + row[n_features - 1] > 1.0;
+            d.push(&row, label);
+        }
+        d
+    }
+
+    fn fitted(n_features: usize, max_splits: usize, seed: u64) -> DecisionTree {
+        let mut t = DecisionTree::new(TreeParams { max_splits, ..TreeParams::default() });
+        t.fit(&dataset(400, n_features, seed));
+        t
+    }
+
+    #[test]
+    fn compiled_scores_match_interpreted_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for seed in 0..5u64 {
+            let tree = fitted(9, 30, seed);
+            let c = CompiledTree::compile(&tree).expect("fitted trees compile");
+            assert!(c.levels() > 0 && c.n_nodes() == 2 * tree.n_splits() + 1);
+            for _ in 0..500 {
+                let row: [f32; 9] = std::array::from_fn(|_| rng.gen_range(-1.0..2.0));
+                assert_eq!(c.score(&row).to_bits(), tree.score(&row).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let tree = fitted(9, 30, 3);
+        let c = CompiledTree::compile(&tree).expect("compiles");
+        let rows: Vec<[f32; 9]> =
+            (0..333).map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..2.0))).collect();
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut fixed = Vec::new();
+        c.score_rows_fixed(&rows, &mut fixed);
+        let mut packed = Vec::new();
+        c.score_rows(&flat, 9, &mut packed);
+        let mut interpreted = Vec::new();
+        tree.score_rows(&flat, 9, &mut interpreted);
+        assert_eq!(fixed.len(), rows.len());
+        for i in 0..rows.len() {
+            assert_eq!(fixed[i].to_bits(), interpreted[i].to_bits(), "row {i}");
+            assert_eq!(packed[i].to_bits(), interpreted[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn nan_and_out_of_range_rows_follow_the_interpreted_walk() {
+        let tree = fitted(4, 20, 7);
+        let c = CompiledTree::compile(&tree).expect("compiles");
+        let rows: Vec<[f32; 4]> = vec![
+            [f32::NAN, 0.5, 0.5, 0.5],
+            [f32::INFINITY, f32::NEG_INFINITY, 0.0, 1.0],
+            [f32::NAN, f32::NAN, f32::NAN, f32::NAN],
+        ];
+        let mut got = Vec::new();
+        c.score_rows_fixed(&rows, &mut got);
+        for (row, s) in rows.iter().zip(&got) {
+            assert_eq!(s.to_bits(), tree.score(row).to_bits());
+        }
+        // Narrower rows than the training width read missing features as 0.
+        assert_eq!(c.score(&[0.3]).to_bits(), tree.score(&[0.3]).to_bits());
+        assert_eq!(c.score(&[]).to_bits(), tree.score(&[]).to_bits());
+    }
+
+    #[test]
+    fn unfitted_and_single_leaf_trees_compile() {
+        let tree = DecisionTree::new(TreeParams::default());
+        let c = CompiledTree::compile(&tree).expect("single leaf compiles");
+        assert_eq!(c.levels(), 0);
+        let mut out = Vec::new();
+        c.score_rows_fixed::<3>(&[[1.0, 2.0, 3.0]; 5], &mut out);
+        assert_eq!(out, vec![tree.score(&[1.0, 2.0, 3.0]); 5]);
+    }
+
+    #[test]
+    fn wide_feature_trees_are_rejected_not_panicked() {
+        // Only `from_bytes` can build a split on feature ≥ 256.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"OTRE");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // n_nodes
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // n_splits
+        bytes.extend_from_slice(&500u16.to_le_bytes()); // n_features
+        bytes.push(1); // split on feature 300
+        bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        bytes.extend_from_slice(&300u16.to_le_bytes());
+        bytes.extend_from_slice(&[1, 0, 0, 2, 0, 0]);
+        for score in [0.2f32, 0.8] {
+            bytes.push(0);
+            bytes.extend_from_slice(&score.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 8]);
+        }
+        let tree = DecisionTree::from_bytes(&bytes).expect("valid codec input");
+        let err = CompiledTree::compile(&tree).expect_err("feature 300 cannot compile");
+        assert!(err.contains("exceeds u8"), "{err}");
+    }
+
+    #[test]
+    fn classifier_compile_returns_the_matching_family() {
+        let data = dataset(300, 5, 21);
+        let tree = fitted(5, 30, 21);
+        match tree.compile() {
+            Some(CompiledModel::Tree(c)) => {
+                assert_eq!(c.score(data.row(0)).to_bits(), tree.score(data.row(0)).to_bits())
+            }
+            other => panic!("expected a compiled tree, got {other:?}"),
+        }
+
+        let mut forest = RandomForest::new(7, 42);
+        forest.fit(&data);
+        let compiled = forest.compile().expect("forest compiles");
+        let mut boost = AdaBoost::new(6);
+        boost.fit(&data);
+        let cboost = boost.compile().expect("boost compiles");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let row: [f32; 5] = std::array::from_fn(|_| rng.gen_range(-0.5..1.5));
+            assert_eq!(compiled.score(&row).to_bits(), forest.score(&row).to_bits());
+            assert_eq!(cboost.score(&row).to_bits(), boost.score(&row).to_bits());
+        }
+        let flat: Vec<f32> = (0..40).map(|i| (i % 7) as f32 / 7.0).collect();
+        let mut a = Vec::new();
+        forest.score_rows(&flat, 5, &mut a);
+        let mut b = Vec::new();
+        compiled.score_rows(&flat, 5, &mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -79,7 +79,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Node {
+pub(crate) enum Node {
     Split { feature: u16, threshold: f32, left: u32, right: u32 },
     Leaf { score: f32 },
 }
@@ -117,6 +117,16 @@ impl DecisionTree {
     /// Number of internal splits in the fitted tree.
     pub fn n_splits(&self) -> usize {
         self.n_splits
+    }
+
+    /// Width of the training data (0 for an unfitted tree).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Flattened node array, for the compiler in [`crate::compiled`].
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Depth of the fitted tree (a lone leaf has depth 0).
@@ -443,6 +453,16 @@ struct BinnedCandidate {
 /// crossbeam scoped thread per feature.
 const PARALLEL_HIST_ROWS: usize = 8192;
 
+/// Whether fanning histogram accumulation out across threads can help at
+/// all. On a single-hardware-thread host the scoped spawns are pure
+/// overhead (the result is identical either way), and a daily fit pays
+/// them once per large frontier node.
+fn parallel_hist_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED
+        .get_or_init(|| std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false))
+}
+
 /// Flattened histogram layout: `offsets[f]..offsets[f + 1]` are feature
 /// `f`'s bins.
 fn bin_offsets(data: &BinnedDataset) -> Vec<usize> {
@@ -470,7 +490,7 @@ fn build_hist(
 ) -> (Vec<HBin>, HBin) {
     let n_features = data.n_features();
     let mut hist = vec![HBin::default(); offsets[n_features]];
-    if rows.len() >= PARALLEL_HIST_ROWS && n_features > 1 {
+    if rows.len() >= PARALLEL_HIST_ROWS && n_features > 1 && parallel_hist_enabled() {
         let mut slices: Vec<&mut [HBin]> = Vec::with_capacity(n_features);
         let mut rest = hist.as_mut_slice();
         for f in 0..n_features {
@@ -485,8 +505,18 @@ fn build_hist(
         })
         .expect("histogram worker panicked");
     } else {
-        for f in 0..n_features {
-            accumulate_feature(data, f, &mut hist[offsets[f]..offsets[f + 1]], rows, eff);
+        // Fused single-threaded pass: one `eff`/label gather per row and one
+        // contiguous read of all the row's codes, instead of one pass over
+        // `rows` per feature. Per feature and bin the additions happen in
+        // the same row order as the per-feature pass, so the sums are
+        // bit-identical.
+        for &i in rows {
+            let i = i as usize;
+            let w = eff[i] as f64;
+            let pos = data.label(i);
+            for (f, &c) in data.row_codes(i).iter().enumerate() {
+                hist[offsets[f] + c as usize].add(w, pos);
+            }
         }
     }
     let mut tot = HBin::default();
@@ -860,6 +890,10 @@ impl Classifier for DecisionTree {
                 }
             }
         }));
+    }
+
+    fn compile(&self) -> Option<crate::CompiledModel> {
+        crate::CompiledTree::compile(self).ok().map(crate::CompiledModel::Tree)
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,154 @@
+//! Property tests for the compiled branchless inference layer and the tree
+//! codec it feeds from: a [`CompiledTree`] must be a bit-identical drop-in
+//! for the interpreted walk on *any* fitted tree and *any* query row
+//! (including NaN, infinities and short rows), and a tree that has been
+//! through `to_bytes`/`from_bytes` must compile to the same scorer as the
+//! original — so a model shipped over the wire and compiled on the far
+//! side makes the exact admission decisions the trainer measured.
+
+use otae_ml::{Classifier, CompiledTree, Dataset, DecisionTree, SplitEngine, TreeParams};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random dataset: `n` rows over `n_features` grid-valued features, with a
+/// label correlated to the first feature so fits produce real splits.
+fn dataset(n: usize, n_features: usize, card: u32, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut d = Dataset::new(n_features);
+    for _ in 0..n {
+        let row: Vec<f32> =
+            (0..n_features).map(|_| rng.gen_range(0..card) as f32 * 0.25 - 2.0).collect();
+        let label = row[0] + rng.gen::<f32>() * 2.0 > 0.0;
+        d.push(&row, label);
+    }
+    d
+}
+
+fn fitted_tree(data: &Dataset, max_splits: usize, seed: u64) -> DecisionTree {
+    let mut tree = DecisionTree::new(TreeParams {
+        max_splits,
+        seed,
+        engine: SplitEngine::Binned { max_bins: 64 },
+        ..TreeParams::default()
+    });
+    tree.fit(data);
+    tree
+}
+
+/// Query-row values deliberately include the hostile cases: NaN, ±inf,
+/// subnormals, and exact grid points that land on split thresholds.
+struct WeirdValue;
+
+impl Strategy for WeirdValue {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        match rng.next_u64() % 10 {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.25,
+            5 => f32::MIN_POSITIVE / 2.0,
+            _ => (-4.0f32..4.0).sample(rng),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32 })]
+
+    /// Tentpole invariant: the compiled scorer is bit-identical to the
+    /// interpreted walk on arbitrary fitted trees and arbitrary query rows
+    /// — including rows shorter or longer than the training width.
+    #[test]
+    fn compiled_tree_matches_the_interpreted_walk_bitwise(
+        n in 20usize..200,
+        n_features in 1usize..12,
+        card in 2u32..24,
+        max_splits in 1usize..30,
+        seed in any::<u64>(),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(WeirdValue, 0..16), 1..24),
+    ) {
+        let data = dataset(n, n_features, card, seed);
+        let tree = fitted_tree(&data, max_splits, seed);
+        let compiled = CompiledTree::compile(&tree).expect("fitted tree compiles");
+
+        for i in 0..data.len() {
+            let row = data.row(i);
+            prop_assert_eq!(compiled.score(row).to_bits(), tree.score(row).to_bits());
+        }
+        for q in &queries {
+            prop_assert_eq!(compiled.score(q).to_bits(), tree.score(q).to_bits());
+        }
+
+        // The batched entry point replays the same walk per lane.
+        let width = n_features;
+        let flat: Vec<f32> = (0..data.len()).flat_map(|i| data.row(i).to_vec()).collect();
+        let mut batched = Vec::new();
+        compiled.score_rows(&flat, width, &mut batched);
+        for (i, b) in batched.iter().enumerate() {
+            prop_assert_eq!(b.to_bits(), tree.score(data.row(i)).to_bits());
+        }
+    }
+
+    /// The tree codec round-trips arbitrary fitted trees: decoding the
+    /// encoding yields a tree with the same shape, byte-stable re-encoding,
+    /// and bit-identical scores.
+    #[test]
+    fn tree_codec_round_trips_arbitrary_fitted_trees(
+        n in 20usize..200,
+        n_features in 1usize..12,
+        card in 2u32..24,
+        max_splits in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let data = dataset(n, n_features, card, seed);
+        let tree = fitted_tree(&data, max_splits, seed);
+
+        let bytes = tree.to_bytes();
+        let decoded = DecisionTree::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(decoded.n_splits(), tree.n_splits());
+        prop_assert_eq!(decoded.n_features(), tree.n_features());
+        prop_assert_eq!(decoded.to_bytes(), bytes, "re-encoding is byte-stable");
+        for i in 0..data.len() {
+            let row = data.row(i);
+            prop_assert_eq!(decoded.score(row).to_bits(), tree.score(row).to_bits());
+        }
+    }
+
+    /// Codec → compile coherence: a compiled model rebuilt from decoded
+    /// bytes scores bit-identically to both the original tree and the
+    /// compiled twin of the original — the wire format loses nothing the
+    /// compiler depends on.
+    #[test]
+    fn compiled_models_survive_the_codec_bitwise(
+        n in 20usize..200,
+        n_features in 1usize..10,
+        card in 2u32..24,
+        max_splits in 1usize..30,
+        seed in any::<u64>(),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(WeirdValue, 0..12), 1..16),
+    ) {
+        let data = dataset(n, n_features, card, seed);
+        let tree = fitted_tree(&data, max_splits, seed);
+        let original = CompiledTree::compile(&tree).expect("compile original");
+
+        let decoded = DecisionTree::from_bytes(&tree.to_bytes()).expect("decode");
+        let rebuilt = CompiledTree::compile(&decoded).expect("compile decoded");
+        prop_assert_eq!(rebuilt.n_nodes(), original.n_nodes());
+        prop_assert_eq!(rebuilt.levels(), original.levels());
+
+        for i in 0..data.len() {
+            let row = data.row(i);
+            prop_assert_eq!(rebuilt.score(row).to_bits(), tree.score(row).to_bits());
+        }
+        for q in &queries {
+            prop_assert_eq!(rebuilt.score(q).to_bits(), original.score(q).to_bits());
+            prop_assert_eq!(rebuilt.score(q).to_bits(), tree.score(q).to_bits());
+        }
+    }
+}

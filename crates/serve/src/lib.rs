@@ -56,7 +56,7 @@ pub use fault::{
     silence_injected_panics, FaultPlan, FaultReport, InjectedFault, NoFaults, RetrainFault,
     SampleFault, SwapFault,
 };
-pub use gate::AdmissionGate;
+pub use gate::{AdmissionGate, GateModel};
 pub use loadgen::{LoadConfig, SAMPLE_FLUSH};
 pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
 pub use retrainer::{run_retrainer, RetrainerReport, TrainBatch, TrainMsg};

@@ -7,12 +7,11 @@
 //! interleaving without touching shared extractor state.
 
 use crate::fault::SwapFault;
-use crate::gate::AdmissionGate;
+use crate::gate::{AdmissionGate, GateModel};
 use crate::service::{ServeConfig, TrainerMode};
 use otae_core::daily::{DailyTrainer, MinuteSampler};
 use otae_core::pipeline::Mode;
 use otae_core::{FeatureExtractor, ReaccessIndex, N_FEATURES};
-use otae_ml::DecisionTree;
 use otae_trace::{ObjectId, Trace};
 use std::sync::Arc;
 
@@ -27,7 +26,7 @@ pub enum ModelSource {
     /// the key the per-shard decision cache memoizes verdicts under.
     Stamped {
         /// The snapshotted model (`None` while the gate is cold).
-        model: Option<Arc<DecisionTree>>,
+        model: Option<Arc<GateModel>>,
         /// Gate epoch the snapshot was taken at.
         epoch: u64,
     },
@@ -93,14 +92,14 @@ pub fn prepare(
         let mut features = [0.0f32; N_FEATURES];
         if is_proposal {
             if inline {
-                if let Some(model) = trainer.maybe_retrain(req.ts, &mut sampler) {
+                if let Some(model) = trainer.maybe_retrain_compiled(req.ts, &mut sampler) {
                     // The same swap-fault seam the background retrainer
                     // consults: a dropped install leaves the previous model
                     // (and epoch) in place, deterministically, so the
                     // differential oracle can exercise swap faults on the
                     // exact 1×1 inline path too.
                     match cfg.faults.swap_fault(swap_attempt) {
-                        SwapFault::Install => gate.install(model),
+                        SwapFault::Install => gate.install_trained(model),
                         SwapFault::Drop => dropped_installs += 1,
                     }
                     swap_attempt += 1;

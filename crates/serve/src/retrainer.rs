@@ -15,9 +15,8 @@
 use crate::fault::{FaultPlan, RetrainFault, SwapFault};
 use crate::gate::AdmissionGate;
 use crossbeam::channel::Receiver;
-use otae_core::daily::{DailyTrainer, MinuteSampler};
+use otae_core::daily::{DailyTrainer, MinuteSampler, TrainedModel};
 use otae_core::{TrainingConfig, N_FEATURES};
-use otae_ml::DecisionTree;
 
 /// One observed request, as forwarded to the retrainer.
 #[derive(Debug, Clone)]
@@ -77,7 +76,7 @@ pub fn run_retrainer(
     let mut sampler = MinuteSampler::new(training.records_per_minute);
     let mut report = RetrainerReport::default();
     // A model whose install was stalled, due once `seen` reaches the mark.
-    let mut pending: Option<(DecisionTree, u64)> = None;
+    let mut pending: Option<(TrainedModel, u64)> = None;
     let mut attempt = 0u32;
     let mut swap_attempt = 0u64;
     let mut seen = 0u64;
@@ -93,7 +92,9 @@ pub fn run_retrainer(
                 pending = Some((model, due));
             }
         }
-        if let Some(model) = trainer.maybe_retrain(msg.ts, &mut sampler) {
+        // Training (and compiling, a sliver of the fit cost) happens here,
+        // on the retrainer thread — workers only ever see finished models.
+        if let Some(model) = trainer.maybe_retrain_compiled(msg.ts, &mut sampler) {
             match plan.retrain_fault(attempt) {
                 RetrainFault::Proceed => {
                     // A fresher model supersedes any still-stalled older one
@@ -125,7 +126,7 @@ pub fn run_retrainer(
 }
 
 fn install(
-    model: DecisionTree,
+    model: TrainedModel,
     gate: &AdmissionGate,
     plan: &dyn FaultPlan,
     swap_attempt: &mut u64,
@@ -135,7 +136,7 @@ fn install(
     *swap_attempt += 1;
     match fault {
         SwapFault::Install => {
-            gate.install(model);
+            gate.install_trained(model);
             report.installs += 1;
         }
         SwapFault::Drop => report.dropped_installs += 1,
@@ -181,7 +182,6 @@ mod tests {
         assert_eq!(report.installs, 1);
         assert_eq!(gate.swaps(), 1);
         let model = gate.current().expect("model installed");
-        use otae_ml::Classifier;
         let mut hi = [0.0f32; N_FEATURES];
         hi[0] = 0.95;
         let mut lo = [0.0f32; N_FEATURES];

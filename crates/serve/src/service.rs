@@ -4,7 +4,7 @@
 
 use crate::clock::ServiceClock;
 use crate::fault::{FaultPlan, FaultReport, NoFaults};
-use crate::gate::AdmissionGate;
+use crate::gate::{AdmissionGate, GateModel};
 use crate::loadgen::{replay_client, ClientReport, LoadConfig};
 use crate::request::{prepare, ModelSource, PreparedRequest};
 use crate::retrainer::{run_retrainer, RetrainerReport};
@@ -15,7 +15,6 @@ use otae_core::baseline::SecondHitAdmission;
 use otae_core::pipeline::{Mode, PolicyKind};
 use otae_core::{solve_criteria, CriteriaSolution, ReaccessIndex, TrainingConfig};
 use otae_device::LatencyModel;
-use otae_ml::DecisionTree;
 use otae_trace::Trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,6 +69,11 @@ pub struct ServeConfig {
     /// decision cache (invalidated wholesale on every hot-swap). Decisions
     /// are bit-identical either way; only repeat tree walks are saved.
     pub decision_cache: bool,
+    /// Score batched misses with the compiled branchless SoA walk built at
+    /// model install (see [`GateModel`]). Decisions are bit-identical with
+    /// the flag on or off — `false` restores the interpreted tree walk,
+    /// which the differential oracle uses as its reference arm.
+    pub compiled_inference: bool,
     /// Time source for pacing and duration caps (wall by default; virtual
     /// for deterministic harness runs).
     pub clock: ServiceClock,
@@ -102,6 +106,7 @@ impl ServeConfig {
             m_override: None,
             max_batch: 64,
             decision_cache: true,
+            compiled_inference: true,
             clock: ServiceClock::Wall,
             faults: Arc::new(NoFaults),
             store: StoreMode::None,
@@ -122,9 +127,14 @@ pub struct ServeReport {
     /// Requests actually submitted (equals the trace length unless a
     /// duration cap cut the replay short or a client thread died).
     pub replayed: u64,
-    /// Wall-clock time of the replay phase (excludes prepare).
+    /// Wall-clock time of the replay phase: client start to the last
+    /// worker joining, i.e. until the final request was processed. The
+    /// retrainer's post-replay backlog drain (digesting samples after the
+    /// last request is already served) is shutdown bookkeeping, not
+    /// serving, and is excluded — though any CPU the retrainer stole
+    /// *during* the replay is still fully visible here. Excludes prepare.
     pub wall: Duration,
-    /// Requests processed per wall-clock second.
+    /// Requests processed per wall-clock second of the replay phase.
     pub throughput_rps: f64,
     /// Admission models installed into the gate over the run.
     pub model_swaps: u64,
@@ -205,6 +215,7 @@ pub fn serve_trace_with_index(
         use_history: cfg.training.use_history,
         m,
         decision_cache: cfg.decision_cache,
+        compiled: cfg.compiled_inference,
     };
     // Build one segment store per shard before serving starts. A failed
     // open (disk mode only) degrades to storeless serving — recorded as a
@@ -243,6 +254,7 @@ pub fn serve_trace_with_index(
     let mut client_reports: Vec<ClientReport> = Vec::new();
     let mut retrain_report = RetrainerReport::default();
     let clock = cfg.clock.start();
+    let mut serve_wall = Duration::ZERO;
     // Thread failures are recorded, never propagated: a dead client only
     // loses its stride, a dead worker only its queue share (the channel
     // disconnects rather than deadlocks), a dead retrainer only freezes the
@@ -290,6 +302,9 @@ pub fn serve_trace_with_index(
                 faults.worker_failures += 1;
             }
         }
+        // Every request is processed once the workers join; stamp the
+        // replay wall here, before waiting out the retrainer's backlog.
+        serve_wall = clock.wall_elapsed();
         if let Some(r) = retrainer {
             match r.join() {
                 Ok(report) => retrain_report = report,
@@ -302,8 +317,11 @@ pub fn serve_trace_with_index(
     // failure — account it like a dead worker rather than unwinding.
     if scope_result.is_err() {
         faults.worker_failures += 1;
+        serve_wall = clock.wall_elapsed();
     }
-    let wall = clock.wall_elapsed();
+    // A spawn failure (or a run with no workers) never stamped the replay
+    // wall inside the scope; fall back to the full elapsed time.
+    let wall = if serve_wall > Duration::ZERO { serve_wall } else { clock.wall_elapsed() };
 
     let replayed: u64 = client_reports.iter().map(|r| r.submitted).sum();
     faults.dropped_samples = client_reports.iter().map(|r| r.dropped_samples).sum();
@@ -361,7 +379,7 @@ fn run_worker(
     // Cached gate snapshot. The sentinel hint (`u64::MAX`) marks "never
     // snapshotted"; real epochs count installs from 0.
     let mut gate_hint = u64::MAX;
-    let mut gate_model: Option<Arc<DecisionTree>> = None;
+    let mut gate_model: Option<Arc<GateModel>> = None;
     let mut gate_epoch = 0u64;
     let mut groups: Vec<Vec<usize>> = (0..sharded.shard_count()).map(|_| Vec::new()).collect();
     let mut touched: Vec<usize> = Vec::with_capacity(sharded.shard_count());
@@ -395,7 +413,7 @@ fn run_worker(
             groups[s].push(i);
         }
         for &s in &touched {
-            let mut segment: Vec<(&PreparedRequest, Option<&DecisionTree>, u64)> =
+            let mut segment: Vec<(&PreparedRequest, Option<&GateModel>, u64)> =
                 Vec::with_capacity(groups[s].len());
             for &i in &groups[s] {
                 let req = &batch[i];
@@ -425,7 +443,7 @@ mod tests {
     use super::*;
     use crate::clock::VirtualClock;
     use crate::fault::{RetrainFault, SampleFault};
-    use otae_ml::{Classifier, Dataset, TreeParams};
+    use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
     use otae_trace::{generate, TraceConfig};
     use std::time::Instant;
 
@@ -684,6 +702,7 @@ mod tests {
             use_history: true,
             m,
             decision_cache: true,
+            compiled: true,
         };
         let sharded =
             ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None, Vec::new());

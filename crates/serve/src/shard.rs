@@ -8,6 +8,7 @@
 //! subsequence of requests routed to it.
 
 use crate::decision_cache::{feature_bits, DecisionCache};
+use crate::gate::GateModel;
 use crate::request::PreparedRequest;
 use crate::store_layer::{ShardStore, StoreSnapshot};
 use otae_cache::{Cache, CacheStats, Evicted};
@@ -16,7 +17,7 @@ use otae_core::classifier_apply;
 use otae_core::pipeline::{Mode, PolicyKind};
 use otae_core::{HistoryTable, N_FEATURES};
 use otae_device::{LatencyModel, ResponseTime};
-use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
+use otae_ml::ConfusionMatrix;
 use otae_trace::{ObjectId, Trace};
 use parking_lot::Mutex;
 
@@ -30,6 +31,9 @@ pub(crate) struct Params {
     pub m: u64,
     /// Memoize classifier verdicts in the per-shard [`DecisionCache`].
     pub decision_cache: bool,
+    /// Score batched misses with the compiled branchless walk (when the
+    /// installed model compiled). Decisions are bit-identical either way.
+    pub compiled: bool,
 }
 
 /// How a request's classifier verdict is obtained (Proposal mode).
@@ -39,7 +43,7 @@ pub(crate) enum Verdict<'a> {
     /// the exactness tests compare the batched pass against; production
     /// workers always go through [`ShardedCache::process_segment`].
     #[cfg_attr(not(test), allow(dead_code))]
-    Resolve(Option<&'a DecisionTree>, u64),
+    Resolve(Option<&'a GateModel>, u64),
     /// Already resolved by the batched scoring pass.
     Ready(Option<bool>),
 }
@@ -50,8 +54,9 @@ pub(crate) enum Verdict<'a> {
 pub(crate) struct BatchScratch {
     /// Per-segment resolved verdicts (`None` = no model installed).
     preds: Vec<Option<bool>>,
-    /// Flat `[f32; N_FEATURES] × k` row buffer for `score_rows`.
-    rows: Vec<f32>,
+    /// Fixed-width row buffer for the batched scoring pass — `[f32; 9]`
+    /// elements keep the compiled walk free of per-row slice indirection.
+    rows: Vec<[f32; N_FEATURES]>,
     /// Scores coming back from the model, parallel to `miss_idx`.
     scored: Vec<f32>,
     /// Segment positions whose verdict was not memoized.
@@ -81,17 +86,20 @@ pub(crate) struct ShardState {
 impl ShardState {
     /// Resolve one same-(model, epoch) run of `run` into `scratch.preds`
     /// (positions `offset..offset + run.len()`): decision-cache hits answer
-    /// immediately; the misses are gathered into one flat row buffer and
-    /// scored with a single `score_rows` call, then memoized. Verdicts are
-    /// exactly `model.predict` for every request — memo hits by the cache's
-    /// epoch + bit-exact-feature guard, fresh scores because `score_rows`
-    /// walks the same flattened tree as `predict`.
+    /// immediately; the misses are gathered into one fixed-width row buffer
+    /// and scored in a single batched sweep — the compiled branchless walk
+    /// when `use_compiled` holds — then memoized. Verdicts are exactly
+    /// `model.predict` for every request: memo hits by the cache's epoch +
+    /// bit-exact-feature guard, fresh scores because both the compiled and
+    /// the interpreted batch paths score bit-identically to `predict`.
+    #[allow(clippy::too_many_arguments)]
     fn resolve_run(
         &mut self,
-        run: &[(&PreparedRequest, Option<&DecisionTree>, u64)],
-        model: &DecisionTree,
+        run: &[(&PreparedRequest, Option<&GateModel>, u64)],
+        model: &GateModel,
         epoch: u64,
         use_cache: bool,
+        use_compiled: bool,
         scratch: &mut BatchScratch,
         offset: usize,
     ) {
@@ -105,21 +113,21 @@ impl ShardState {
                     Some(v) => scratch.preds[offset + j] = Some(v),
                     None => {
                         scratch.miss_idx.push(offset + j);
-                        scratch.rows.extend_from_slice(&req.features);
+                        scratch.rows.push(req.features);
                     }
                 }
             }
         } else {
             for (j, &(req, _, _)) in run.iter().enumerate() {
                 scratch.miss_idx.push(offset + j);
-                scratch.rows.extend_from_slice(&req.features);
+                scratch.rows.push(req.features);
             }
         }
         if scratch.miss_idx.is_empty() {
             return;
         }
         scratch.scored.clear();
-        model.score_rows(&scratch.rows, N_FEATURES, &mut scratch.scored);
+        model.score_rows_fixed(&scratch.rows, use_compiled, &mut scratch.scored);
         for (&k, &score) in scratch.miss_idx.iter().zip(&scratch.scored) {
             let v = score >= 0.5;
             scratch.preds[k] = Some(v);
@@ -139,7 +147,7 @@ impl ShardState {
     fn admission_verdict(
         &mut self,
         req: &PreparedRequest,
-        model: Option<&DecisionTree>,
+        model: Option<&GateModel>,
         epoch: u64,
         use_cache: bool,
     ) -> Option<bool> {
@@ -307,7 +315,7 @@ impl ShardedCache {
     /// Reference path for the batched-equals-sequential tests; production
     /// workers batch through [`ShardedCache::process_segment`].
     #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn process(&self, req: &PreparedRequest, model: Option<&DecisionTree>, epoch: u64) {
+    pub(crate) fn process(&self, req: &PreparedRequest, model: Option<&GateModel>, epoch: u64) {
         let shard = &self.shards[self.shard_of(req.object)];
         shard.lock().process(
             req,
@@ -327,7 +335,7 @@ impl ShardedCache {
     pub(crate) fn process_segment(
         &self,
         shard_idx: usize,
-        segment: &[(&PreparedRequest, Option<&DecisionTree>, u64)],
+        segment: &[(&PreparedRequest, Option<&GateModel>, u64)],
         scratch: &mut BatchScratch,
     ) {
         if segment.is_empty() {
@@ -360,6 +368,7 @@ impl ShardedCache {
                         model,
                         epoch,
                         p.decision_cache,
+                        p.compiled,
                         scratch,
                         start,
                     );
@@ -437,6 +446,7 @@ mod tests {
             use_history: true,
             m: 100,
             decision_cache: true,
+            compiled: true,
         }
     }
 
@@ -525,13 +535,13 @@ mod tests {
 
     /// The tentpole exactness claim at shard granularity: pushing a stream
     /// through `process_segment` in arbitrary batch sizes — with and
-    /// without the decision cache — must leave counters bit-identical to
-    /// the one-request-at-a-time reference path, including across a model
-    /// swap mid-stream.
+    /// without the decision cache, with and without the compiled walk —
+    /// must leave counters bit-identical to the one-request-at-a-time
+    /// reference path, including across a model swap mid-stream.
     #[test]
     fn batched_segments_match_per_request_processing_exactly() {
-        use otae_ml::{Dataset, TreeParams};
-        fn tree(threshold: f32) -> DecisionTree {
+        use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+        fn tree(threshold: f32) -> GateModel {
             let mut d = Dataset::new(otae_core::N_FEATURES);
             for i in 0..100 {
                 let mut row = [0.0f32; otae_core::N_FEATURES];
@@ -540,10 +550,11 @@ mod tests {
             }
             let mut t = DecisionTree::new(TreeParams::default());
             t.fit(&d);
-            t
+            GateModel::new(t)
         }
         let model_a = tree(0.5);
         let model_b = tree(0.2);
+        assert!(model_a.compiled().is_some() && model_b.compiled().is_some());
         // A stream with repeats (memo hits), a swap at the midpoint, and
         // truths that exercise both confusion outcomes.
         let reqs: Vec<PreparedRequest> = (0..400u64)
@@ -553,7 +564,7 @@ mod tests {
                 r
             })
             .collect();
-        let resolved: Vec<(&PreparedRequest, Option<&DecisionTree>, u64)> = reqs
+        let resolved: Vec<(&PreparedRequest, Option<&GateModel>, u64)> = reqs
             .iter()
             .enumerate()
             .map(
@@ -577,20 +588,32 @@ mod tests {
 
         for batch in [1usize, 3, 32, 400] {
             for cache_on in [true, false] {
-                let trace =
-                    generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
-                let mut p = params(Mode::Proposal);
-                p.decision_cache = cache_on;
-                let c =
-                    ShardedCache::new(1, PolicyKind::Lru, 1 << 20, 64, &trace, p, None, Vec::new());
-                let mut scratch = BatchScratch::new();
-                for seg in resolved.chunks(batch) {
-                    c.process_segment(0, seg, &mut scratch);
+                for compiled_on in [true, false] {
+                    let trace =
+                        generate(&TraceConfig { n_objects: 100, seed: 1, ..Default::default() });
+                    let mut p = params(Mode::Proposal);
+                    p.decision_cache = cache_on;
+                    p.compiled = compiled_on;
+                    let c = ShardedCache::new(
+                        1,
+                        PolicyKind::Lru,
+                        1 << 20,
+                        64,
+                        &trace,
+                        p,
+                        None,
+                        Vec::new(),
+                    );
+                    let mut scratch = BatchScratch::new();
+                    for seg in resolved.chunks(batch) {
+                        c.process_segment(0, seg, &mut scratch);
+                    }
+                    let got = c.snapshot();
+                    let tag = format!("batch={batch} cache={cache_on} compiled={compiled_on}");
+                    assert_eq!(got.stats, want.stats, "{tag}");
+                    assert_eq!(got.confusion, want.confusion, "{tag}");
+                    assert_eq!(got.rectifications, want.rectifications, "{tag}");
                 }
-                let got = c.snapshot();
-                assert_eq!(got.stats, want.stats, "batch={batch} cache={cache_on}");
-                assert_eq!(got.confusion, want.confusion, "batch={batch} cache={cache_on}");
-                assert_eq!(got.rectifications, want.rectifications);
             }
         }
     }
@@ -601,7 +624,7 @@ mod tests {
     #[test]
     fn rectification_survives_a_model_swap() {
         use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
-        fn one_time_tree(threshold: f32) -> DecisionTree {
+        fn one_time_tree(threshold: f32) -> GateModel {
             let mut d = Dataset::new(otae_core::N_FEATURES);
             for i in 0..100 {
                 let mut row = [0.0f32; otae_core::N_FEATURES];
@@ -610,7 +633,7 @@ mod tests {
             }
             let mut t = DecisionTree::new(TreeParams::default());
             t.fit(&d);
-            t
+            GateModel::new(t)
         }
         let c = sharded(1, Mode::Proposal);
         let model_a = one_time_tree(0.5);

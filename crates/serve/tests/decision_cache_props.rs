@@ -91,6 +91,68 @@ proptest! {
         prop_assert_eq!(gate.swaps(), swaps as u64 + 1);
     }
 
+    /// Compiled-model swap coherence: verdicts resolved through the
+    /// *compiled* batch scorer (as the shard hot path does) and memoized
+    /// behave exactly like the interpreted protocol across hot swaps — a
+    /// verdict memoized against a pre-swap compiled model can never be
+    /// served after the swap, and every verdict equals a fresh interpreted
+    /// predict on the model currently installed in the gate.
+    #[test]
+    fn compiled_verdicts_never_survive_a_compiled_model_swap(
+        ops in proptest::collection::vec(
+            // (object, feature variant, swap roll — 0 of 0..16 ≈ 6% swaps)
+            (0u32..40, 0u8..4, 0u8..16),
+            1..300,
+        ),
+        capacity in 1usize..64,
+    ) {
+        let thresholds = [0.2f32, 0.4, 0.6, 0.8];
+        let gate = AdmissionGate::new();
+        gate.install(tree(thresholds[0]));
+        let mut cache = DecisionCache::new(capacity);
+        let mut swaps = 0usize;
+
+        for (obj, variant, swap_roll) in ops {
+            if swap_roll == 0 {
+                swaps += 1;
+                gate.install(tree(thresholds[swaps % thresholds.len()]));
+            }
+            let (model, epoch) = gate.current_with_epoch();
+            let model = model.expect("gate was warmed above");
+            prop_assert!(
+                model.compiled().is_some(),
+                "every installed model must carry its compiled twin"
+            );
+
+            let row = row_for(obj, variant);
+            let bits = feature_bits(&row);
+            cache.ensure_epoch(epoch);
+            let verdict = match cache.lookup(ObjectId(obj), &bits) {
+                Some(v) => v,
+                None => {
+                    // Resolve through the compiled batch path, exactly as
+                    // the shard's resolve_run does on a memo miss.
+                    let mut scored = Vec::new();
+                    model.score_rows_fixed(&[row], true, &mut scored);
+                    let v = scored[0] >= 0.5;
+                    cache.insert(ObjectId(obj), bits, v);
+                    v
+                }
+            };
+
+            prop_assert_eq!(
+                verdict,
+                model.predict(&row),
+                "compiled memoized verdict diverged from the installed \
+                 model's interpreted walk (obj {}, variant {}, epoch {})",
+                obj, variant, epoch
+            );
+            prop_assert!(cache.len() <= capacity, "memo exceeded its bound");
+            prop_assert_eq!(cache.epoch(), epoch);
+        }
+        prop_assert_eq!(gate.swaps(), swaps as u64 + 1);
+    }
+
     /// A swap invalidates wholesale: immediately after pointing the cache
     /// at a new epoch, every previously memoized object misses.
     #[test]

@@ -20,6 +20,7 @@ echo "==> bench smoke (tiny binned-training run + 1x1 serve tick)"
 OTAE_BENCH_SMOKE=1 cargo run --release -q -p otae-bench --bin train_throughput
 OTAE_BENCH_SMOKE=1 OTAE_OBJECTS=2000 cargo run --release -q -p otae-bench --bin serve_throughput
 OTAE_BENCH_SMOKE=1 cargo bench -q -p otae-bench --bench admission_hot_path -- --test
+OTAE_BENCH_SMOKE=1 cargo bench -q -p otae-bench --bench compiled_inference -- --test
 
 if [[ "${OTAE_HARNESS_SMOKE:-0}" == "1" ]]; then
   echo "==> harness smoke (differential oracle + 3 fault plans)"
