@@ -1,0 +1,4 @@
+//! Admission-policy zoo: policy × eviction × capacity sweep.
+fn main() {
+    otae_bench::experiments::policy_sweep::run();
+}

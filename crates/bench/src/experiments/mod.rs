@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod figures;
 pub mod ftl_wear;
 pub mod online;
+pub mod policy_sweep;
 pub mod serve;
 pub mod store;
 pub mod table1;

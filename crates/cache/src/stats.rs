@@ -83,16 +83,32 @@ impl CacheStats {
     }
 
     /// Merge another stats block into this one (for sharded runs).
+    ///
+    /// `other` is fully destructured: adding a counter to [`CacheStats`]
+    /// without deciding how it merges is a compile error here, not a field
+    /// silently dropped from every shard aggregation. (The prime-sum test
+    /// below then checks each field merges exactly once.)
     pub fn merge(&mut self, other: &CacheStats) {
-        self.accesses += other.accesses;
-        self.hits += other.hits;
-        self.bytes_accessed += other.bytes_accessed;
-        self.bytes_hit += other.bytes_hit;
-        self.files_written += other.files_written;
-        self.bytes_written += other.bytes_written;
-        self.bypasses += other.bypasses;
-        self.evictions += other.evictions;
-        self.bytes_evicted += other.bytes_evicted;
+        let CacheStats {
+            accesses,
+            hits,
+            bytes_accessed,
+            bytes_hit,
+            files_written,
+            bytes_written,
+            bypasses,
+            evictions,
+            bytes_evicted,
+        } = *other;
+        self.accesses += accesses;
+        self.hits += hits;
+        self.bytes_accessed += bytes_accessed;
+        self.bytes_hit += bytes_hit;
+        self.files_written += files_written;
+        self.bytes_written += bytes_written;
+        self.bypasses += bypasses;
+        self.evictions += evictions;
+        self.bytes_evicted += bytes_evicted;
     }
 }
 

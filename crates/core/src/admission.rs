@@ -6,9 +6,9 @@
 //! classifier), with Belady as the replacement-side upper bound. The first
 //! three are admission policies and live here.
 
-use crate::baseline::SecondHitAdmission;
 use crate::history::HistoryTable;
 use crate::reaccess::ReaccessIndex;
+use crate::zoo::MissFilter;
 use otae_ml::{Classifier, ConfusionMatrix, DecisionTree};
 use otae_trace::ObjectId;
 
@@ -21,8 +21,9 @@ pub enum AdmissionKind {
     Classifier,
     /// Ground-truth one-time-access oracle (the paper's "Ideal").
     Oracle,
-    /// Cache-on-second-request doorkeeper (non-ML baseline).
-    SecondHit,
+    /// Non-ML miss filter from the policy zoo (SecondHit, TinyLFU, RejectX
+    /// or CoinFlip — see [`crate::zoo`]).
+    Filter,
 }
 
 /// The classifier-driven admission state (Figure 4's classification system):
@@ -154,8 +155,9 @@ pub enum AdmissionPolicy<'a> {
     /// Trained classifier with history table (boxed: it dwarfs the other
     /// variants).
     Classifier(Box<ClassifierAdmission>),
-    /// Cache-on-second-request doorkeeper (non-ML baseline).
-    SecondHit(SecondHitAdmission),
+    /// Non-ML miss filter from the policy zoo (SecondHit, TinyLFU, RejectX
+    /// or CoinFlip).
+    Filter(MissFilter),
 }
 
 impl AdmissionPolicy<'_> {
@@ -165,7 +167,7 @@ impl AdmissionPolicy<'_> {
             AdmissionPolicy::Always => true,
             AdmissionPolicy::Oracle { index, m } => !index.is_one_time(now as usize, *m),
             AdmissionPolicy::Classifier(c) => c.decide(obj, features, now, truth),
-            AdmissionPolicy::SecondHit(s) => s.decide(obj),
+            AdmissionPolicy::Filter(f) => f.decide(obj),
         }
     }
 
@@ -175,7 +177,7 @@ impl AdmissionPolicy<'_> {
             AdmissionPolicy::Always => AdmissionKind::Always,
             AdmissionPolicy::Oracle { .. } => AdmissionKind::Oracle,
             AdmissionPolicy::Classifier(_) => AdmissionKind::Classifier,
-            AdmissionPolicy::SecondHit(_) => AdmissionKind::SecondHit,
+            AdmissionPolicy::Filter(_) => AdmissionKind::Filter,
         }
     }
 }

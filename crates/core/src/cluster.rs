@@ -164,13 +164,18 @@ pub fn run_cluster(trace: &Trace, index: &ReaccessIndex, cfg: &ClusterConfig) ->
                     m,
                     criteria.history_table_capacity(),
                 ))),
-                Mode::SecondHit => {
-                    AdmissionPolicy::SecondHit(crate::baseline::SecondHitAdmission::new(
-                        trace.meta.len().max(1024) / cfg.n_nodes as usize,
-                        2 * m,
-                        0x5EED,
-                    ))
-                }
+                // Filters are per-node: each server sizes its sketch for its
+                // ~1/n share of the object population.
+                filter_mode => AdmissionPolicy::Filter(
+                    crate::zoo::MissFilter::for_run(
+                        filter_mode,
+                        trace.meta.len() / cfg.n_nodes as usize,
+                        m,
+                        cfg.training.max_splits,
+                        0.5,
+                    )
+                    .expect("non-Original/Ideal/Proposal modes are filter modes"),
+                ),
             },
             trainer: DailyTrainer::new(cfg.training.clone(), v),
             sampler: MinuteSampler::new(cfg.training.records_per_minute),

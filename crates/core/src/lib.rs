@@ -45,6 +45,7 @@ pub mod pipeline;
 pub mod reaccess;
 pub mod sweep;
 pub mod tiered;
+pub mod zoo;
 
 pub use admission::{
     classifier_apply, classifier_decide, AdmissionKind, AdmissionPolicy, ClassifierAdmission,
@@ -63,3 +64,4 @@ pub use pipeline::{
 pub use reaccess::ReaccessIndex;
 pub use sweep::{sweep, SweepPoint};
 pub use tiered::{run_tiered, TierConfig, TieredConfig, TieredResult};
+pub use zoo::{CoinFlipAdmission, CountMinSketch, MissFilter, RejectXAdmission, TinyLfuAdmission};

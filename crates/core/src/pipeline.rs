@@ -7,15 +7,15 @@
 //! and per-day classifier quality (Figure 5).
 
 use crate::admission::{classifier_apply, AdmissionPolicy, ClassifierAdmission};
-use crate::baseline::SecondHitAdmission;
 use crate::criteria::{solve_criteria, CriteriaSolution};
 use crate::daily::{DailyTrainer, MinuteSampler, TrainingConfig};
 use crate::features::{FeatureExtractor, N_FEATURES};
 use crate::reaccess::ReaccessIndex;
+use crate::zoo::MissFilter;
 use otae_cache::{
     ArcCache, Belady, Cache, CacheStats, Evicted, Fifo, Gdsf, Lfu, Lirs, Lru, S3Lru, TwoQ,
 };
-use otae_device::{LatencyModel, ResponseTime};
+use otae_device::{HddProfile, LatencyModel, ResponseTime, ServiceTimeModel};
 use otae_ml::{Classifier, CompiledTree, ConfusionMatrix, DecisionTree};
 use otae_trace::diurnal::DAY;
 use otae_trace::{ObjectId, Trace};
@@ -108,9 +108,29 @@ pub enum Mode {
     /// admitted only when the object was seen before, tracked in a bloom
     /// filter reset every `2M` misses).
     SecondHit,
+    /// TinyLFU: count-min-sketch frequency with a doorkeeper bloom filter
+    /// and periodic halving reset (non-ML baseline; see [`crate::zoo`]).
+    TinyLfu,
+    /// Reject-X: admit only after more than X sightings within the current
+    /// window (non-ML baseline; X = 1).
+    RejectX,
+    /// Seeded coin flip with admit probability [`RunConfig::coin_p`]
+    /// (uninformed null baseline).
+    CoinFlip,
 }
 
 impl Mode {
+    /// Every admission mode, in display order (the policy-sweep grid).
+    pub const ALL: [Mode; 7] = [
+        Mode::Original,
+        Mode::SecondHit,
+        Mode::TinyLfu,
+        Mode::RejectX,
+        Mode::CoinFlip,
+        Mode::Proposal,
+        Mode::Ideal,
+    ];
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -118,7 +138,23 @@ impl Mode {
             Mode::Proposal => "Proposal",
             Mode::Ideal => "Ideal",
             Mode::SecondHit => "SecondHit",
+            Mode::TinyLfu => "TinyLFU",
+            Mode::RejectX => "RejectX",
+            Mode::CoinFlip => "CoinFlip",
         }
+    }
+
+    /// True for the non-ML miss-filter modes the zoo implements (the
+    /// modes [`MissFilter::for_run`] builds a filter for).
+    pub fn is_filter(&self) -> bool {
+        matches!(self, Mode::SecondHit | Mode::TinyLfu | Mode::RejectX | Mode::CoinFlip)
+    }
+
+    /// True for the mode that trains and hot-swaps models (the only mode a
+    /// retrainer is spawned for; every other mode's retrain hook is a
+    /// no-op).
+    pub fn is_learned(&self) -> bool {
+        matches!(self, Mode::Proposal)
     }
 }
 
@@ -141,6 +177,11 @@ pub struct RunConfig {
     /// `u64::MAX - 1` reproduces the naive "accessed once in the whole
     /// trace" criteria of §4.3's first paragraph).
     pub m_override: Option<u64>,
+    /// Admit probability of the [`Mode::CoinFlip`] baseline (ignored by
+    /// every other mode).
+    pub coin_p: f32,
+    /// HDD profile for the backend disk-head-time accounting.
+    pub hdd: HddProfile,
 }
 
 impl RunConfig {
@@ -154,6 +195,8 @@ impl RunConfig {
             latency: LatencyModel::default(),
             criteria_iterations: 3,
             m_override: None,
+            coin_p: 0.5,
+            hdd: HddProfile::default(),
         }
     }
 }
@@ -205,6 +248,9 @@ pub struct RunResult {
     pub criteria: CriteriaSolution,
     /// Classifier report (Proposal runs only).
     pub classifier: Option<ClassifierReport>,
+    /// Backend disk-head-time accounting: every miss (admitted or
+    /// bypassed) costs the HDD one seek + rotation + transfer.
+    pub service_time: ServiceTimeModel,
 }
 
 /// Canonical digest of a run's observable outcome, for differential
@@ -229,6 +275,11 @@ pub struct RunFingerprint {
     pub rectifications: Option<u64>,
     /// Completed daily trainings (Proposal runs; `None` otherwise).
     pub trainings: Option<u32>,
+    /// Total backend disk-head time in µs (integer per-miss costs, so the
+    /// sum is interleaving-independent and exactly comparable).
+    pub service_time_us: u64,
+    /// Peak windowed backend disk-head time in µs.
+    pub service_peak_us: u64,
 }
 
 impl RunResult {
@@ -240,6 +291,8 @@ impl RunResult {
             confusion: self.classifier.as_ref().map(|c| c.overall),
             rectifications: self.classifier.as_ref().map(|c| c.rectifications),
             trainings: self.classifier.as_ref().map(|c| c.trainings),
+            service_time_us: self.service_time.total_us(),
+            service_peak_us: self.service_time.peak_window_us(),
         }
     }
 }
@@ -388,6 +441,7 @@ fn run_inner(
 
     let mut stats = CacheStats::default();
     let mut response = ResponseTime::default();
+    let mut service_time = ServiceTimeModel::new(cfg.hdd);
     let mut evicted: Vec<Evicted<ObjectId>> = Vec::new();
     let mut day_hits: Vec<(u64, u64)> = Vec::new(); // (hits, accesses) per day
 
@@ -402,6 +456,7 @@ fn run_inner(
             &mut *cache,
             &mut stats,
             &mut response,
+            &mut service_time,
             &mut evicted,
             &mut day_hits,
             observer,
@@ -411,11 +466,16 @@ fn run_inner(
             Mode::Original => AdmissionPolicy::Always,
             Mode::Ideal => AdmissionPolicy::Oracle { index, m },
             Mode::Proposal => unreachable!("handled above"),
-            Mode::SecondHit => AdmissionPolicy::SecondHit(SecondHitAdmission::new(
-                trace.meta.len().max(1024),
-                2 * m.min(u64::MAX / 2),
-                cfg.training.max_splits as u64 ^ 0x5EED,
-            )),
+            filter_mode => AdmissionPolicy::Filter(
+                MissFilter::for_run(
+                    filter_mode,
+                    trace.meta.len(),
+                    m,
+                    cfg.training.max_splits,
+                    cfg.coin_p,
+                )
+                .expect("non-Original/Ideal/Proposal modes are filter modes"),
+            ),
         };
 
         for (i, req) in trace.requests.iter().enumerate() {
@@ -448,6 +508,7 @@ fn run_inner(
                     cache.on_bypass(&req.object, size, now);
                     stats.record_bypassed_miss(size);
                 }
+                service_time.record_miss(req.ts, size);
                 response.record(cfg.latency.request_latency_us(false, size, classified));
             }
         }
@@ -459,6 +520,7 @@ fn run_inner(
         mode: cfg.mode,
         capacity: cfg.capacity,
         stats,
+        service_time,
         mean_latency_us: response.mean_us(),
         latency_p25_us: response.percentile_us(0.25),
         latency_p50_us: response.percentile_us(0.5),
@@ -490,6 +552,7 @@ fn run_proposal_blocks(
     cache: &mut (dyn Cache<ObjectId> + Send),
     stats: &mut CacheStats,
     response: &mut ResponseTime,
+    service_time: &mut ServiceTimeModel,
     evicted: &mut Vec<Evicted<ObjectId>>,
     day_hits: &mut Vec<(u64, u64)>,
     observer: &mut dyn FnMut(CacheEvent),
@@ -652,6 +715,7 @@ fn run_proposal_blocks(
                     cache.on_bypass(&req.object, size, now);
                     stats.record_bypassed_miss(size);
                 }
+                service_time.record_miss(req.ts, size);
                 response.record(cfg.latency.request_latency_us(false, size, true));
             }
         }

@@ -108,13 +108,16 @@ impl<'a> Tier<'a> {
                 m,
                 criteria.history_table_capacity(),
             ))),
-            Mode::SecondHit => {
-                AdmissionPolicy::SecondHit(crate::baseline::SecondHitAdmission::new(
-                    trace.meta.len().max(1024),
-                    2 * m.min(u64::MAX / 2),
-                    0x5EED,
-                ))
-            }
+            filter_mode => AdmissionPolicy::Filter(
+                crate::zoo::MissFilter::for_run(
+                    filter_mode,
+                    trace.meta.len(),
+                    m,
+                    crate::daily::TrainingConfig::default().max_splits,
+                    0.5,
+                )
+                .expect("non-Original/Ideal/Proposal modes are filter modes"),
+            ),
         };
         let training = crate::daily::TrainingConfig::default();
         let v = training.cost.resolve(cfg.capacity, trace.unique_bytes());

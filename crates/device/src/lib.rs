@@ -11,8 +11,10 @@
 
 pub mod ftl;
 pub mod latency;
+pub mod service_time;
 pub mod wear;
 
 pub use ftl::{FtlConfig, FtlSim, FtlStats};
 pub use latency::{LatencyModel, ResponseTime};
+pub use service_time::{HddProfile, ServiceTimeModel};
 pub use wear::{SsdWearModel, WearLedger};

@@ -96,9 +96,24 @@ pub fn differential_mode(seed: u64, n_objects: usize, mode: Mode) -> Result<(), 
     Ok(())
 }
 
-/// Rung 1+2 across all four admission modes.
+/// Rung 1+2 across the paper's four admission modes.
 pub fn differential_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
     for mode in [Mode::Original, Mode::Ideal, Mode::Proposal, Mode::SecondHit] {
+        differential_mode(seed, n_objects, mode)?;
+    }
+    Ok(())
+}
+
+/// The policy-zoo differential oracle: every admission policy — the
+/// learned gate (Proposal) plus the four miss filters (SecondHit, TinyLFU,
+/// RejectX, CoinFlip) — must reproduce the single-threaded simulator
+/// bit-for-bit on the deterministic 1×1 serve topology (which, since the
+/// fingerprint grew `service_time_us`/`service_peak_us` fields, also pins
+/// both sides' disk-head-time accounting to equality) and conserve every
+/// counter on the sharded ones. This is what licenses comparing policies
+/// by `policy_sweep` numbers: they all run the same machinery.
+pub fn differential_policy(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
+    for mode in [Mode::Proposal, Mode::SecondHit, Mode::TinyLfu, Mode::RejectX, Mode::CoinFlip] {
         differential_mode(seed, n_objects, mode)?;
     }
     Ok(())
@@ -272,6 +287,7 @@ pub fn metamorphic_capacity_monotone(seed: u64, n_objects: usize) -> Result<(), 
 /// and the segment-store recovery + differential rungs.
 pub fn full_oracle(seed: u64, n_objects: usize) -> Result<(), HarnessFailure> {
     differential_oracle(seed, n_objects)?;
+    differential_policy(seed, n_objects)?;
     differential_hot_path(seed, n_objects)?;
     metamorphic_gate_disabled(seed, n_objects)?;
     metamorphic_capacity_monotone(seed, n_objects)?;
@@ -297,5 +313,10 @@ mod tests {
     #[test]
     fn hot_path_is_exact_including_under_swap_faults() {
         differential_hot_path(7, 2_000).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn every_zoo_policy_passes_the_differential_oracle() {
+        differential_policy(11, 2_000).unwrap_or_else(|e| panic!("{e}"));
     }
 }

@@ -105,6 +105,11 @@ impl Rule {
             // holds workspace-wide, strictly wider than the hot-path floor
             // (cache, core history, serve) the invariant requires.
             Rule::NoSiphash => &[],
+            // Global scope deliberately covers the admission-policy zoo
+            // (core/src/zoo.rs, serve/src/policy.rs): every zoo filter must
+            // be seeded-deterministic (CoinFlip's RNG, the sketch hashes)
+            // and clock-free, or differential fingerprint equality between
+            // the pipeline and the service breaks.
             Rule::NoWallClock => &[],
             Rule::NoUnseededRng => &[],
             Rule::NoPanicInServe => {
@@ -119,6 +124,7 @@ impl Rule {
                 "crates/serve/src/shard.rs",
                 "crates/serve/src/request.rs",
                 "crates/serve/src/decision_cache.rs",
+                "crates/serve/src/policy.rs",
             ],
         }
     }
@@ -179,6 +185,11 @@ mod tests {
         assert!(!Rule::NoWallClock.in_scope("crates/serve/src/clock.rs"));
         assert!(!Rule::NoWallClock.in_scope("crates/bench/src/experiments/train.rs"));
         assert!(Rule::NoSiphash.in_scope("src/cli.rs"));
+        // The admission-policy zoo sits inside the global determinism
+        // rules' scope and the serve half in the clone advisory's.
+        assert!(Rule::NoUnseededRng.in_scope("crates/core/src/zoo.rs"));
+        assert!(Rule::NoWallClock.in_scope("crates/serve/src/policy.rs"));
+        assert!(Rule::AdvisoryClonePerRequest.in_scope("crates/serve/src/policy.rs"));
     }
 
     #[test]

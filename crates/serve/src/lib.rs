@@ -44,6 +44,7 @@ pub mod decision_cache;
 pub mod fault;
 pub mod gate;
 pub mod loadgen;
+pub mod policy;
 pub mod request;
 pub mod retrainer;
 pub mod service;
@@ -58,6 +59,7 @@ pub use fault::{
 };
 pub use gate::{AdmissionGate, GateModel};
 pub use loadgen::{LoadConfig, SAMPLE_FLUSH};
+pub use policy::{filter_policy_for, AdmissionPolicy, FilterPolicy, MlGatePolicy};
 pub use request::{prepare, ModelSource, PreparedRequest, PreparedTrace};
 pub use retrainer::{run_retrainer, RetrainerReport, TrainBatch, TrainMsg};
 pub use service::{serve_trace, serve_trace_with_index, ServeConfig, ServeReport, TrainerMode};
@@ -102,6 +104,12 @@ mod thread_safety_assertions {
         assert_send_sync::<otae_core::baseline::SecondHitAdmission>();
         assert_send_sync::<otae_cache::CacheStats>();
         assert_send_sync::<otae_device::ResponseTime>();
+        // Disk-head-time accounting lives inside each shard's mutex.
+        assert_send::<otae_device::ServiceTimeModel>();
+        // The policy zoo: the shared filter slot crosses worker threads,
+        // and every zoo filter must stay plain seeded data.
+        assert_send::<Box<dyn policy::AdmissionPolicy>>();
+        assert_send_sync::<otae_core::MissFilter>();
         // Every replacement policy must build into a Send trait object.
         assert_send::<Box<dyn otae_cache::Cache<otae_trace::ObjectId> + Send>>();
         // The admission policy enum itself (its Oracle variant borrows the

@@ -1,0 +1,303 @@
+//! The admission-policy zoo: one trait, five policies.
+//!
+//! The paper pits its learned gate against always-admit and an oracle; real
+//! flash caches pit it against cheap frequency filters (TinyLFU, RejectX),
+//! doorkeepers (SecondHit) and the null baseline (CoinFlip). This module
+//! puts them all behind one serve-layer [`AdmissionPolicy`] trait so the
+//! service can hot-swap the *policy*, not just the model:
+//!
+//! | policy      | state                         | learned |
+//! |-------------|-------------------------------|---------|
+//! | [`MlGatePolicy`] | gate model + history table | yes |
+//! | SecondHit   | doorkeeper bloom filter       | no |
+//! | TinyLFU     | count-min sketch + doorkeeper | no |
+//! | RejectX     | windowed count-min sketch     | no |
+//! | CoinFlip(p) | seeded splitmix64 stream      | no |
+//!
+//! The four non-ML policies wrap [`otae_core::zoo::MissFilter`] via
+//! [`FilterPolicy`], so the service and the single-threaded pipeline build
+//! byte-identical filter state from the same inputs — the property the
+//! harness `differential_policy` oracle pins to fingerprint equality.
+//!
+//! The retrainer interacts with policies only through
+//! [`AdmissionPolicy::on_model_swap`]; for every non-learned policy that
+//! hook (and the whole retraining path) is a structural no-op.
+
+use crate::gate::AdmissionGate;
+use crate::request::PreparedRequest;
+use otae_core::pipeline::Mode;
+use otae_core::zoo::MissFilter;
+use otae_core::{classifier_apply, HistoryTable};
+use otae_ml::ConfusionMatrix;
+use std::sync::Arc;
+
+/// One admission policy, deciding over the prepared request (object key,
+/// the 8-feature row, stream position) that the serve path already carries.
+///
+/// Implementations must be `Send`: the service keeps the policy behind a
+/// mutex shared by every worker thread (exactly like the SecondHit
+/// doorkeeper it generalises).
+pub trait AdmissionPolicy: Send {
+    /// Short display name (stable: used in benchmark tables and reports).
+    fn name(&self) -> &'static str;
+
+    /// Decide a miss: `true` admits the object to flash, `false` serves it
+    /// around the cache.
+    fn decide(&mut self, req: &PreparedRequest) -> bool;
+
+    /// Observe the outcome of a decided miss (eviction feedback, delayed
+    /// labels). Default: ignore — none of the current policies learn from
+    /// outcomes online.
+    fn observe(&mut self, _req: &PreparedRequest, _admitted: bool) {}
+
+    /// Hook invoked when a new model epoch is installed. Non-ML policies
+    /// ignore it; the ML gate invalidates any epoch-keyed memoization.
+    fn on_model_swap(&mut self, _epoch: u64) {}
+
+    /// True when the policy consumes trained models (i.e. the retrainer is
+    /// *not* a no-op for it).
+    fn is_learned(&self) -> bool {
+        false
+    }
+}
+
+/// A non-ML miss filter from the zoo, adapted to the serve trait. The
+/// decision consults only the object key — the feature row and truth label
+/// on the request are ignored, which is the point: these are the baselines
+/// the learned gate must beat without their O(1) simplicity.
+#[derive(Debug)]
+pub struct FilterPolicy {
+    filter: MissFilter,
+}
+
+impl FilterPolicy {
+    /// Wrap a zoo filter.
+    pub fn new(filter: MissFilter) -> Self {
+        Self { filter }
+    }
+
+    /// The wrapped filter (counters for reports).
+    pub fn filter(&self) -> &MissFilter {
+        &self.filter
+    }
+}
+
+impl AdmissionPolicy for FilterPolicy {
+    fn name(&self) -> &'static str {
+        self.filter.name()
+    }
+
+    fn decide(&mut self, req: &PreparedRequest) -> bool {
+        self.filter.decide(req.object)
+    }
+}
+
+/// The paper's learned gate as one policy among five: the hot-swappable
+/// [`AdmissionGate`] model plus the §4.4.2 history table and confusion
+/// accounting, with decisions produced by the same
+/// [`classifier_apply`] sequence the pipeline and the sharded workers use.
+///
+/// This is the *sequential reference* implementation of the trait. The
+/// production serve path keeps its specialised batched route (segment
+/// scoring + per-shard history slices) for throughput; the test suite pins
+/// that route to this one decision for decision.
+pub struct MlGatePolicy {
+    gate: Arc<AdmissionGate>,
+    history: HistoryTable,
+    confusion: ConfusionMatrix,
+    use_history: bool,
+    m: u64,
+}
+
+impl MlGatePolicy {
+    /// Gate-backed policy with threshold `m` and the given history budget.
+    pub fn new(
+        gate: Arc<AdmissionGate>,
+        m: u64,
+        history_capacity: usize,
+        use_history: bool,
+    ) -> Self {
+        Self {
+            gate,
+            history: HistoryTable::new(history_capacity),
+            confusion: ConfusionMatrix::default(),
+            use_history,
+            m,
+        }
+    }
+
+    /// Decisions tallied against ground truth so far.
+    pub fn confusion(&self) -> ConfusionMatrix {
+        self.confusion
+    }
+
+    /// History-table rectifications so far (§4.4.2).
+    pub fn rectifications(&self) -> u64 {
+        self.history.rectifications()
+    }
+}
+
+impl AdmissionPolicy for MlGatePolicy {
+    fn name(&self) -> &'static str {
+        "MLGate"
+    }
+
+    fn decide(&mut self, req: &PreparedRequest) -> bool {
+        let model = self.gate.current();
+        classifier_apply(
+            model.map(|m| m.predict(&req.features)),
+            &mut self.history,
+            &mut self.confusion,
+            self.use_history,
+            self.m,
+            req.object,
+            req.idx,
+            req.truth,
+        )
+    }
+
+    fn is_learned(&self) -> bool {
+        true
+    }
+}
+
+/// Build the shared filter policy a serve run in `mode` needs, or `None`
+/// for the modes that do not route through the policy slot (Original and
+/// Ideal decide inline; Proposal runs the batched ML route). Sizing and
+/// seeding delegate to [`MissFilter::for_run`], the single seam the
+/// pipeline uses too — which is what makes the 1-shard serve replay
+/// bit-identical to the simulator for every filter policy.
+pub fn filter_policy_for(
+    mode: Mode,
+    trace_objects: usize,
+    m: u64,
+    max_splits: usize,
+    coin_p: f32,
+) -> Option<Box<dyn AdmissionPolicy>> {
+    MissFilter::for_run(mode, trace_objects, m, max_splits, coin_p)
+        .map(|f| Box::new(FilterPolicy::new(f)) as Box<dyn AdmissionPolicy>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelSource;
+    use otae_core::ClassifierAdmission;
+    use otae_ml::{Classifier, Dataset, DecisionTree, TreeParams};
+    use otae_trace::ObjectId;
+
+    fn req(idx: u64, object: u32, feature0: f32, truth: bool) -> PreparedRequest {
+        let mut features = [0.0f32; otae_core::N_FEATURES];
+        features[0] = feature0;
+        PreparedRequest {
+            idx,
+            ts: idx,
+            object: ObjectId(object),
+            size: 1000,
+            features,
+            truth,
+            model: ModelSource::Stamped { model: None, epoch: 0 },
+        }
+    }
+
+    fn tree(threshold: f32) -> DecisionTree {
+        let mut d = Dataset::new(otae_core::N_FEATURES);
+        for i in 0..100 {
+            let mut row = [0.0f32; otae_core::N_FEATURES];
+            row[0] = i as f32 / 100.0;
+            d.push(&row, row[0] > threshold);
+        }
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&d);
+        t
+    }
+
+    #[test]
+    fn filter_policies_carry_their_zoo_names() {
+        for (mode, name) in [
+            (Mode::SecondHit, "SecondHit"),
+            (Mode::TinyLfu, "TinyLFU"),
+            (Mode::RejectX, "RejectX"),
+            (Mode::CoinFlip, "CoinFlip"),
+        ] {
+            let p = filter_policy_for(mode, 1000, 100, 30, 0.5).expect("filter mode");
+            assert_eq!(p.name(), name);
+            assert!(!p.is_learned(), "{name} must not engage the retrainer");
+        }
+        for mode in [Mode::Original, Mode::Ideal, Mode::Proposal] {
+            assert!(filter_policy_for(mode, 1000, 100, 30, 0.5).is_none());
+        }
+    }
+
+    #[test]
+    fn second_hit_policy_admits_only_on_reappearance() {
+        let mut p = filter_policy_for(Mode::SecondHit, 1000, 100, 30, 0.5).unwrap();
+        assert!(!p.decide(&req(0, 7, 0.0, false)), "first sighting bypasses");
+        assert!(p.decide(&req(1, 7, 0.0, false)), "second sighting admits");
+    }
+
+    #[test]
+    fn trait_hooks_default_to_no_ops() {
+        let mut p = filter_policy_for(Mode::TinyLfu, 1000, 100, 30, 0.5).unwrap();
+        let r = req(0, 1, 0.0, false);
+        let before = p.decide(&r);
+        // Neither hook may disturb filter state or panic.
+        p.observe(&r, before);
+        p.on_model_swap(42);
+        let mut q = filter_policy_for(Mode::TinyLfu, 1000, 100, 30, 0.5).unwrap();
+        assert_eq!(before, q.decide(&r), "hooks must not change decisions");
+    }
+
+    /// The trait-boxed ML gate must decide exactly like the pipeline's
+    /// `ClassifierAdmission` — same model, same request stream, same
+    /// verdicts, confusion and rectifications. This is the seam that makes
+    /// "the ML gate is one implementation of the trait" true rather than
+    /// aspirational.
+    #[test]
+    fn ml_gate_policy_matches_pipeline_classifier_semantics() {
+        let gate = Arc::new(AdmissionGate::new());
+        let mut policy = MlGatePolicy::new(Arc::clone(&gate), 100, 64, true);
+        let mut reference = ClassifierAdmission::new(100, 64);
+
+        // Phase 1: cold gate == untrained classifier (admit everything).
+        for i in 0..10u64 {
+            let r = req(i, i as u32, 0.9, true);
+            assert!(policy.decide(&r), "cold gate admits");
+            assert!(reference.decide(r.object, &r.features, r.idx, r.truth));
+        }
+        assert_eq!(policy.confusion().total(), 0);
+
+        // Phase 2: install a model in both and replay a mixed stream with
+        // repeats (exercises history rectification) and both label kinds.
+        gate.install(tree(0.5));
+        reference.model = Some(tree(0.5));
+        for i in 10..300u64 {
+            let r = req(i, (i % 23) as u32, (i % 10) as f32 / 10.0, i % 3 == 0);
+            let got = policy.decide(&r);
+            let want = reference.decide(r.object, &r.features, r.idx, r.truth);
+            assert_eq!(got, want, "divergence at request {i}");
+        }
+        assert_eq!(policy.confusion(), reference.confusion);
+        assert_eq!(policy.rectifications(), reference.history.rectifications());
+        assert!(policy.confusion().total() > 0, "the model must have been consulted");
+        assert!(policy.rectifications() > 0, "repeats within M must rectify");
+        assert!(policy.is_learned());
+        assert_eq!(policy.name(), "MLGate");
+    }
+
+    /// Hot-swapping the gate mid-stream changes subsequent decisions
+    /// without resetting history state — mirroring the shard-level
+    /// `rectification_survives_a_model_swap` test at the trait level.
+    #[test]
+    fn ml_gate_policy_tracks_hot_swaps() {
+        let gate = Arc::new(AdmissionGate::new());
+        let mut policy = MlGatePolicy::new(Arc::clone(&gate), 100, 64, true);
+        gate.install(tree(0.5));
+        assert!(!policy.decide(&req(0, 7, 0.9, true)), "one-time under model A");
+        gate.install(tree(0.2));
+        policy.on_model_swap(gate.swaps());
+        // Reappears within M under model B: history must force-admit.
+        assert!(policy.decide(&req(50, 7, 0.9, true)), "rectified across the swap");
+        assert_eq!(policy.rectifications(), 1);
+    }
+}

@@ -112,7 +112,8 @@ pub fn prepare(
             extractor.update(trace, req);
         }
         let model = if !is_proposal {
-            // Original/Ideal/SecondHit never consult a model; stamp None so
+            // Original/Ideal and the miss filters (SecondHit, TinyLFU,
+            // RejectX, CoinFlip) never consult a model; stamp None so
             // workers skip the gate entirely.
             ModelSource::Stamped { model: None, epoch: 0 }
         } else if inline {

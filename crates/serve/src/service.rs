@@ -6,15 +6,15 @@ use crate::clock::ServiceClock;
 use crate::fault::{FaultPlan, FaultReport, NoFaults};
 use crate::gate::{AdmissionGate, GateModel};
 use crate::loadgen::{replay_client, ClientReport, LoadConfig};
+use crate::policy::filter_policy_for;
 use crate::request::{prepare, ModelSource, PreparedRequest};
 use crate::retrainer::{run_retrainer, RetrainerReport};
 use crate::shard::{BatchScratch, Params, ShardedCache, Snapshot};
 use crate::store_layer::{ShardStore, StoreMode};
 use crossbeam::channel::{bounded, unbounded, Receiver};
-use otae_core::baseline::SecondHitAdmission;
 use otae_core::pipeline::{Mode, PolicyKind};
 use otae_core::{solve_criteria, CriteriaSolution, ReaccessIndex, TrainingConfig};
-use otae_device::LatencyModel;
+use otae_device::{HddProfile, LatencyModel};
 use otae_trace::Trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,16 +46,23 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Replacement policy (each shard runs its own instance).
     pub policy: PolicyKind,
-    /// Admission mode (the paper's Original/Proposal/Ideal/SecondHit).
+    /// Admission mode: the paper's Original/Proposal/Ideal plus the policy
+    /// zoo's filters (SecondHit, TinyLFU, RejectX, CoinFlip).
     pub mode: Mode,
-    /// Training delivery for Proposal mode (ignored otherwise).
+    /// Training delivery for Proposal mode. For every non-learned policy
+    /// the retraining path is a structural no-op: no samples are forwarded,
+    /// no retrainer thread spawns, the gate stays cold.
     pub trainer: TrainerMode,
     /// Total cache capacity in bytes, split evenly across shards.
     pub capacity: u64,
     /// Classifier training configuration (Proposal only).
     pub training: TrainingConfig,
-    /// Device latency model for service-time accounting.
+    /// Device latency model for response-time accounting.
     pub latency: LatencyModel,
+    /// HDD profile charging backend disk-head time per miss.
+    pub hdd: HddProfile,
+    /// Admit probability for the CoinFlip policy (ignored otherwise).
+    pub coin_p: f32,
     /// Criteria fixed-point rounds (§4.3; paper uses 3).
     pub criteria_iterations: usize,
     /// Override the computed one-time-access threshold `M`.
@@ -102,6 +109,8 @@ impl ServeConfig {
             capacity,
             training: TrainingConfig::default(),
             latency: LatencyModel::default(),
+            hdd: HddProfile::default(),
+            coin_p: 0.5,
             criteria_iterations: 3,
             m_override: None,
             max_batch: 64,
@@ -166,6 +175,8 @@ impl ServeReport {
             confusion: proposal.then_some(self.snapshot.confusion),
             rectifications: proposal.then_some(self.snapshot.rectifications),
             trainings: proposal.then_some(self.trainings),
+            service_time_us: self.snapshot.service_time.total_us(),
+            service_peak_us: self.snapshot.service_time.peak_window_us(),
         }
     }
 }
@@ -201,13 +212,11 @@ pub fn serve_trace_with_index(
     let gate = AdmissionGate::new();
     let prepared = prepare(trace, index, cfg, &gate, m, v);
 
-    let second_hit = (cfg.mode == Mode::SecondHit).then(|| {
-        SecondHitAdmission::new(
-            trace.meta.len().max(1024),
-            2 * m.min(u64::MAX / 2),
-            cfg.training.max_splits as u64 ^ 0x5EED,
-        )
-    });
+    // Filter policies build through the same seam as the pipeline
+    // (`MissFilter::for_run`), so both sides construct byte-identical
+    // state; `None` for Original/Ideal/Proposal.
+    let policy =
+        filter_policy_for(cfg.mode, trace.meta.len(), m, cfg.training.max_splits, cfg.coin_p);
     let params = Params {
         latency: cfg.latency,
         mode: cfg.mode,
@@ -216,6 +225,7 @@ pub fn serve_trace_with_index(
         m,
         decision_cache: cfg.decision_cache,
         compiled: cfg.compiled_inference,
+        hdd: cfg.hdd,
     };
     // Build one segment store per shard before serving starts. A failed
     // open (disk mode only) degrades to storeless serving — recorded as a
@@ -235,11 +245,14 @@ pub fn serve_trace_with_index(
         criteria.history_table_capacity(),
         trace,
         params,
-        second_hit,
+        policy,
         stores,
     );
 
-    let background = cfg.mode == Mode::Proposal && cfg.trainer == TrainerMode::Background;
+    // The retrainer thread only exists for the learned policy: every filter
+    // policy (and Original/Ideal) runs the whole replay without a trainer,
+    // a sampler channel, or a single gate install.
+    let background = cfg.mode.is_learned() && cfg.trainer == TrainerMode::Background;
     let (req_tx, req_rx) = bounded::<PreparedRequest>(cfg.queue_depth.max(1));
     let (sample_tx, sample_rx) = if background {
         let (tx, rx) = unbounded();
@@ -703,6 +716,7 @@ mod tests {
             m,
             decision_cache: true,
             compiled: true,
+            hdd: HddProfile::default(),
         };
         let sharded =
             ShardedCache::new(4, PolicyKind::Lru, cap(&t), 4096, &t, params, None, Vec::new());

@@ -2,21 +2,22 @@
 //!
 //! Each shard owns a replacement policy, its slice of the history table,
 //! and its own counters, so the only cross-shard state on the request path
-//! is the admission model `Arc` (and, for the SecondHit baseline, its
-//! doorkeeper filter). Objects map to shards by id hash, so a shard's
-//! state evolves exactly like a small single-threaded simulator over the
-//! subsequence of requests routed to it.
+//! is the admission model `Arc` (and, for the filter policies — SecondHit,
+//! TinyLFU, RejectX, CoinFlip — the shared [`AdmissionPolicy`] slot).
+//! Objects map to shards by id hash, so a shard's state evolves exactly
+//! like a small single-threaded simulator over the subsequence of requests
+//! routed to it.
 
 use crate::decision_cache::{feature_bits, DecisionCache};
 use crate::gate::GateModel;
+use crate::policy::AdmissionPolicy;
 use crate::request::PreparedRequest;
 use crate::store_layer::{ShardStore, StoreSnapshot};
 use otae_cache::{Cache, CacheStats, Evicted};
-use otae_core::baseline::SecondHitAdmission;
 use otae_core::classifier_apply;
 use otae_core::pipeline::{Mode, PolicyKind};
 use otae_core::{HistoryTable, N_FEATURES};
-use otae_device::{LatencyModel, ResponseTime};
+use otae_device::{HddProfile, LatencyModel, ResponseTime, ServiceTimeModel};
 use otae_ml::ConfusionMatrix;
 use otae_trace::{ObjectId, Trace};
 use parking_lot::Mutex;
@@ -34,6 +35,8 @@ pub(crate) struct Params {
     /// Score batched misses with the compiled branchless walk (when the
     /// installed model compiled). Decisions are bit-identical either way.
     pub compiled: bool,
+    /// HDD profile charging disk-head time per backend miss.
+    pub hdd: HddProfile,
 }
 
 /// How a request's classifier verdict is obtained (Proposal mode).
@@ -75,6 +78,7 @@ pub(crate) struct ShardState {
     history: HistoryTable,
     stats: CacheStats,
     response: ResponseTime,
+    service_time: ServiceTimeModel,
     confusion: ConfusionMatrix,
     evicted: Vec<Evicted<ObjectId>>,
     decisions: DecisionCache,
@@ -174,7 +178,7 @@ impl ShardState {
         req: &PreparedRequest,
         verdict: Verdict<'_>,
         p: &Params,
-        second_hit: Option<&Mutex<SecondHitAdmission>>,
+        policy: Option<&Mutex<Box<dyn AdmissionPolicy>>>,
     ) {
         let now = req.idx;
         if self.cache.contains(&req.object) {
@@ -204,10 +208,11 @@ impl ShardState {
                     req.truth,
                 )
             }
-            // A missing doorkeeper is a wiring bug; degrade to admit-always
-            // (Original behaviour) rather than unwind a worker thread.
-            Mode::SecondHit => match second_hit {
-                Some(dk) => dk.lock().decide(req.object),
+            // A missing filter policy is a wiring bug; degrade to
+            // admit-always (Original behaviour) rather than unwind a worker
+            // thread.
+            _filter => match policy {
+                Some(pol) => pol.lock().decide(req),
                 None => true,
             },
         };
@@ -228,6 +233,9 @@ impl ShardState {
             self.cache.on_bypass(&req.object, req.size, now);
             self.stats.record_bypassed_miss(req.size);
         }
+        // Every miss reads the backend exactly once, admitted or not — the
+        // flash write happens off the critical path (§5.3.5).
+        self.service_time.record_miss(req.ts, req.size);
         self.response.record(p.latency.request_latency_us(false, req.size, p.classified));
     }
 }
@@ -241,6 +249,10 @@ pub struct Snapshot {
     pub stats: CacheStats,
     /// All shards' latency accumulators, merged.
     pub response: ResponseTime,
+    /// All shards' backend disk-head-time accumulators, merged. Window
+    /// counts add element-wise, so the merged peak is the peak of the
+    /// combined stream.
+    pub service_time: ServiceTimeModel,
     /// All shards' classifier decisions, merged (Proposal mode).
     pub confusion: ConfusionMatrix,
     /// History-table rectifications across all shards (§4.4.2).
@@ -255,7 +267,10 @@ pub struct Snapshot {
 pub struct ShardedCache {
     shards: Vec<Mutex<ShardState>>,
     params: Params,
-    second_hit: Option<Mutex<SecondHitAdmission>>,
+    /// Shared filter policy for the non-ML admission modes (`None` for
+    /// Original/Ideal/Proposal). One slot across all shards, exactly like
+    /// the single filter instance the pipeline drives.
+    policy: Option<Mutex<Box<dyn AdmissionPolicy>>>,
 }
 
 impl ShardedCache {
@@ -269,7 +284,7 @@ impl ShardedCache {
         history_capacity: usize,
         trace: &Trace,
         params: Params,
-        second_hit: Option<SecondHitAdmission>,
+        admission: Option<Box<dyn AdmissionPolicy>>,
         stores: Vec<ShardStore>,
     ) -> Self {
         assert!(n_shards > 0, "need at least one shard");
@@ -284,6 +299,7 @@ impl ShardedCache {
                     history: HistoryTable::new(shard_history),
                     stats: CacheStats::default(),
                     response: ResponseTime::default(),
+                    service_time: ServiceTimeModel::new(params.hdd),
                     confusion: ConfusionMatrix::default(),
                     evicted: Vec::new(),
                     decisions: DecisionCache::new(shard_history),
@@ -291,7 +307,7 @@ impl ShardedCache {
                 })
             })
             .collect();
-        Self { shards, params, second_hit: second_hit.map(Mutex::new) }
+        Self { shards, params, policy: admission.map(Mutex::new) }
     }
 
     /// Number of shards.
@@ -321,7 +337,7 @@ impl ShardedCache {
             req,
             Verdict::Resolve(model, epoch),
             &self.params,
-            self.second_hit.as_ref(),
+            self.policy.as_ref(),
         );
     }
 
@@ -377,7 +393,7 @@ impl ShardedCache {
             }
         }
         for (k, &(req, _, _)) in segment.iter().enumerate() {
-            shard.process(req, Verdict::Ready(scratch.preds[k]), p, self.second_hit.as_ref());
+            shard.process(req, Verdict::Ready(scratch.preds[k]), p, self.policy.as_ref());
         }
     }
 
@@ -410,6 +426,7 @@ impl ShardedCache {
     pub fn snapshot(&self) -> Snapshot {
         let mut stats = CacheStats::default();
         let mut response = ResponseTime::default();
+        let mut service_time = ServiceTimeModel::new(self.params.hdd);
         let mut confusion = ConfusionMatrix::default();
         let mut rectifications = 0u64;
         let mut per_shard = Vec::with_capacity(self.shards.len());
@@ -418,6 +435,7 @@ impl ShardedCache {
             let s = shard.lock();
             stats.merge(&s.stats);
             response.merge(&s.response);
+            service_time.merge(&s.service_time);
             confusion.tp += s.confusion.tp;
             confusion.fp += s.confusion.fp;
             confusion.fn_ += s.confusion.fn_;
@@ -428,7 +446,7 @@ impl ShardedCache {
                 store.get_or_insert_with(StoreSnapshot::default).merge(&shard_store.snapshot());
             }
         }
-        Snapshot { stats, response, confusion, rectifications, per_shard, store }
+        Snapshot { stats, response, service_time, confusion, rectifications, per_shard, store }
     }
 }
 
@@ -447,6 +465,7 @@ mod tests {
             m: 100,
             decision_cache: true,
             compiled: true,
+            hdd: HddProfile::default(),
         }
     }
 

@@ -27,6 +27,11 @@ if [[ "${OTAE_HARNESS_SMOKE:-0}" == "1" ]]; then
   cargo run --release -q -p otae-harness -- --smoke
 fi
 
+if [[ "${OTAE_POLICY_SMOKE:-0}" == "1" ]]; then
+  echo "==> policy smoke (admission zoo x eviction x capacity mini-grid)"
+  OTAE_BENCH_SMOKE=1 OTAE_OBJECTS=3000 cargo run --release -q -p otae-bench --bin policy_sweep
+fi
+
 if [[ "${OTAE_STORE_SMOKE:-0}" == "1" ]]; then
   echo "==> store smoke (segment-store throughput, recovery, measured WA)"
   OTAE_BENCH_SMOKE=1 cargo run --release -q -p otae-bench --bin store_throughput

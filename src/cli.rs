@@ -45,23 +45,28 @@ USAGE:
   otae generate --out <trace.bin> [--objects N] [--seed S] [--days D] [--text <trace.txt>]
   otae stats <trace.bin>
   otae sample <trace.bin> --out <sampled.bin> [--rate R] [--seed S]
-  otae simulate <trace.bin> [--policy lru|fifo|lfu|s3lru|arc|lirs|2q|gdsf|belady]
-                            [--mode original|proposal|ideal|second-hit]
+  otae simulate <trace.bin> [--eviction lru|fifo|lfu|s3lru|arc|lirs|2q|gdsf|belady]
+                            [--mode original|proposal|ideal|second-hit|
+                                    tinylfu|rejectx|coinflip[:P]]
+                            [--policy ...] (either an eviction or an admission name)
                             [--capacity-frac F | --capacity-mb MB]
   otae serve-bench <trace.bin> [--shards N] [--workers K] [--clients M]
                                [--qps Q] [--duration-s S]
-                               [--policy ...] [--mode ...]
+                               [--eviction ...] [--mode ...] [--policy ...]
                                [--trainer inline|background]
                                [--store none|memory|disk[:DIR]]
                                [--capacity-frac F | --capacity-mb MB]
   otae convert <trace.bin> --out <trace.txt>
   otae import <trace.txt> --out <trace.bin>
 
-Defaults: objects=50000, seed=42, days=9, rate=0.01, policy=lru,
+Defaults: objects=50000, seed=42, days=9, rate=0.01, eviction=lru,
 mode=proposal, capacity-frac=0.02 (fraction of unique bytes),
 shards=4, workers=4, clients=2, qps=0 (unthrottled), trainer=background,
 store=none (memory = deterministic in-RAM segment store; disk:DIR =
-real segment files under DIR, default ./otae-store-data).";
+real segment files under DIR, default ./otae-store-data).
+--policy takes either kind of name: an eviction policy (back-compat) or an
+admission policy from the zoo (original|proposal|ideal|second-hit|tinylfu|
+rejectx|coinflip[:P], where P is the coin's admit probability, default 0.5).";
 
 /// Simple `--key value` argument map with positional support.
 struct Args {
@@ -141,14 +146,65 @@ fn parse_store(s: &str) -> Result<StoreMode, CliError> {
     })
 }
 
-fn parse_mode(s: &str) -> Result<Mode, CliError> {
-    Ok(match s.to_ascii_lowercase().as_str() {
+/// Parse an admission-policy name: a [`Mode`], plus the coin's admit
+/// probability when spelled `coinflip:P`.
+fn parse_mode(s: &str) -> Result<(Mode, Option<f32>), CliError> {
+    let lower = s.to_ascii_lowercase();
+    let mode = match lower.as_str() {
         "original" => Mode::Original,
         "proposal" => Mode::Proposal,
         "ideal" => Mode::Ideal,
         "second-hit" | "secondhit" => Mode::SecondHit,
-        other => return Err(err(format!("unknown mode: {other}"))),
-    })
+        "tinylfu" | "tiny-lfu" => Mode::TinyLfu,
+        "rejectx" | "reject-x" => Mode::RejectX,
+        "coinflip" | "coin-flip" => Mode::CoinFlip,
+        _ => match lower.split_once(':') {
+            Some(("coinflip" | "coin-flip", p)) => {
+                let p: f32 =
+                    p.parse().map_err(|_| err(format!("invalid coinflip probability: {p}")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(err("coinflip probability must be in [0,1]"));
+                }
+                return Ok((Mode::CoinFlip, Some(p)));
+            }
+            _ => return Err(err(format!("unknown mode: {s}"))),
+        },
+    };
+    Ok((mode, None))
+}
+
+/// Resolve the eviction policy and admission mode shared by `simulate` and
+/// `serve-bench`.
+///
+/// `--eviction` names the replacement policy and `--mode` the admission
+/// policy; `--policy` accepts either vocabulary — it predates the admission
+/// zoo, when "policy" could only mean eviction — and routes the name to
+/// whichever side recognises it. Returns `(eviction, mode, coin_p)`.
+fn parse_policies(args: &Args) -> Result<(PolicyKind, Mode, f32), CliError> {
+    let mut eviction = parse_policy(args.get("eviction").unwrap_or("lru"))?;
+    let mut mode = Mode::Proposal;
+    let mut coin_p = 0.5f32;
+    if let Some(m) = args.get("mode") {
+        let (parsed, p) = parse_mode(m)?;
+        mode = parsed;
+        coin_p = p.unwrap_or(coin_p);
+    }
+    if let Some(name) = args.get("policy") {
+        if let Ok(kind) = parse_policy(name) {
+            eviction = kind;
+        } else {
+            let (parsed, p) = parse_mode(name).map_err(|_| {
+                err(format!(
+                    "unknown policy: {name} (eviction: lru|fifo|lfu|s3lru|arc|lirs|2q|gdsf|\
+                     belady; admission: original|proposal|ideal|second-hit|tinylfu|rejectx|\
+                     coinflip[:P])"
+                ))
+            })?;
+            mode = parsed;
+            coin_p = p.unwrap_or(coin_p);
+        }
+    }
+    Ok((eviction, mode, coin_p))
 }
 
 /// Execute a CLI invocation (without the program name). Returns the text to
@@ -253,10 +309,11 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if trace.is_empty() {
         return Err(err("trace has no requests"));
     }
-    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
-    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+    let (policy, mode, coin_p) = parse_policies(args)?;
     let capacity = parse_capacity(args, &trace)?;
-    let result = run(&trace, &RunConfig::new(policy, mode, capacity));
+    let mut run_cfg = RunConfig::new(policy, mode, capacity);
+    run_cfg.coin_p = coin_p;
+    let result = run(&trace, &run_cfg);
     let mut out = String::new();
     let _ = writeln!(out, "policy            {}", policy.name());
     let _ = writeln!(out, "admission         {}", mode.name());
@@ -287,8 +344,7 @@ fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
     if trace.is_empty() {
         return Err(err("trace has no requests"));
     }
-    let policy = parse_policy(args.get("policy").unwrap_or("lru"))?;
-    let mode = parse_mode(args.get("mode").unwrap_or("proposal"))?;
+    let (policy, mode, coin_p) = parse_policies(args)?;
     let capacity = parse_capacity(args, &trace)?;
 
     let shards: usize = args.get_parsed("shards", 4)?;
@@ -331,6 +387,7 @@ fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
     cfg.workers = workers;
     cfg.trainer = trainer;
     cfg.store = store;
+    cfg.coin_p = coin_p;
     let load = LoadConfig { clients, target_qps: qps, duration };
     let r = serve_trace(&trace, &cfg, &load);
 
@@ -499,7 +556,58 @@ mod tests {
         run_cli(&["generate", "--out", &bin, "--objects", "500"]).expect("generate");
         assert!(run_cli(&["simulate", &bin, "--policy", "bogus"]).is_err());
         assert!(run_cli(&["simulate", &bin, "--mode", "bogus"]).is_err());
+        assert!(run_cli(&["simulate", &bin, "--eviction", "bogus"]).is_err());
         assert!(run_cli(&["sample", &bin, "--out", "/tmp/x", "--rate", "2.0"]).is_err());
+    }
+
+    #[test]
+    fn policy_flag_accepts_both_vocabularies() {
+        let bin = temp_path("zoo.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "1500", "--seed", "5"])
+            .expect("generate");
+        // Back-compat: --policy with an eviction name still selects eviction.
+        let sim = run_cli(&["simulate", &bin, "--policy", "arc", "--mode", "ideal"])
+            .expect("eviction via --policy");
+        assert!(sim.contains("policy            ARC"), "unexpected:\n{sim}");
+        // --policy with an admission name selects the admission mode.
+        for (name, label) in [
+            ("tinylfu", "TinyLFU"),
+            ("rejectx", "RejectX"),
+            ("second-hit", "SecondHit"),
+            ("coinflip:0.25", "CoinFlip"),
+        ] {
+            let sim = run_cli(&["simulate", &bin, "--policy", name]).expect(name);
+            assert!(sim.contains(label), "--policy {name} should report {label}:\n{sim}");
+        }
+        // --eviction + admission --policy compose.
+        let sim = run_cli(&["simulate", &bin, "--eviction", "s3lru", "--policy", "tinylfu"])
+            .expect("eviction + admission");
+        assert!(sim.contains("S3LRU"));
+        assert!(sim.contains("TinyLFU"));
+    }
+
+    #[test]
+    fn coinflip_probability_parses_and_validates() {
+        assert_eq!(parse_mode("coinflip").unwrap(), (Mode::CoinFlip, None));
+        assert_eq!(parse_mode("coinflip:0.3").unwrap(), (Mode::CoinFlip, Some(0.3)));
+        assert_eq!(parse_mode("coin-flip:1.0").unwrap(), (Mode::CoinFlip, Some(1.0)));
+        assert!(parse_mode("coinflip:1.5").unwrap_err().0.contains("[0,1]"));
+        assert!(parse_mode("coinflip:maybe").unwrap_err().0.contains("invalid"));
+        assert_eq!(parse_mode("tiny-lfu").unwrap(), (Mode::TinyLfu, None));
+        assert_eq!(parse_mode("reject-x").unwrap(), (Mode::RejectX, None));
+    }
+
+    #[test]
+    fn serve_bench_runs_zoo_policies() {
+        let bin = temp_path("serve-zoo.bin");
+        run_cli(&["generate", "--out", &bin, "--objects", "1500", "--seed", "13"])
+            .expect("generate");
+        for name in ["tinylfu", "rejectx", "coinflip:0.5"] {
+            let out =
+                run_cli(&["serve-bench", &bin, "--shards", "2", "--policy", name]).expect(name);
+            assert!(out.contains("throughput"), "--policy {name} failed:\n{out}");
+            assert!(out.contains("model swaps       0"), "zoo policies never swap:\n{out}");
+        }
     }
 
     #[test]
