@@ -1,6 +1,7 @@
 //! Cache performance accounting with the paper's rate definitions (§5.3).
 
 /// Counters collected while driving a cache over a request stream.
+// lint: merge-exhaustive(fingerprint)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses observed.

@@ -228,12 +228,16 @@ impl FtlSim {
                 }
                 let new_loc = self.program_page(owner, false)?;
                 self.stats.relocated_pages += 1;
-                let locs = self.objects.get_mut(&owner).expect("valid page has live owner");
-                let slot = locs
-                    .iter_mut()
-                    .find(|l| **l == (victim, page))
-                    .expect("owner tracks this page");
-                *slot = new_loc;
+                // `owners[page] == owner` implies the mapping tracks this
+                // page; a miss would mean the page was already retargeted,
+                // in which case there is nothing to repoint.
+                if let Some(slot) = self
+                    .objects
+                    .get_mut(&owner)
+                    .and_then(|locs| locs.iter_mut().find(|l| **l == (victim, page)))
+                {
+                    *slot = new_loc;
+                }
             }
             // Erase.
             let b = &mut self.blocks[victim as usize];
@@ -267,7 +271,7 @@ impl FtlSim {
             let step = self.maybe_gc().and_then(|()| self.program_page(object, true));
             match step {
                 Ok(loc) => {
-                    self.objects.get_mut(&object).expect("registered above").push(loc);
+                    self.objects.entry(object).or_default().push(loc);
                     self.live_pages += 1;
                 }
                 Err(e) => {

@@ -103,6 +103,7 @@ const BUCKET_RATIO: f64 = 1.25;
 
 /// Streaming accumulator of per-request latencies: exact mean plus a
 /// log-bucketed histogram for tail percentiles (≤ 25 % bucket error).
+// lint: merge-exhaustive
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseTime {
     total_us: f64,
@@ -169,11 +170,13 @@ impl ResponseTime {
         self.requests
     }
 
-    /// Merge another accumulator.
+    /// Merge another accumulator. The full destructure means a new field
+    /// cannot be added without this merge accounting for it.
     pub fn merge(&mut self, other: &ResponseTime) {
-        self.total_us += other.total_us;
-        self.requests += other.requests;
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+        let ResponseTime { total_us, requests, buckets } = other;
+        self.total_us += total_us;
+        self.requests += requests;
+        for (a, b) in self.buckets.iter_mut().zip(buckets) {
             *a += b;
         }
     }

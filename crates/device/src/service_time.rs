@@ -50,6 +50,7 @@ impl HddProfile {
 /// Fed from every backend miss — admitted and bypassed alike both read the
 /// object from the HDD exactly once; the policies differ only in what they
 /// subsequently write to flash.
+// lint: merge-exhaustive(fingerprint)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceTimeModel {
     profile: HddProfile,

@@ -14,6 +14,7 @@
 /// now build a ledger, so every lifetime projection is traceable to actual
 /// bytes. The segment store (`otae-store`) and the FTL simulator both
 /// export their streams as ledgers.
+// lint: merge-exhaustive
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WearLedger {
     host_bytes: u64,
@@ -64,9 +65,12 @@ impl WearLedger {
     }
 
     /// Fold another ledger into this one (per-shard or per-device merge).
+    /// The full destructure means a new stream cannot be added without this
+    /// merge accounting for it.
     pub fn merge(&mut self, other: &WearLedger) {
-        self.host_bytes += other.host_bytes;
-        self.gc_bytes += other.gc_bytes;
+        let WearLedger { host_bytes, gc_bytes } = *other;
+        self.host_bytes += host_bytes;
+        self.gc_bytes += gc_bytes;
     }
 }
 

@@ -1,0 +1,33 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! Channel receives must not happen while a shard lock is held — every
+//! sender then stalls behind an unrelated slow consumer. Covers both the
+//! direct form and blocking reached transitively through a workspace call.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct State {
+    pending: u64,
+}
+
+pub struct Inbox {
+    state: Mutex<State>,
+    rx: Receiver<u64>,
+}
+
+impl Inbox {
+    fn pull(&self) -> u64 {
+        self.rx.recv().unwrap_or_default()
+    }
+
+    pub fn drain_direct(&self) -> u64 {
+        let mut st = self.state.lock();
+        let v = self.rx.recv().unwrap_or_default(); //~ ERROR no-blocking-under-lock
+        st.pending += v;
+        st.pending
+    }
+
+    pub fn drain_via_helper(&self) -> u64 {
+        let st = self.state.lock();
+        st.pending + self.pull() //~ ERROR no-blocking-under-lock
+    }
+}

@@ -1,0 +1,30 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! A guard moved into a spawned closure keeps the lock held for the
+//! lifetime of another thread — the acquiring scope no longer bounds it.
+use std::sync::Mutex;
+use std::thread;
+
+pub struct Counter {
+    value: u64,
+}
+
+pub struct Shared {
+    state: Mutex<Counter>,
+}
+
+impl Shared {
+    pub fn detach_guard(&self) {
+        let mut guard = self.state.lock();
+        thread::spawn(move || { //~ ERROR guard-across-spawn
+            guard.value += 1;
+        });
+    }
+
+    pub fn copy_out_first(&self) {
+        let value = {
+            let guard = self.state.lock();
+            guard.value
+        };
+        thread::spawn(move || value + 1);
+    }
+}

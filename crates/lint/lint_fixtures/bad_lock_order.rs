@@ -1,0 +1,31 @@
+// otae-lint-fixture-path: crates/core/src/fixture.rs
+//! Opposite nesting orders between two lock classes form a cycle in the
+//! acquisition graph; one diagnostic, anchored at the first edge's witness.
+use std::sync::Mutex;
+
+pub struct Alpha {
+    hits: u64,
+}
+
+pub struct Beta {
+    misses: u64,
+}
+
+pub struct Pair {
+    alpha: Mutex<Alpha>,
+    beta: Mutex<Beta>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); //~ ERROR lock-order
+        a.hits + b.misses
+    }
+
+    pub fn beta_then_alpha(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        a.hits + b.misses
+    }
+}

@@ -1,0 +1,45 @@
+// otae-lint-fixture-path: crates/core/src/fixture.rs
+//! Tagged accounting structs must destructure every field in `merge`, must
+//! not hide fields behind functional-update `..`, and fingerprint-tagged
+//! structs must actually reach a fingerprint.
+
+// lint: merge-exhaustive
+pub struct Tally {
+    hits: u64,
+    misses: u64,
+}
+
+impl Tally {
+    pub fn merge(&mut self, other: &Tally) { //~ ERROR merge-exhaustive
+        self.hits += other.hits;
+    }
+
+    pub fn renew(keep: u64) -> Tally {
+        Tally {
+            hits: keep,
+            ..Tally::default() //~ ERROR merge-exhaustive
+        }
+    }
+}
+
+// lint: merge-exhaustive(fingerprint)
+pub struct Ghost { //~ ERROR merge-exhaustive
+    count: u64,
+}
+
+impl Ghost {
+    pub fn merge(&mut self, other: &Ghost) {
+        let Ghost { count } = *other;
+        self.count += count;
+    }
+}
+
+pub struct Report {
+    total: u64,
+}
+
+impl Report {
+    pub fn fingerprint(&self) -> u64 {
+        self.total
+    }
+}

@@ -1,0 +1,46 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! The per-site escape hatch works for the structural rules too: each
+//! violation below is suppressed by a reviewed `otae-lint: allow(..)`.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::thread;
+
+pub struct State {
+    pending: u64,
+}
+
+pub struct Pinned {
+    state: Mutex<State>,
+    rx: Receiver<u64>,
+}
+
+impl Pinned {
+    pub fn prefilled_wait(&self) -> u64 {
+        let st = self.state.lock();
+        // Reviewed: startup-only path; the channel is pre-filled before
+        // any lock contention exists.
+        // otae-lint: allow(no-blocking-under-lock)
+        st.pending + self.rx.recv().unwrap_or_default()
+    }
+
+    pub fn pinned_worker(&self) {
+        let guard = self.state.lock();
+        // Reviewed: the spawned thread is joined before this fn returns.
+        // otae-lint: allow(guard-across-spawn)
+        thread::spawn(move || guard.pending);
+    }
+}
+
+// lint: merge-exhaustive
+pub struct Partial {
+    seen: u64,
+    skipped: u64,
+}
+
+impl Partial {
+    // Reviewed: `skipped` is recomputed after every merge, not summed.
+    // otae-lint: allow(merge-exhaustive)
+    pub fn merge(&mut self, other: &Partial) {
+        self.seen += other.seen;
+    }
+}

@@ -1,0 +1,31 @@
+// otae-lint-fixture-path: crates/serve/src/fixture.rs
+//! The clean patterns: scope the guard so it dies before the wait, or
+//! `drop` it explicitly. Neither holds a lock across a blocking call.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct State {
+    pending: u64,
+}
+
+pub struct Gate {
+    state: Mutex<State>,
+    rx: Receiver<u64>,
+}
+
+impl Gate {
+    pub fn scope_then_wait(&self) -> u64 {
+        let pending = {
+            let st = self.state.lock();
+            st.pending
+        };
+        pending + self.rx.recv().unwrap_or_default()
+    }
+
+    pub fn drop_then_wait(&self) -> u64 {
+        let st = self.state.lock();
+        let pending = st.pending;
+        drop(st);
+        pending + self.rx.recv().unwrap_or_default()
+    }
+}

@@ -1,0 +1,31 @@
+// otae-lint-fixture-path: crates/core/src/fixture.rs
+//! A consistent acquisition order is exactly what lock-order permits: both
+//! functions nest Beta inside Alpha, so the graph has one edge and no cycle.
+use std::sync::Mutex;
+
+pub struct Alpha {
+    hits: u64,
+}
+
+pub struct Beta {
+    misses: u64,
+}
+
+pub struct Pair {
+    alpha: Mutex<Alpha>,
+    beta: Mutex<Beta>,
+}
+
+impl Pair {
+    pub fn tally(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        a.hits + b.misses
+    }
+
+    pub fn reconcile(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        a.hits.max(b.misses)
+    }
+}

@@ -1,0 +1,22 @@
+// otae-lint-fixture-path: crates/core/src/fixture.rs
+//! The pattern the rule enforces: `merge` destructures every field, and the
+//! fingerprint-tagged struct appears in the RunFingerprint record.
+
+// lint: merge-exhaustive(fingerprint)
+pub struct Ledger {
+    reads: u64,
+    writes: u64,
+}
+
+impl Ledger {
+    pub fn merge(&mut self, other: &Ledger) {
+        let Ledger { reads, writes } = *other;
+        self.reads += reads;
+        self.writes += writes;
+    }
+}
+
+pub struct RunFingerprint {
+    pub ledger: Ledger,
+    pub m: u64,
+}

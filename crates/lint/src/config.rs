@@ -29,19 +29,37 @@ pub enum Rule {
     /// Unbounded `mpsc::channel()` banned on service paths — use
     /// `sync_channel` so backpressure is explicit.
     BoundedChannel,
+    /// Structural: the cross-crate lock acquisition graph must be acyclic;
+    /// any cycle is a potential deadlock and fails with a witness path.
+    LockOrder,
+    /// Structural: channel send/recv, file I/O, `join`, and paced sleeps
+    /// are banned while a lock guard is held on serve/store paths.
+    NoBlockingUnderLock,
+    /// Structural: structs tagged `// lint: merge-exhaustive` must
+    /// destructure every field in `merge` and never use `..` functional
+    /// updates; `(fingerprint)`-tagged structs must flow into
+    /// `RunFingerprint`.
+    MergeExhaustive,
+    /// Structural: lock guards may not be moved into spawned closures —
+    /// a guard crossing a thread boundary outlives all local reasoning.
+    GuardAcrossSpawn,
     /// Advisory (strict mode only): `.clone()` inside per-request serve
     /// paths; reported, never fails the build.
     AdvisoryClonePerRequest,
 }
 
 /// All enforced (non-advisory) rules, in diagnostic order.
-pub const ENFORCED: [Rule; 6] = [
+pub const ENFORCED: [Rule; 10] = [
     Rule::NoSiphash,
     Rule::NoWallClock,
     Rule::NoUnseededRng,
     Rule::NoPanicInServe,
     Rule::NoFloatNondeterminism,
     Rule::BoundedChannel,
+    Rule::LockOrder,
+    Rule::NoBlockingUnderLock,
+    Rule::MergeExhaustive,
+    Rule::GuardAcrossSpawn,
 ];
 
 impl Rule {
@@ -54,6 +72,10 @@ impl Rule {
             Rule::NoPanicInServe => "no-panic-in-serve",
             Rule::NoFloatNondeterminism => "no-float-nondeterminism",
             Rule::BoundedChannel => "bounded-channel",
+            Rule::LockOrder => "lock-order",
+            Rule::NoBlockingUnderLock => "no-blocking-under-lock",
+            Rule::MergeExhaustive => "merge-exhaustive",
+            Rule::GuardAcrossSpawn => "guard-across-spawn",
             Rule::AdvisoryClonePerRequest => "advisory-clone-per-request",
         }
     }
@@ -79,6 +101,22 @@ impl Rule {
             }
             Rule::BoundedChannel => {
                 "service channels are bounded (sync_channel) so backpressure is explicit"
+            }
+            Rule::LockOrder => {
+                "lock classes are acquired in one global order; a cycle in the acquisition \
+                 graph is a latent deadlock"
+            }
+            Rule::NoBlockingUnderLock => {
+                "nothing blocks (channel send/recv, file I/O, join, paced sleep) while a lock \
+                 guard is held — critical-path latency must stay bounded"
+            }
+            Rule::MergeExhaustive => {
+                "tagged accounting structs destructure every field in merge and flow into \
+                 RunFingerprint, so adding a field cannot silently escape the audit"
+            }
+            Rule::GuardAcrossSpawn => {
+                "lock guards never move into spawned closures; a guard crossing threads defeats \
+                 local lock-discipline reasoning"
             }
             Rule::AdvisoryClonePerRequest => {
                 "per-request serve paths should avoid clone(); prefer borrowing or Arc"
@@ -112,13 +150,33 @@ impl Rule {
             // the pipeline and the service breaks.
             Rule::NoWallClock => &[],
             Rule::NoUnseededRng => &[],
-            Rule::NoPanicInServe => {
-                &["crates/serve/src/", "crates/harness/src/", "crates/store/src/"]
-            }
+            // Widened when crates/device and the zoo grew real service-path
+            // code: FTL/wear models run inside the shard critical section
+            // and the zoo's filters run per request.
+            Rule::NoPanicInServe => &[
+                "crates/serve/src/",
+                "crates/harness/src/",
+                "crates/store/src/",
+                "crates/device/src/",
+                "crates/core/src/zoo.rs",
+            ],
             Rule::NoFloatNondeterminism => &["crates/ml/src/", "crates/core/src/"],
-            Rule::BoundedChannel => {
+            Rule::BoundedChannel => &[
+                "crates/serve/src/",
+                "crates/harness/src/",
+                "crates/store/src/",
+                "crates/device/src/",
+                "crates/core/src/zoo.rs",
+            ],
+            // Structural rules see the whole workspace; no-blocking-under-lock
+            // is confined to the latency-critical serve/store/harness paths
+            // (the pipeline and bench crates block deliberately).
+            Rule::LockOrder => &[],
+            Rule::NoBlockingUnderLock => {
                 &["crates/serve/src/", "crates/harness/src/", "crates/store/src/"]
             }
+            Rule::MergeExhaustive => &[],
+            Rule::GuardAcrossSpawn => &[],
             Rule::AdvisoryClonePerRequest => &[
                 "crates/serve/src/loadgen.rs",
                 "crates/serve/src/shard.rs",
@@ -148,6 +206,10 @@ impl Rule {
             Rule::NoPanicInServe => &[],
             Rule::NoFloatNondeterminism => &[],
             Rule::BoundedChannel => &[],
+            Rule::LockOrder => &[],
+            Rule::NoBlockingUnderLock => &[],
+            Rule::MergeExhaustive => &[],
+            Rule::GuardAcrossSpawn => &[],
             Rule::AdvisoryClonePerRequest => &[],
         }
     }
@@ -190,6 +252,16 @@ mod tests {
         assert!(Rule::NoUnseededRng.in_scope("crates/core/src/zoo.rs"));
         assert!(Rule::NoWallClock.in_scope("crates/serve/src/policy.rs"));
         assert!(Rule::AdvisoryClonePerRequest.in_scope("crates/serve/src/policy.rs"));
+        // Widened scopes: device models and the zoo run on the request path.
+        assert!(Rule::NoPanicInServe.in_scope("crates/device/src/ftl.rs"));
+        assert!(Rule::NoPanicInServe.in_scope("crates/core/src/zoo.rs"));
+        assert!(Rule::BoundedChannel.in_scope("crates/device/src/service_time.rs"));
+        assert!(!Rule::NoPanicInServe.in_scope("crates/core/src/pipeline.rs"));
+        // Structural rules: lock-order everywhere, blocking confined.
+        assert!(Rule::LockOrder.in_scope("crates/cache/src/lru.rs"));
+        assert!(Rule::NoBlockingUnderLock.in_scope("crates/store/src/store.rs"));
+        assert!(!Rule::NoBlockingUnderLock.in_scope("crates/core/src/pipeline.rs"));
+        assert!(Rule::MergeExhaustive.in_scope("crates/device/src/latency.rs"));
     }
 
     #[test]

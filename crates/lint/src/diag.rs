@@ -38,6 +38,47 @@ impl Diagnostic {
     }
 }
 
+/// Render a diagnostic set as a JSON array for machine-readable CI
+/// annotations (`--json`). Hand-rolled because the linter is deliberately
+/// dependency-free; the escaper covers everything `Diagnostic` can carry.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let severity = if d.rule.advisory() { "warning" } else { "error" };
+        s.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"severity\":\"{severity}\",\"path\":\"{}\",\"line\":{},\
+             \"col\":{},\"message\":\"{}\",\"fixable\":{}}}",
+            json_escape(d.rule.name()),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            d.fixable,
+        ));
+    }
+    s.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Order diagnostics for stable output: path, then position, then rule.
 pub fn sort(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
@@ -67,6 +108,23 @@ mod tests {
         let text = d.render();
         assert!(text.starts_with("error[no-wall-clock]:"), "{text}");
         assert!(text.contains("--> crates/serve/src/service.rs:213:17"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_shapes() {
+        let d = Diagnostic {
+            rule: Rule::NoPanicInServe,
+            path: "crates/serve/src/shard.rs".into(),
+            line: 7,
+            col: 3,
+            message: "`.expect(\"msg\")` call".into(),
+            fixable: false,
+        };
+        let json = render_json(&[d]);
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"rule\":\"no-panic-in-serve\""), "{json}");
+        assert!(json.contains("\\\"msg\\\""), "quotes must be escaped: {json}");
+        assert_eq!(render_json(&[]), "[]");
     }
 
     #[test]

@@ -51,11 +51,23 @@ pub struct AllowDirective {
     pub standalone: bool,
 }
 
-/// Lexer output: the code-token stream plus the allow directives.
+/// A `// lint: merge-exhaustive` tag found in a comment. Tags opt the next
+/// struct declaration into the `merge-exhaustive` rule.
+#[derive(Debug, Clone)]
+pub struct TagDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// True for `merge-exhaustive(fingerprint)`: the struct must also flow
+    /// into `RunFingerprint`.
+    pub fingerprint: bool,
+}
+
+/// Lexer output: the code-token stream plus the comment directives.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub allows: Vec<AllowDirective>,
+    pub tags: Vec<TagDirective>,
 }
 
 /// Lex `src` completely. Never panics: unterminated literals and comments
@@ -180,11 +192,14 @@ impl Lexer<'_> {
     }
 
     fn raw_or_prefixed(&mut self, start: usize, line: u32, col: u32) {
-        // Consume prefix letters.
-        while matches!(self.peek(0), b'r' | b'b' | b'c') && self.peek(0).is_ascii_alphabetic() {
-            if matches!(self.peek(0), b'"' | b'\'' | b'#') {
-                break;
-            }
+        // Consume the prefix letters (`r`, `b`, `c`, `br`, `cr`, `rb`),
+        // remembering whether an `r` makes the literal *raw*: raw strings
+        // have no escapes even with zero hashes, so `r"a\"` ends at the
+        // quote — routing it through escaped-string scanning would swallow
+        // the terminator and corrupt every following token span.
+        let mut raw = false;
+        while matches!(self.peek(0), b'r' | b'b' | b'c') {
+            raw |= self.peek(0) == b'r';
             self.bump();
             if matches!(self.peek(0), b'"' | b'\'' | b'#') {
                 break;
@@ -196,7 +211,7 @@ impl Lexer<'_> {
             self.bump();
         }
         match self.peek(0) {
-            b'"' if hashes > 0 => {
+            b'"' if hashes > 0 || raw => {
                 // Raw string: ends at `"` followed by `hashes` hashes, with
                 // no escape processing at all.
                 self.bump();
@@ -324,6 +339,7 @@ impl Lexer<'_> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
         self.parse_allow(text, line, standalone);
+        self.parse_tag(text, line);
     }
 
     fn block_comment(&mut self) {
@@ -344,6 +360,7 @@ impl Lexer<'_> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
         self.parse_allow(text, line, standalone);
+        self.parse_tag(text, line);
     }
 
     /// Extract `otae-lint: allow(a, b)` from a comment's text.
@@ -360,6 +377,16 @@ impl Lexer<'_> {
         if !rules.is_empty() {
             self.out.allows.push(AllowDirective { rules, line, standalone });
         }
+    }
+
+    /// Extract `lint: merge-exhaustive` / `lint: merge-exhaustive(fingerprint)`
+    /// from a comment's text. The tag binds to the next `struct` declaration.
+    fn parse_tag(&mut self, text: &str, line: u32) {
+        let Some(at) = text.find("lint:") else { return };
+        let rest = text[at + "lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("merge-exhaustive") else { return };
+        let fingerprint = rest.trim_start().starts_with("(fingerprint)");
+        self.out.tags.push(TagDirective { line, fingerprint });
     }
 }
 
@@ -451,6 +478,43 @@ let x = 1; // otae-lint: allow(no-siphash, no-unseeded-rng)
         assert_eq!(lexed.allows[0].line, 1);
         assert!(!lexed.allows[1].standalone);
         assert_eq!(lexed.allows[1].rules, ["no-siphash", "no-unseeded-rng"]);
+    }
+
+    #[test]
+    fn hashless_raw_strings_do_not_process_escapes() {
+        // `r"a\"` is a complete raw string: the backslash is a literal
+        // byte, not an escape of the closing quote. Escape-processing it
+        // would swallow the terminator and corrupt every later span.
+        let src = "let re = r\"a\\\"; done()";
+        let t = texts(src);
+        assert!(t.contains(&"r\"a\\\"".to_string()));
+        assert!(t.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn prefixed_hashless_raw_strings_terminate() {
+        let t = texts("let a = br\"x\\\"; let b = cr\"y\\\"; tail()");
+        assert!(t.contains(&"br\"x\\\"".to_string()));
+        assert!(t.contains(&"cr\"y\\\"".to_string()));
+        assert!(t.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn merge_exhaustive_tags_are_parsed() {
+        let src = "\
+// lint: merge-exhaustive
+struct A;
+// lint: merge-exhaustive(fingerprint)
+struct B;
+// otae-lint: allow(no-siphash)
+struct C;
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.tags.len(), 2);
+        assert_eq!(lexed.tags[0].line, 1);
+        assert!(!lexed.tags[0].fingerprint);
+        assert_eq!(lexed.tags[1].line, 3);
+        assert!(lexed.tags[1].fingerprint);
     }
 
     #[test]

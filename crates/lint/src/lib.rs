@@ -9,10 +9,13 @@
 //! The crate is a library plus a thin CLI (`cargo run -p otae-lint`) so the
 //! fixture testsuite and property tests drive the exact engine CI runs.
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod fix;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod rules;
 pub mod scope;
 pub mod walk;
@@ -21,5 +24,5 @@ pub use config::{path_is_test, Rule, ENFORCED};
 pub use diag::Diagnostic;
 pub use fix::apply_fixes;
 pub use lexer::{lex, Lexed, Token, TokenKind};
-pub use rules::{lint_source, Options};
+pub use rules::{lint_source, lint_workspace, Options, SourceFile, WorkspaceReport};
 pub use scope::mark_test_scopes;

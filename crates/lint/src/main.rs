@@ -14,11 +14,12 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use otae_lint::{apply_fixes, lint_source, walk, Diagnostic, Options, Rule, ENFORCED};
+use otae_lint::{apply_fixes, lint_workspace, walk, Options, Rule, SourceFile, ENFORCED};
 
 struct Cli {
     fix: bool,
     strict: bool,
+    json: bool,
     list_rules: bool,
     root: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -28,6 +29,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         fix: false,
         strict: std::env::var("OTAE_LINT_STRICT").map(|v| v == "1").unwrap_or(false),
+        json: false,
         list_rules: false,
         root: None,
         paths: Vec::new(),
@@ -37,6 +39,7 @@ fn parse_args() -> Result<Cli, String> {
         match arg.as_str() {
             "--fix" => cli.fix = true,
             "--strict" => cli.strict = true,
+            "--json" => cli.json = true,
             "--list-rules" => cli.list_rules = true,
             "--root" => {
                 let v = args.next().ok_or("--root requires a directory argument")?;
@@ -45,10 +48,13 @@ fn parse_args() -> Result<Cli, String> {
             "-h" | "--help" => {
                 println!(
                     "otae-lint: workspace static analysis\n\n\
-                     usage: otae-lint [--fix] [--strict] [--list-rules] [--root DIR] [FILES…]\n\n\
+                     usage: otae-lint [--fix] [--strict] [--json] [--list-rules] [--root DIR] \
+                     [FILES…]\n\n\
                      With no FILES, lints every first-party .rs file in the workspace.\n\
                      --fix       apply mechanical rewrites for no-siphash / no-unseeded-rng\n\
-                     --strict    also report advisory findings (or set OTAE_LINT_STRICT=1)\n\
+                     --strict    also report advisory findings and the lock acquisition graph\n\
+                     \x20           (or set OTAE_LINT_STRICT=1)\n\
+                     --json      emit diagnostics as a JSON array (summary goes to stderr)\n\
                      --list-rules  print the rule catalogue with scopes and allowlists"
                 );
                 std::process::exit(0);
@@ -82,8 +88,8 @@ fn list_rules() {
     }
 }
 
-/// Lint one file; returns its diagnostics, applying `--fix` first if asked.
-fn lint_file(root: &Path, rel: &Path, opts: Options, fix: bool) -> Result<Vec<Diagnostic>, String> {
+/// Load one file for linting, applying `--fix` first if asked.
+fn load_file(root: &Path, rel: &Path, fix: bool) -> Result<SourceFile, String> {
     let abs = root.join(rel);
     let mut src = std::fs::read_to_string(&abs)
         .map_err(|e| format!("{}: cannot read: {e}", abs.display()))?;
@@ -106,7 +112,7 @@ fn lint_file(root: &Path, rel: &Path, opts: Options, fix: bool) -> Result<Vec<Di
             src = fixed;
         }
     }
-    Ok(lint_source(&rule_path, &src, opts))
+    Ok(SourceFile { path: rule_path, src })
 }
 
 fn main() -> ExitCode {
@@ -137,31 +143,44 @@ fn main() -> ExitCode {
     };
 
     let opts = Options { strict: cli.strict };
-    let mut all: Vec<Diagnostic> = Vec::new();
+    let mut sources: Vec<SourceFile> = Vec::new();
     let mut io_error = false;
     for rel in &files {
-        match lint_file(&root, rel, opts, cli.fix) {
-            Ok(diags) => all.extend(diags),
+        match load_file(&root, rel, cli.fix) {
+            Ok(sf) => sources.push(sf),
             Err(e) => {
                 eprintln!("otae-lint: {e}");
                 io_error = true;
             }
         }
     }
-    otae_lint::diag::sort(&mut all);
+    let report = lint_workspace(&sources, opts);
+    let all = report.diags;
 
-    for d in &all {
-        println!("{}\n", d.render());
+    if cli.json {
+        println!("{}", otae_lint::diag::render_json(&all));
+    } else {
+        for d in &all {
+            println!("{}\n", d.render());
+        }
+        if cli.strict {
+            print!("{}", report.lock_graph);
+        }
     }
     let errors = all.iter().filter(|d| !d.rule.advisory()).count();
     let warnings = all.len() - errors;
-    println!(
+    let summary = format!(
         "otae-lint: {} file{} checked, {errors} error{}, {warnings} warning{}",
         files.len(),
         if files.len() == 1 { "" } else { "s" },
         if errors == 1 { "" } else { "s" },
         if warnings == 1 { "" } else { "s" },
     );
+    if cli.json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
     if io_error {
         ExitCode::from(2)
     } else if errors > 0 {

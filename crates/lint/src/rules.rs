@@ -20,20 +20,61 @@ pub struct Options {
     pub strict: bool,
 }
 
-/// Lint one file's source under its workspace-relative path.
-pub fn lint_source(path: &str, src: &str, opts: Options) -> Vec<Diagnostic> {
-    let mut lexed = crate::lexer::lex(src);
-    crate::scope::mark_test_scopes(&mut lexed.tokens, src);
-    let ctx = Ctx { path, src, lexed: &lexed, path_test: path_is_test(path) };
+/// One source file handed to the workspace analyzer, under its
+/// workspace-relative path.
+pub struct SourceFile {
+    pub path: String,
+    pub src: String,
+}
+
+/// Result of a workspace pass: diagnostics plus the rendered lock
+/// acquisition graph (printed under `--strict`).
+pub struct WorkspaceReport {
+    pub diags: Vec<Diagnostic>,
+    pub lock_graph: String,
+}
+
+/// Lint a whole file set at once. Token-pattern rules run per file exactly
+/// as before; the structural rules (lock-order, no-blocking-under-lock,
+/// merge-exhaustive, guard-across-spawn) see the cross-file symbol tables
+/// and call graph.
+pub fn lint_workspace(files: &[SourceFile], opts: Options) -> WorkspaceReport {
     let mut out = Vec::new();
-    for rule in ENFORCED {
-        check_rule(&ctx, rule, &mut out);
+    let mut prepped = Vec::with_capacity(files.len());
+    for f in files {
+        let mut lexed = crate::lexer::lex(&f.src);
+        crate::scope::mark_test_scopes(&mut lexed.tokens, &f.src);
+        {
+            let ctx =
+                Ctx { path: &f.path, src: &f.src, lexed: &lexed, path_test: path_is_test(&f.path) };
+            for rule in ENFORCED {
+                check_rule(&ctx, rule, &mut out);
+            }
+            if opts.strict {
+                check_rule(&ctx, Rule::AdvisoryClonePerRequest, &mut out);
+            }
+        }
+        let model = crate::parse::build(&f.src, &lexed);
+        prepped.push(crate::callgraph::PreppedFile {
+            path: f.path.clone(),
+            src: f.src.clone(),
+            lexed,
+            model,
+        });
     }
-    if opts.strict {
-        check_rule(&ctx, Rule::AdvisoryClonePerRequest, &mut out);
-    }
+    let analysis = crate::callgraph::analyze(&prepped);
+    out.extend(analysis.diags);
     crate::diag::sort(&mut out);
-    out
+    // Structs sharing a name across files would otherwise double-report.
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line && a.col == b.col);
+    WorkspaceReport { diags: out, lock_graph: analysis.lock_graph }
+}
+
+/// Lint one file's source under its workspace-relative path (a one-file
+/// workspace: structural rules degrade soundly without cross-file context).
+pub fn lint_source(path: &str, src: &str, opts: Options) -> Vec<Diagnostic> {
+    let files = [SourceFile { path: path.to_string(), src: src.to_string() }];
+    lint_workspace(&files, opts).diags
 }
 
 struct Ctx<'a> {
@@ -125,6 +166,12 @@ fn check_rule(ctx: &Ctx, rule: Rule, out: &mut Vec<Diagnostic>) {
         Rule::NoPanicInServe => no_panic(ctx, out),
         Rule::NoFloatNondeterminism => no_float_nondeterminism(ctx, out),
         Rule::BoundedChannel => bounded_channel(ctx, out),
+        // Structural rules run in the workspace pass (callgraph::analyze),
+        // not per file.
+        Rule::LockOrder
+        | Rule::NoBlockingUnderLock
+        | Rule::MergeExhaustive
+        | Rule::GuardAcrossSpawn => {}
         Rule::AdvisoryClonePerRequest => advisory_clone(ctx, out),
     }
 }

@@ -2,6 +2,7 @@
 //! confusion matrix, precision, recall, accuracy, and ROC AUC.
 
 /// Binary confusion matrix (Table 2). "Positive" is the one-time-access class.
+// lint: merge-exhaustive(fingerprint)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     /// Actual positive, predicted positive.
@@ -83,12 +84,14 @@ impl ConfusionMatrix {
         Self::ratio(self.fp, self.fp + self.tn)
     }
 
-    /// Merge another matrix into this one.
+    /// Merge another matrix into this one. The full destructure means a new
+    /// cell cannot be added without this merge accounting for it.
     pub fn merge(&mut self, other: &ConfusionMatrix) {
-        self.tp += other.tp;
-        self.fp += other.fp;
-        self.fn_ += other.fn_;
-        self.tn += other.tn;
+        let ConfusionMatrix { tp, fp, fn_, tn } = *other;
+        self.tp += tp;
+        self.fp += fp;
+        self.fn_ += fn_;
+        self.tn += tn;
     }
 }
 

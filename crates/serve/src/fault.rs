@@ -90,6 +90,7 @@ impl FaultPlan for NoFaults {}
 /// harnesses can assert conservation (e.g. `accesses == replayed -
 /// shard_panics`) and graceful degradation (e.g. `installs == 0 ⇒ admit-all
 /// behaviour`).
+// lint: merge-exhaustive
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultReport {
     /// Training samples dropped before the retrainer saw them.

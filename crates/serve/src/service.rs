@@ -263,7 +263,12 @@ pub fn serve_trace_with_index(
 
     let plan: &dyn FaultPlan = cfg.faults.as_ref();
     let panics = AtomicU64::new(0);
-    let mut faults = FaultReport::default();
+    // Failure tallies accumulate in locals and land in the FaultReport via
+    // one exhaustive literal below, so a new field cannot be forgotten
+    // (merge-exhaustive).
+    let mut client_failures = 0u32;
+    let mut worker_failures = 0u32;
+    let mut retrainer_failure = false;
     let mut client_reports: Vec<ClientReport> = Vec::new();
     let mut retrain_report = RetrainerReport::default();
     let clock = cfg.clock.start();
@@ -307,12 +312,12 @@ pub fn serve_trace_with_index(
         for h in clients {
             match h.join() {
                 Ok(report) => client_reports.push(report),
-                Err(_) => faults.client_failures += 1,
+                Err(_) => client_failures += 1,
             }
         }
         for w in workers {
             if w.join().is_err() {
-                faults.worker_failures += 1;
+                worker_failures += 1;
             }
         }
         // Every request is processed once the workers join; stamp the
@@ -321,7 +326,7 @@ pub fn serve_trace_with_index(
         if let Some(r) = retrainer {
             match r.join() {
                 Ok(report) => retrain_report = report,
-                Err(_) => faults.retrainer_failure = true,
+                Err(_) => retrainer_failure = true,
             }
         }
     });
@@ -329,7 +334,7 @@ pub fn serve_trace_with_index(
     // joined; every join above consumes its result, so this is a spawn-time
     // failure — account it like a dead worker rather than unwinding.
     if scope_result.is_err() {
-        faults.worker_failures += 1;
+        worker_failures += 1;
         serve_wall = clock.wall_elapsed();
     }
     // A spawn failure (or a run with no workers) never stamped the replay
@@ -337,18 +342,23 @@ pub fn serve_trace_with_index(
     let wall = if serve_wall > Duration::ZERO { serve_wall } else { clock.wall_elapsed() };
 
     let replayed: u64 = client_reports.iter().map(|r| r.submitted).sum();
-    faults.dropped_samples = client_reports.iter().map(|r| r.dropped_samples).sum();
-    faults.corrupted_samples = client_reports.iter().map(|r| r.corrupted_samples).sum();
-    faults.failed_trainings = retrain_report.failed;
-    faults.deferred_installs = retrain_report.deferred;
-    faults.dropped_installs = retrain_report.dropped_installs + prepared.dropped_installs;
-    faults.shard_panics = panics.load(Ordering::Acquire);
 
     // Every worker has joined: drain the store write queues so the
     // snapshot's byte counters cover every acknowledged append.
     sharded.flush_stores();
     let snapshot = sharded.snapshot();
-    faults.store_failures = store_open_failures + snapshot.store.as_ref().map_or(0, |s| s.errors);
+    let faults = FaultReport {
+        dropped_samples: client_reports.iter().map(|r| r.dropped_samples).sum(),
+        corrupted_samples: client_reports.iter().map(|r| r.corrupted_samples).sum(),
+        failed_trainings: retrain_report.failed,
+        deferred_installs: retrain_report.deferred,
+        dropped_installs: retrain_report.dropped_installs + prepared.dropped_installs,
+        shard_panics: panics.load(Ordering::Acquire),
+        client_failures,
+        worker_failures,
+        retrainer_failure,
+        store_failures: store_open_failures + snapshot.store.as_ref().map_or(0, |s| s.errors),
+    };
     let response = snapshot.response.clone();
     ServeReport {
         mode: cfg.mode,

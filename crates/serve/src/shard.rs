@@ -392,7 +392,13 @@ impl ShardedCache {
                 start = end;
             }
         }
+        // Admitted bytes are handed to the shard store inside the critical
+        // section by design: `on_admit`'s bounded send is the backpressure
+        // seam, and moving store puts outside the lock would reorder them
+        // against later requests on the same shard, breaking replay
+        // determinism (DESIGN.md §15).
         for (k, &(req, _, _)) in segment.iter().enumerate() {
+            // otae-lint: allow(no-blocking-under-lock)
             shard.process(req, Verdict::Ready(scratch.preds[k]), p, self.policy.as_ref());
         }
     }
@@ -411,11 +417,18 @@ impl ShardedCache {
 
     /// Drain every shard store's write queue so the next snapshot reports
     /// fully acknowledged byte counters. No-op when serving storeless.
+    ///
+    /// Only called after every worker has joined, so the store can be
+    /// lifted out of its shard and flushed *without* the shard lock held:
+    /// `flush` blocks on the writer thread's acknowledgement, and holding a
+    /// shard mutex across that wait is exactly what no-blocking-under-lock
+    /// exists to forbid.
     pub fn flush_stores(&self) {
         for shard in &self.shards {
-            let mut s = shard.lock();
-            if let Some(store) = s.store.as_mut() {
+            let taken = shard.lock().store.take();
+            if let Some(mut store) = taken {
                 store.flush();
+                shard.lock().store = Some(store);
             }
         }
     }
@@ -436,10 +449,7 @@ impl ShardedCache {
             stats.merge(&s.stats);
             response.merge(&s.response);
             service_time.merge(&s.service_time);
-            confusion.tp += s.confusion.tp;
-            confusion.fp += s.confusion.fp;
-            confusion.fn_ += s.confusion.fn_;
-            confusion.tn += s.confusion.tn;
+            confusion.merge(&s.confusion);
             rectifications += s.history.rectifications();
             per_shard.push(s.stats);
             if let Some(shard_store) = s.store.as_ref() {

@@ -111,6 +111,7 @@ impl ShardStore {
 
 /// Merged store statistics across all shards, reported in the service
 /// [`Snapshot`](crate::shard::Snapshot) when a store is attached.
+// lint: merge-exhaustive
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StoreSnapshot {
     /// Measured store counters (appends, compactions, live set), summed
@@ -122,10 +123,13 @@ pub struct StoreSnapshot {
 }
 
 impl StoreSnapshot {
-    /// Fold another shard's store snapshot into this one.
+    /// Fold another shard's store snapshot into this one. The full
+    /// destructure means a new field cannot be added without this merge
+    /// accounting for it.
     pub fn merge(&mut self, other: &StoreSnapshot) {
-        self.stats.merge(&other.stats);
-        self.errors += other.errors;
+        let StoreSnapshot { stats, errors } = *other;
+        self.stats.merge(&stats);
+        self.errors += errors;
     }
 
     /// Measured write amplification of the combined stores.

@@ -86,6 +86,7 @@ impl Default for StoreConfig {
 /// Cumulative store statistics. Byte counters are *measured* — they count
 /// bytes actually handed to the backend, so `write_amplification` is an
 /// observation, not a model parameter.
+// lint: merge-exhaustive
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StoreStats {
     /// Record bytes appended on behalf of callers (puts + tombstones).
@@ -140,21 +141,38 @@ impl StoreStats {
         ledger
     }
 
-    /// Fold another store's counters into this one (per-shard merge).
+    /// Fold another store's counters into this one (per-shard merge). The
+    /// full destructure means a new counter cannot be added without this
+    /// merge accounting for it.
     pub fn merge(&mut self, other: &StoreStats) {
-        self.host_bytes += other.host_bytes;
-        self.gc_bytes += other.gc_bytes;
-        self.put_records += other.put_records;
-        self.tombstone_records += other.tombstone_records;
-        self.acked_puts += other.acked_puts;
-        self.acked_removes += other.acked_removes;
-        self.compactions += other.compactions;
-        self.rewritten_records += other.rewritten_records;
-        self.segments_created += other.segments_created;
-        self.segments_deleted += other.segments_deleted;
-        self.live_records += other.live_records;
-        self.live_bytes += other.live_bytes;
-        self.segments += other.segments;
+        let StoreStats {
+            host_bytes,
+            gc_bytes,
+            put_records,
+            tombstone_records,
+            acked_puts,
+            acked_removes,
+            compactions,
+            rewritten_records,
+            segments_created,
+            segments_deleted,
+            live_records,
+            live_bytes,
+            segments,
+        } = *other;
+        self.host_bytes += host_bytes;
+        self.gc_bytes += gc_bytes;
+        self.put_records += put_records;
+        self.tombstone_records += tombstone_records;
+        self.acked_puts += acked_puts;
+        self.acked_removes += acked_removes;
+        self.compactions += compactions;
+        self.rewritten_records += rewritten_records;
+        self.segments_created += segments_created;
+        self.segments_deleted += segments_deleted;
+        self.live_records += live_records;
+        self.live_bytes += live_bytes;
+        self.segments += segments;
     }
 }
 
@@ -353,6 +371,10 @@ impl SegmentStore {
             Some(loc) => loc,
             None => return Ok(None),
         };
+        // The io RwLock *is* the I/O gate: data reads deliberately hold it
+        // so compaction's exclusive (write) acquisition serializes against
+        // in-flight reads while segments are rewritten underneath them.
+        // otae-lint: allow(no-blocking-under-lock)
         let bytes = self.backend.read_at(loc.segment, loc.offset, loc.len as usize)?;
         let (record, _) = decode_record(&bytes)
             .map_err(|e| StoreError::Corrupt(format!("indexed record unreadable: {e}")))?;

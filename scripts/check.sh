@@ -7,8 +7,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> otae-lint (workspace invariants: determinism, hash, clock, panic-freedom)"
+echo "==> otae-lint (workspace invariants: determinism, hash, clock, panic-freedom, lock order)"
 OTAE_LINT_STRICT="${OTAE_LINT_STRICT:-0}" cargo run -q -p otae-lint
+# Machine-readable mirror of the same diagnostics for CI consumers.
+mkdir -p target
+cargo run -q -p otae-lint -- --json > target/otae-lint.json
 
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
