@@ -12,11 +12,13 @@ use std::sync::Arc;
 const APPENDS_PER_ITER: usize = 1_000;
 const KEYS: u64 = 256;
 
-fn open_mem(queue_depth: usize, compact: bool) -> SegmentStore {
+fn open_mem(queue_depth: usize, compact: bool, group_records: usize) -> SegmentStore {
     let cfg = StoreConfig {
         segment_bytes: 1 << 20,
         queue_depth,
         compact_trigger: if compact { Some(0.5) } else { None },
+        group_records,
+        ..StoreConfig::default()
     };
     let (store, _) = SegmentStore::open(Arc::new(MemBackend::new()), cfg, Arc::new(NoStoreFaults))
         .expect("open");
@@ -55,7 +57,18 @@ fn bench_append(c: &mut Criterion) {
             // (open cost is constant across queue depths, so relative
             // numbers still isolate the queue).
             b.iter(|| {
-                let store = open_mem(qd, false);
+                let store = open_mem(qd, false, 128);
+                append_batch(&store, APPENDS_PER_ITER);
+                black_box(store)
+            })
+        });
+    }
+    // Group-commit axis at the deepest queue: group of 1 reproduces the
+    // per-record write path, larger groups amortize write + CRC cost.
+    for group_records in [1usize, 16, 128] {
+        group.bench_function(BenchmarkId::new("group_records", group_records), |b| {
+            b.iter(|| {
+                let store = open_mem(64, false, group_records);
                 append_batch(&store, APPENDS_PER_ITER);
                 black_box(store)
             })
@@ -65,13 +78,21 @@ fn bench_append(c: &mut Criterion) {
 }
 
 fn bench_read(c: &mut Criterion) {
-    let store = open_mem(64, false);
+    let store = open_mem(64, false, 128);
     append_batch(&store, 10_000);
     let mut state = 0xBEEFu64;
     c.bench_function("store_get", |b| {
         b.iter(|| {
             let key = splitmix(&mut state) % KEYS;
             black_box(store.get(black_box(key)).expect("get"))
+        })
+    });
+    // Allocation-free variant: one caller buffer reused across reads.
+    let mut val = Vec::new();
+    c.bench_function("store_get_into", |b| {
+        b.iter(|| {
+            let key = splitmix(&mut state) % KEYS;
+            black_box(store.get_into(black_box(key), &mut val).expect("get_into"))
         })
     });
 }
@@ -85,7 +106,7 @@ fn bench_compact(c: &mut Criterion) {
             // bytes dead, so a pass has real relocation work. Setup runs
             // inside the measured closure (no iter_batched in the
             // vendored criterion stub).
-            let store = open_mem(64, false);
+            let store = open_mem(64, false, 128);
             append_batch(&store, 10_000);
             black_box(store.compact().expect("compact"));
             black_box(store)

@@ -170,6 +170,7 @@ pub fn store_recovery_oracle(seed: u64) -> Result<(), HarnessFailure> {
         segment_bytes: 4096, // small segments: crashes land on segment 3+
         queue_depth: 8,
         compact_trigger: None, // compaction moves records; crash points stay put
+        ..StoreConfig::default()
     };
 
     // A baseline un-crashed run must recover everything.
@@ -192,59 +193,79 @@ pub fn store_recovery_oracle(seed: u64) -> Result<(), HarnessFailure> {
     drop(reopened);
 
     // Crash schedules: at an early, middle and late append, with the
-    // in-flight record left whole, partially torn, and fully torn.
-    for &crash_seq in &[5u64, 150, 295] {
-        for &torn in &[0u64, 17, u64::MAX] {
-            let label = format!("seq {crash_seq} torn {torn}");
-            let device = MemBackend::new();
-            let plan = CrashAt { seq: crash_seq, torn_tail: torn };
-            // Dropping the crashed store joins its (dead) writer thread.
-            drop(
-                apply(device.clone(), cfg, Arc::new(plan), &ops).map_err(|e| {
+    // in-flight record left whole, partially torn, and fully torn. The
+    // grid runs twice: once with the default group-commit shape, and once
+    // with tiny 7-record groups so the crash seqs land strictly *inside*
+    // write groups — the mid-group kill rung. A mid-group kill must
+    // recover exactly the acked prefix (plus the crash record when its
+    // tail survives whole), identically to the record-at-a-time contract.
+    let grouped = StoreConfig { group_records: 7, ..cfg };
+    for (tag, cfg) in [("", cfg), ("mid-group ", grouped)] {
+        for &crash_seq in &[5u64, 150, 295] {
+            for &torn in &[0u64, 17, u64::MAX] {
+                let label = format!("{tag}seq {crash_seq} torn {torn}");
+                let device = MemBackend::new();
+                let plan = CrashAt { seq: crash_seq, torn_tail: torn };
+                let crashed = apply(device.clone(), cfg, Arc::new(plan), &ops).map_err(|e| {
                     fail(seed, format!("store-recovery[{label}]: apply failed: {e}"))
-                })?,
-            );
+                })?;
+                // However commands were batched into groups, only the
+                // pre-crash ops may be acknowledged.
+                let stats = crashed.stats();
+                if stats.acked_puts + stats.acked_removes != crash_seq {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "store-recovery[{label}]: {} ops acked, expected exactly \
+                             the {crash_seq} pre-crash ops",
+                            stats.acked_puts + stats.acked_removes
+                        ),
+                    ));
+                }
+                // Dropping the crashed store joins its (dead) writer thread.
+                drop(crashed);
 
-            let (recovered, report) =
-                SegmentStore::open(Arc::new(device.clone()), cfg, Arc::new(NoStoreFaults))
-                    .map_err(|e| {
-                        fail(seed, format!("store-recovery[{label}]: reopen failed: {e}"))
-                    })?;
-            // Acked prefix = ops before the crash append; the crash op
-            // itself survives iff the tear left it whole (torn == 0 —
-            // partial and full tears both destroy the record). With
-            // compaction off, every surviving op is exactly one record on
-            // disk, so the replay count also proves the schedule bit.
-            let mut surviving = crash_seq as usize;
-            if torn == 0 {
-                surviving += 1;
+                let (recovered, report) =
+                    SegmentStore::open(Arc::new(device.clone()), cfg, Arc::new(NoStoreFaults))
+                        .map_err(|e| {
+                            fail(seed, format!("store-recovery[{label}]: reopen failed: {e}"))
+                        })?;
+                // Acked prefix = ops before the crash append; the crash op
+                // itself survives iff the tear left it whole (torn == 0 —
+                // partial and full tears both destroy the record). With
+                // compaction off, every surviving op is exactly one record
+                // on disk, so the replay count also proves the schedule bit.
+                let mut surviving = crash_seq as usize;
+                if torn == 0 {
+                    surviving += 1;
+                }
+                if report.records != surviving as u64 {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "store-recovery[{label}]: {} records survived, expected \
+                             {surviving} (report {report:?})",
+                            report.records
+                        ),
+                    ));
+                }
+                // A partial tear leaves a detectable half-record; a whole
+                // or fully-torn tail leaves a clean log end.
+                let partial = torn != 0 && torn != u64::MAX;
+                if report.torn_tail != partial {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "store-recovery[{label}]: torn_tail {} but a {} tear \
+                             (report {report:?})",
+                            report.torn_tail,
+                            if partial { "partial" } else { "whole-record or no" }
+                        ),
+                    ));
+                }
+                let expected = fold(&ops[..surviving]);
+                check_recovered(seed, &label, &recovered, &expected)?;
             }
-            if report.records != surviving as u64 {
-                return Err(fail(
-                    seed,
-                    format!(
-                        "store-recovery[{label}]: {} records survived, expected \
-                         {surviving} (report {report:?})",
-                        report.records
-                    ),
-                ));
-            }
-            // A partial tear leaves a detectable half-record; a whole or
-            // fully-torn tail leaves a clean log end.
-            let partial = torn != 0 && torn != u64::MAX;
-            if report.torn_tail != partial {
-                return Err(fail(
-                    seed,
-                    format!(
-                        "store-recovery[{label}]: torn_tail {} but a {} tear \
-                         (report {report:?})",
-                        report.torn_tail,
-                        if partial { "partial" } else { "whole-record or no" }
-                    ),
-                ));
-            }
-            let expected = fold(&ops[..surviving]);
-            check_recovered(seed, &label, &recovered, &expected)?;
         }
     }
     Ok(())

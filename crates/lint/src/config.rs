@@ -262,6 +262,20 @@ mod tests {
         assert!(Rule::NoBlockingUnderLock.in_scope("crates/store/src/store.rs"));
         assert!(!Rule::NoBlockingUnderLock.in_scope("crates/core/src/pipeline.rs"));
         assert!(Rule::MergeExhaustive.in_scope("crates/device/src/latency.rs"));
+        // The store's group-commit write buffer and file-handle cache are
+        // inside the enforced store scope: the handle cache holds a lock
+        // around lookup only (opens happen outside it), and the write
+        // buffer runs on the writer's critical path.
+        for path in [
+            "crates/store/src/write_buffer.rs",
+            "crates/store/src/handles.rs",
+            "crates/store/src/intake.rs",
+        ] {
+            assert!(Rule::NoBlockingUnderLock.in_scope(path), "{path} must be lint-covered");
+            assert!(Rule::NoPanicInServe.in_scope(path), "{path} must be lint-covered");
+            assert!(Rule::BoundedChannel.in_scope(path), "{path} must be lint-covered");
+            assert!(Rule::LockOrder.in_scope(path), "{path} must be lint-covered");
+        }
     }
 
     #[test]

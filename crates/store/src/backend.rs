@@ -12,11 +12,12 @@
 //!   recovery scan deterministically, with no filesystem, wall clock, or
 //!   entropy involved.
 
+use crate::handles::HandleCache;
 use crate::StoreError;
 use otae_fxhash::FxHashMap;
 use parking_lot::Mutex;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -33,6 +34,21 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     fn append(&self, seg: SegmentId, data: &[u8]) -> Result<(), StoreError>;
     /// Read `len` bytes at `offset`.
     fn read_at(&self, seg: SegmentId, offset: u64, len: usize) -> Result<Vec<u8>, StoreError>;
+    /// Read `len` bytes at `offset` into `buf` (cleared first). The
+    /// default delegates to [`Backend::read_at`]; backends override it to
+    /// serve the hot read path without a per-call allocation.
+    fn read_into(
+        &self,
+        seg: SegmentId,
+        offset: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let bytes = self.read_at(seg, offset, len)?;
+        buf.clear();
+        buf.extend_from_slice(&bytes);
+        Ok(())
+    }
     /// Read a whole segment (recovery / compaction scans).
     fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError>;
     /// Current length of a segment in bytes.
@@ -99,6 +115,29 @@ impl Backend for MemBackend {
         Ok(bytes[offset as usize..end as usize].to_vec())
     }
 
+    fn read_into(
+        &self,
+        seg: SegmentId,
+        offset: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let map = self.segments.lock();
+        let bytes = map.get(&seg).ok_or(StoreError::MissingSegment(seg))?;
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| StoreError::Corrupt("read range overflows".into()))?;
+        if end > bytes.len() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "read past end of segment {seg}: {end} > {}",
+                bytes.len()
+            )));
+        }
+        buf.clear();
+        buf.extend_from_slice(&bytes[offset as usize..end as usize]);
+        Ok(())
+    }
+
     fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError> {
         let map = self.segments.lock();
         map.get(&seg).cloned().ok_or(StoreError::MissingSegment(seg))
@@ -132,10 +171,37 @@ impl Backend for MemBackend {
 }
 
 /// Real-file backend rooted at a directory, with segments hash-prefixed
-/// into 256 two-hex-digit subdirectories.
+/// into 256 two-hex-digit subdirectories. Hot paths run over cached
+/// per-segment handles: reads are positioned (`pread`-style, no seek
+/// syscall, no shared cursor) and appends reuse one `O_APPEND` handle
+/// instead of reopening the file per write group.
 #[derive(Debug)]
 pub struct FileBackend {
     root: PathBuf,
+    handles: HandleCache,
+}
+
+/// Cap on distinct segments with cached handles; beyond this the cache
+/// resets wholesale (segment populations stay far below this in practice).
+const MAX_CACHED_SEGMENTS: usize = 256;
+
+/// Positioned read of exactly `buf.len()` bytes at `offset`, leaving the
+/// handle's cursor untouched so concurrent readers never interleave.
+#[cfg(unix)]
+fn pread_exact(f: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, offset)
+}
+
+/// Portable fallback: seek + read on a borrowed handle. Only reached off
+/// unix; the store's `io` lock already serializes reads against segment
+/// deletion, and `&File` reads are independent per call.
+#[cfg(not(unix))]
+fn pread_exact(f: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = f;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
 }
 
 /// SplitMix64 finalizer — the same mix the serve layer shards with, reused
@@ -152,7 +218,7 @@ impl FileBackend {
     pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self { root, handles: HandleCache::new(MAX_CACHED_SEGMENTS) })
     }
 
     /// Root directory of this backend.
@@ -174,6 +240,16 @@ impl FileBackend {
             Err(e) => Err(StoreError::Io(e)),
         }
     }
+
+    fn open_append(&self, seg: SegmentId) -> Result<File, StoreError> {
+        match OpenOptions::new().append(true).open(self.path_of(seg)) {
+            Ok(f) => Ok(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::MissingSegment(seg))
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
 }
 
 impl Backend for FileBackend {
@@ -182,6 +258,9 @@ impl Backend for FileBackend {
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
+        // A fresh segment id must never serve bytes through handles cached
+        // for a previously deleted incarnation.
+        self.handles.invalidate(seg);
         match OpenOptions::new().write(true).create_new(true).open(&path) {
             Ok(_) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
@@ -192,35 +271,46 @@ impl Backend for FileBackend {
     }
 
     fn append(&self, seg: SegmentId, data: &[u8]) -> Result<(), StoreError> {
-        let path = self.path_of(seg);
-        let mut f = match OpenOptions::new().append(true).open(&path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(StoreError::MissingSegment(seg))
-            }
-            Err(e) => return Err(StoreError::Io(e)),
-        };
-        f.write_all(data)?;
+        let f = self.handles.append_handle(seg, || self.open_append(seg))?;
+        // O_APPEND positions every write at the tail, so the shared handle
+        // needs no cursor management.
+        (&*f).write_all(data)?;
         Ok(())
     }
 
     fn read_at(&self, seg: SegmentId, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
-        let mut f = self.open_existing(seg)?;
-        f.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len];
-        f.read_exact(&mut buf)?;
+        let mut buf = Vec::new();
+        self.read_into(seg, offset, len, &mut buf)?;
         Ok(buf)
     }
 
+    fn read_into(
+        &self,
+        seg: SegmentId,
+        offset: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let f = self.handles.read_handle(seg, || self.open_existing(seg))?;
+        if buf.len() < len {
+            buf.resize(len, 0);
+        } else {
+            buf.truncate(len);
+        }
+        pread_exact(&f, offset, buf)?;
+        Ok(())
+    }
+
     fn read_all(&self, seg: SegmentId) -> Result<Vec<u8>, StoreError> {
-        let mut f = self.open_existing(seg)?;
-        let mut buf = Vec::new();
-        f.read_to_end(&mut buf)?;
+        let f = self.handles.read_handle(seg, || self.open_existing(seg))?;
+        let len = f.metadata()?.len();
+        let mut buf = vec![0u8; len as usize];
+        pread_exact(&f, 0, &mut buf)?;
         Ok(buf)
     }
 
     fn len(&self, seg: SegmentId) -> Result<u64, StoreError> {
-        let f = self.open_existing(seg)?;
+        let f = self.handles.read_handle(seg, || self.open_existing(seg))?;
         Ok(f.metadata()?.len())
     }
 
@@ -240,6 +330,9 @@ impl Backend for FileBackend {
     }
 
     fn delete(&self, seg: SegmentId) -> Result<(), StoreError> {
+        // Drop cached handles first so no later lookup revives the dead
+        // segment through a stale `Arc<File>`.
+        self.handles.invalidate(seg);
         match fs::remove_file(self.path_of(seg)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {

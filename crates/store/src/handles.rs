@@ -1,0 +1,129 @@
+//! Per-segment file-handle cache for the [`FileBackend`].
+//!
+//! The PR-6 read path opened, seeked, and read a file per `get`, and the
+//! append path reopened the active segment per record — three syscalls of
+//! pure overhead around every positioned read. This cache keeps one shared
+//! read handle and one `O_APPEND` write handle per segment so the hot
+//! paths reduce to a single `pread`/`write`.
+//!
+//! Lock discipline (enforced by otae-lint's no-blocking-under-lock rule):
+//! the cache map's mutex is held only for lookup/insert of `Arc<File>`
+//! clones — file opens always happen **outside** the lock, and a lost
+//! insert race simply drops the loser's handle and adopts the winner's.
+//!
+//! [`FileBackend`]: crate::backend::FileBackend
+
+use crate::backend::SegmentId;
+use crate::StoreError;
+use otae_fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::sync::Arc;
+
+/// Cached handles for one segment. Read and append handles are separate
+/// because they carry different open modes; either may be populated
+/// lazily.
+#[derive(Debug, Default)]
+struct SegmentHandles {
+    read: Option<Arc<File>>,
+    append: Option<Arc<File>>,
+}
+
+/// Bounded per-segment handle cache. When the map would exceed `cap`
+/// distinct segments it is cleared wholesale — segment counts are small
+/// (compaction deletes trail the roll rate), so eviction is a rare reset,
+/// not a hot-path policy.
+#[derive(Debug)]
+pub(crate) struct HandleCache {
+    map: Mutex<FxHashMap<SegmentId, SegmentHandles>>,
+    cap: usize,
+}
+
+impl HandleCache {
+    /// Empty cache holding at most `cap` segments' handles.
+    pub fn new(cap: usize) -> Self {
+        Self { map: Mutex::new(FxHashMap::default()), cap: cap.max(1) }
+    }
+
+    /// The shared read handle for `seg`, opening via `open` on first use.
+    pub fn read_handle(
+        &self,
+        seg: SegmentId,
+        open: impl FnOnce() -> Result<File, StoreError>,
+    ) -> Result<Arc<File>, StoreError> {
+        if let Some(h) = self.map.lock().get(&seg).and_then(|s| s.read.clone()) {
+            return Ok(h);
+        }
+        // Open with no lock held; re-lock only to publish the handle.
+        let opened = Arc::new(open()?);
+        let mut map = self.map.lock();
+        self.make_room(&mut map, seg);
+        Ok(map.entry(seg).or_default().read.get_or_insert(opened).clone())
+    }
+
+    /// The shared append handle for `seg`, opening via `open` on first
+    /// use. Callers open in append mode so the kernel positions every
+    /// write at the tail regardless of handle sharing.
+    pub fn append_handle(
+        &self,
+        seg: SegmentId,
+        open: impl FnOnce() -> Result<File, StoreError>,
+    ) -> Result<Arc<File>, StoreError> {
+        if let Some(h) = self.map.lock().get(&seg).and_then(|s| s.append.clone()) {
+            return Ok(h);
+        }
+        let opened = Arc::new(open()?);
+        let mut map = self.map.lock();
+        self.make_room(&mut map, seg);
+        Ok(map.entry(seg).or_default().append.get_or_insert(opened).clone())
+    }
+
+    /// Drop any cached handles for `seg` (segment deleted or recreated).
+    pub fn invalidate(&self, seg: SegmentId) {
+        self.map.lock().remove(&seg);
+    }
+
+    fn make_room(&self, map: &mut FxHashMap<SegmentId, SegmentHandles>, seg: SegmentId) {
+        if map.len() >= self.cap && !map.contains_key(&seg) {
+            map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("otae-handles-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn handles_are_shared_and_invalidation_drops_them() {
+        let path = temp_file("share");
+        std::fs::write(&path, b"hello").unwrap();
+        let cache = HandleCache::new(8);
+        let a = cache.read_handle(3, || Ok(File::open(&path).unwrap())).unwrap();
+        let b = cache.read_handle(3, || panic!("second lookup must hit the cache")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same segment shares one handle");
+        cache.invalidate(3);
+        let c = cache.read_handle(3, || Ok(File::open(&path).unwrap())).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "invalidation forces a reopen");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let path = temp_file("bound");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"x").unwrap();
+        drop(f);
+        let cache = HandleCache::new(2);
+        for seg in 0..10u32 {
+            cache.read_handle(seg, || Ok(File::open(&path).unwrap())).unwrap();
+            assert!(cache.map.lock().len() <= 2, "cap must hold at seg {seg}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

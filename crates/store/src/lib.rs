@@ -4,14 +4,15 @@
 //! byte stream the paper's admission gate is trying to shrink. Objects are
 //! framed as checksummed records ([`record`]) appended to hash-prefixed
 //! segment files ([`backend`]); a background [`SegmentStore`] writer
-//! drains a **bounded** queue (explicit backpressure), rolls segments at a
+//! steals batches off a **bounded** command intake (`intake.rs` — explicit
+//! backpressure, one cross-thread wakeup per batch), rolls segments at a
 //! size threshold, and compacts the deadest sealed segment when dead bytes
 //! pile up. The in-memory index ([`index`]) is rebuilt on open by a
 //! recovery scan that tolerates one torn tail record — the only damage a
 //! crash can legitimately leave behind.
 //!
 //! ```text
-//!   put/remove ──bounded queue──▶ writer thread ──append──▶ seg-N (active)
+//!   put/remove ──staged intake──▶ writer thread ──append──▶ seg-N (active)
 //!                                   │   ▲                   seg-… (sealed)
 //!                            index update                     │
 //!                          (ack after append)            compaction:
@@ -35,9 +36,12 @@
 
 pub mod backend;
 pub mod fault;
+pub(crate) mod handles;
 pub mod index;
+pub(crate) mod intake;
 pub mod record;
 pub mod store;
+pub(crate) mod write_buffer;
 
 pub use backend::{Backend, FileBackend, MemBackend, SegmentId};
 pub use fault::{CrashAt, NoStoreFaults, StoreFaultPlan};

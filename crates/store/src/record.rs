@@ -111,10 +111,15 @@ impl Record<'_> {
     }
 }
 
-// CRC32 (IEEE 802.3 polynomial, reflected), table generated at compile time
-// so the hot append path is a byte-per-iteration table walk.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+// CRC32 (IEEE 802.3 polynomial, reflected), slicing-by-8: eight derived
+// tables generated at compile time so the hot paths (append encode, read
+// verify, recovery scan) fold 8 input bytes per iteration instead of 1.
+// Table 0 is the classic byte-at-a-time table; table k maps "byte fed k
+// steps earlier", so one round combines eight lookups with XOR. The
+// produced values are bit-identical to the byte-wise walk (the known-vector
+// test below pins them).
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -123,17 +128,40 @@ const CRC_TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
 /// CRC32 (IEEE) of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = u32::MAX;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -211,6 +239,23 @@ mod tests {
         // IEEE CRC32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sliced_crc_equals_bytewise_at_every_length() {
+        // The slicing-by-8 fold must agree with the reference byte walk on
+        // every remainder length (0..8) and across chunk boundaries.
+        fn bytewise(data: &[u8]) -> u32 {
+            let mut crc = u32::MAX;
+            for &b in data {
+                crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

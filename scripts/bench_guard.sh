@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Opt-in perf-regression guard (check.sh runs it when OTAE_BENCH_GUARD=1).
+#
+# Re-runs the store throughput experiment in smoke mode (so no committed
+# results/*.csv is touched) with the BENCH_*.json output redirected into
+# a temp dir via OTAE_BENCH_OUT_DIR, then compares the fresh numbers
+# against the committed trajectory at the repo root. Any key throughput
+# metric regressing by more than OTAE_BENCH_GUARD_PCT percent (default
+# 25) fails the script.
+#
+# Knobs:
+#   OTAE_BENCH_GUARD_PCT  regression threshold in percent   (default 25)
+#   OTAE_BENCH_GUARD_OPS  store ops per stage for the run   (default 100000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${OTAE_BENCH_GUARD_PCT:-25}"
+ops="${OTAE_BENCH_GUARD_OPS:-100000}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> bench guard: fresh store run (${ops} ops) -> ${tmp}"
+OTAE_BENCH_SMOKE=1 OTAE_STORE_OPS="$ops" OTAE_BENCH_OUT_DIR="$tmp" \
+  cargo run --release -q -p otae-bench --bin store_throughput
+
+# Guarded metrics: name, committed artifact, direction of goodness.
+guards='
+store_append_ops BENCH_serve.json higher
+store_read_ops BENCH_serve.json higher
+store_recovery_ms BENCH_serve.json lower
+'
+
+# Extract a metric value from a BenchJson artifact ("name": 123.456,).
+metric_of() {
+  awk -v key="\"$2\":" '$1 == key { v = $2; gsub(/[",]/, "", v); print v; exit }' "$1"
+}
+
+fail=0
+while read -r name file dir; do
+  [[ -z "${name}" ]] && continue
+  committed="$(metric_of "$file" "$name" 2>/dev/null || true)"
+  fresh="$(metric_of "$tmp/$file" "$name" 2>/dev/null || true)"
+  if [[ -z "$committed" || -z "$fresh" || "$committed" == "null" || "$fresh" == "null" ]]; then
+    echo "bench guard: $name: missing (committed='${committed:-?}' fresh='${fresh:-?}'), skipping"
+    continue
+  fi
+  verdict="$(awk -v c="$committed" -v f="$fresh" -v dir="$dir" -v pct="$threshold" 'BEGIN {
+    if (c <= 0) { print "skip"; exit }
+    delta = (dir == "higher") ? (c - f) / c * 100 : (f - c) / c * 100
+    printf "%s %.1f", (delta > pct) ? "FAIL" : "ok", delta
+  }')"
+  state="${verdict%% *}"
+  delta="${verdict##* }"
+  if [[ "$state" == "FAIL" ]]; then
+    echo "bench guard: $name: FAIL — ${delta}% worse than committed ($dir is better: committed=$committed fresh=$fresh)"
+    fail=1
+  else
+    echo "bench guard: $name: ok (regression ${delta}%, committed=$committed fresh=$fresh)"
+  fi
+done <<<"$guards"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench guard: FAILED — a key metric regressed by more than ${threshold}%"
+  exit 1
+fi
+echo "bench guard: all guarded metrics within ${threshold}% of the committed trajectory"

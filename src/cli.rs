@@ -55,6 +55,7 @@ USAGE:
                                [--eviction ...] [--mode ...] [--policy ...]
                                [--trainer inline|background]
                                [--store none|memory|disk[:DIR]]
+                               [--store-group-records N] [--store-group-bytes B]
                                [--capacity-frac F | --capacity-mb MB]
   otae convert <trace.bin> --out <trace.txt>
   otae import <trace.txt> --out <trace.bin>
@@ -64,6 +65,9 @@ mode=proposal, capacity-frac=0.02 (fraction of unique bytes),
 shards=4, workers=4, clients=2, qps=0 (unthrottled), trainer=background,
 store=none (memory = deterministic in-RAM segment store; disk:DIR =
 real segment files under DIR, default ./otae-store-data).
+store-group-records/store-group-bytes bound the store's group-commit
+batches (records and bytes per coalesced write; defaults 128 / 256 KiB —
+1 record disables batching and reproduces the per-record write path).
 --policy takes either kind of name: an eviction policy (back-compat) or an
 admission policy from the zoo (original|proposal|ideal|second-hit|tinylfu|
 rejectx|coinflip[:P], where P is the coin's admit probability, default 0.5).";
@@ -387,6 +391,13 @@ fn cmd_serve_bench(args: &Args) -> Result<String, CliError> {
     cfg.workers = workers;
     cfg.trainer = trainer;
     cfg.store = store;
+    cfg.store_config.group_records =
+        args.get_parsed("store-group-records", cfg.store_config.group_records)?;
+    cfg.store_config.group_bytes =
+        args.get_parsed("store-group-bytes", cfg.store_config.group_bytes)?;
+    if cfg.store_config.group_records == 0 || cfg.store_config.group_bytes == 0 {
+        return Err(err("--store-group-records and --store-group-bytes must be at least 1"));
+    }
     cfg.coin_p = coin_p;
     let load = LoadConfig { clients, target_qps: qps, duration };
     let r = serve_trace(&trace, &cfg, &load);
@@ -627,7 +638,15 @@ mod tests {
     #[test]
     fn usage_documents_serve_bench() {
         assert!(USAGE.contains("serve-bench"));
-        for flag in ["--shards", "--workers", "--qps", "--duration-s", "--store"] {
+        for flag in [
+            "--shards",
+            "--workers",
+            "--qps",
+            "--duration-s",
+            "--store",
+            "--store-group-records",
+            "--store-group-bytes",
+        ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }
     }
@@ -657,6 +676,10 @@ mod tests {
             "ideal",
             "--store",
             "memory",
+            "--store-group-records",
+            "32",
+            "--store-group-bytes",
+            "65536",
         ])
         .expect("serve-bench with store");
         assert!(out.contains("store puts"), "store lines expected:\n{out}");
@@ -668,6 +691,11 @@ mod tests {
         assert!(!plain.contains("store puts"));
         let e = run_cli(&["serve-bench", &bin, "--store", "floppy"]).unwrap_err();
         assert!(e.0.contains("unknown store"));
+        let e = run_cli(&["serve-bench", &bin, "--store", "memory", "--store-group-records", "0"])
+            .unwrap_err();
+        assert!(e.0.contains("at least 1"));
+        let e = run_cli(&["serve-bench", &bin, "--store-group-bytes", "lots"]).unwrap_err();
+        assert!(e.0.contains("invalid value"));
     }
 
     #[test]

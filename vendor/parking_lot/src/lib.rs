@@ -17,8 +17,27 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner guard is `Some` except for the instant [`Condvar::wait`]
+/// has handed it to the OS — no safe caller can observe `None`.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    fn held(&self) -> &sync::MutexGuard<'a, T> {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard always holds its lock outside Condvar::wait"),
+        }
+    }
+
+    fn held_mut(&mut self) -> &mut sync::MutexGuard<'a, T> {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard always holds its lock outside Condvar::wait"),
+        }
+    }
 }
 
 impl<T> Mutex<T> {
@@ -36,14 +55,16 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()) }
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard { inner: e.into_inner() }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -66,13 +87,53 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.held()
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.held_mut()
+    }
+}
+
+/// A condition variable (façade over [`sync::Condvar`], with
+/// parking_lot's `&mut guard` wait signature).
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically release the guard's lock and sleep until notified; the
+    /// lock is reacquired before this returns.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let held = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard always holds its lock outside Condvar::wait"),
+        };
+        guard.inner = Some(self.inner.wait(held).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -169,6 +230,26 @@ mod tests {
         drop((a, b));
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_wait_releases_and_reacquires() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        assert!(waiter.join().unwrap());
     }
 
     #[test]
